@@ -1,0 +1,58 @@
+// Command experiments regenerates the reconstructed evaluation tables and
+// figures (E1-E9 in DESIGN.md).
+//
+// Usage:
+//
+//	experiments [-e e1|e2|...|e9|all] [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gnsslna"
+	"gnsslna/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("e", "all", "experiment to run: e1..e12 (and e4b) or all")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	quick := flag.Bool("quick", false, "use reduced optimization budgets")
+	figs := flag.Bool("figs", false, "also render the ASCII figures")
+	markdown := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	flag.Parse()
+
+	if *markdown {
+		s := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: *quick})
+		tables, err := s.All()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			fmt.Println(tables[i].Markdown())
+		}
+		return
+	}
+
+	out, err := gnsslna.RunExperiment(*exp, gnsslna.Options{Seed: *seed, Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+
+	if *figs {
+		s := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: *quick})
+		figures, err := s.Figures()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: figures:", err)
+			os.Exit(1)
+		}
+		for _, f := range figures {
+			fmt.Println()
+			fmt.Print(f)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command extract runs the three-step pHEMT identification against the
+// synthetic measurement campaign and reports the extracted parameters. It
+// can also export the measured and modeled S-parameters as Touchstone
+// files for external plotting.
+//
+// Usage:
+//
+//	extract [-model Angelov|Curtice-2|Curtice-3|Statz|TOM] [-seed N]
+//	        [-quick] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/extract"
+	"gnsslna/internal/touchstone"
+	"gnsslna/internal/twoport"
+	"gnsslna/internal/vna"
+)
+
+func main() {
+	model := flag.String("model", "Angelov", "DC model class to extract")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	quick := flag.Bool("quick", false, "use reduced fitting budgets")
+	outDir := flag.String("out", "", "directory for measured/modeled .s2p exports")
+	flag.Parse()
+
+	if err := run(*model, *seed, *quick, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "extract:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, seed int64, quick bool, outDir string) error {
+	var dc device.DCModel
+	for _, m := range device.AllModels() {
+		if strings.EqualFold(m.Name(), model) {
+			dc = m
+			break
+		}
+	}
+	if dc == nil {
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	fmt.Println("running synthetic measurement campaign (VNA + DC analyzer)...")
+	ds, err := vna.RunCampaign(device.Golden(), vna.DefaultCampaign(seed))
+	if err != nil {
+		return err
+	}
+	cfg := extract.Config{Seed: seed}
+	if quick {
+		cfg = extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+	}
+	fmt.Printf("extracting %s (three-step: cold-FET direct + DE + LM)...\n", dc.Name())
+	res, err := extract.ThreeStep(ds, dc, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nstep 1 parasitics: Rg=%.2f Rs=%.2f Rd=%.2f ohm  Lg=%.0f Ls=%.0f Ld=%.0f pH\n",
+		res.Cold.Ext.Rg, res.Cold.Ext.Rs, res.Cold.Ext.Rd,
+		res.Cold.Ext.Lg*1e12, res.Cold.Ext.Ls*1e12, res.Cold.Ext.Ld*1e12)
+	fmt.Printf("step 2 DC fit    : RMSE %.3f mA (%.2f%% rel) over the I-V grid\n",
+		res.DC.RMSE*1e3, res.DC.RelRMSE*100)
+	fmt.Printf("step 2 RF (DE)   : normalized S RMSE %.4f\n", res.SRMSEAfterDE)
+	fmt.Printf("step 3 (LM joint): normalized S RMSE %.4f after %d S evaluations\n",
+		res.SRMSE, res.SEvals)
+	fmt.Printf("\n%s parameters:\n", dc.Name())
+	names := dc.ParamNames()
+	for i, v := range dc.Params() {
+		fmt.Printf("  %-8s %.5g\n", names[i], v)
+	}
+	d := res.Device
+	fmt.Printf("RF parameters:\n  Cgs0=%.3g pF  CgsPinch=%.3g pF  Cgd0=%.3g pF  Cds=%.3g pF\n"+
+		"  Ri=%.2f ohm  Tau=%.2f ps  Cpg=%.3g pF  Cpd=%.3g pF\n",
+		d.Caps.Cgs0*1e12, d.Caps.CgsPinch*1e12, d.Caps.Cgd0*1e12, d.Caps.Cds*1e12,
+		d.Ri, d.Tau*1e12, d.Ext.Cpg*1e12, d.Ext.Cpd*1e12)
+
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, set := range ds.Hot {
+		measPath := filepath.Join(outDir, fmt.Sprintf("measured_bias%d.s2p", i+1))
+		if err := writeNet(measPath, set.Net,
+			fmt.Sprintf("golden device measured at Vgs=%.2f Vds=%.2f", set.Bias.Vgs, set.Bias.Vds)); err != nil {
+			return err
+		}
+		mats := make([]twoport.Mat2, len(set.Net.Freqs))
+		for k, f := range set.Net.Freqs {
+			s, err := d.SAt(set.Bias, f, ds.Z0)
+			if err != nil {
+				return err
+			}
+			mats[k] = s
+		}
+		modelNet, err := twoport.NewNetwork(ds.Z0, set.Net.Freqs, mats)
+		if err != nil {
+			return err
+		}
+		modelPath := filepath.Join(outDir, fmt.Sprintf("model_bias%d.s2p", i+1))
+		if err := writeNet(modelPath, modelNet,
+			fmt.Sprintf("extracted %s at Vgs=%.2f Vds=%.2f", dc.Name(), set.Bias.Vgs, set.Bias.Vds)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nwrote %d Touchstone file pairs to %s\n", len(ds.Hot), outDir)
+	return nil
+}
+
+func writeNet(path string, net *twoport.Network, comment string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return touchstone.Write(f, net, touchstone.FormatMA, comment)
+}

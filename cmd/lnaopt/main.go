@@ -1,0 +1,121 @@
+// Command lnaopt runs the complete multi-constellation preamplifier design
+// flow: synthetic measurement campaign, three-step Angelov extraction, and
+// improved goal-attainment selection of the operating point and passive
+// elements. It prints the finished design and, optionally, its component
+// sensitivity and specification yield.
+//
+// Usage:
+//
+//	lnaopt [-seed N] [-quick] [-sens] [-yield N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/experiments"
+	"gnsslna/internal/units"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	quick := flag.Bool("quick", false, "use reduced optimization budgets")
+	sens := flag.Bool("sens", false, "print the component sensitivity table")
+	yieldN := flag.Int("yield", 0, "run an N-trial Monte Carlo tolerance yield analysis")
+	bom := flag.Bool("bom", false, "design the DC bias network and print the bill of materials")
+	vcc := flag.Float64("vcc", 5, "supply voltage for the bias network")
+	flag.Parse()
+
+	if err := run(*seed, *quick, *sens, *yieldN, *bom, *vcc); err != nil {
+		fmt.Fprintln(os.Stderr, "lnaopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64) error {
+	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick})
+	fmt.Println("extracting pHEMT model from the synthetic measurement campaign...")
+	ex, err := suite.Extracted()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  extracted %s: DC rel RMSE %.2f%%, S RMSE %.4f\n",
+		ex.Device.Name, ex.DC.RelRMSE*100, ex.SRMSE)
+
+	fmt.Println("optimizing operating point and passive elements (improved goal attainment)...")
+	res, err := suite.Design()
+	if err != nil {
+		return err
+	}
+	d := res.Snapped
+	e := res.SnappedEval
+	fmt.Printf("  gamma = %.3f (<= 0: all goals met), %d band evaluations\n\n", res.Gamma, res.Evals)
+	fmt.Printf("operating point : Vgs=%.3f V  Vds=%.2f V  Ids=%.1f mA  Pdc=%.0f mW\n",
+		d.Vgs, d.Vds, e.IdsA*1e3, e.PdcW*1e3)
+	fmt.Printf("elements (E24)  : Lin=%s  Ldeg=%s  Lout=%s  Cout=%s\n",
+		units.Format(d.LIn, "H"), units.Format(d.LDegen, "H"),
+		units.Format(d.LOut, "H"), units.Format(d.COut, "F"))
+	fmt.Printf("band 1.15-1.65  : NFmax=%.3f dB  GTmin=%.2f dB  S11<=%.1f dB  S22<=%.1f dB  stab margin=%.3f\n",
+		e.WorstNFdB, e.MinGTdB, e.WorstS11dB, e.WorstS22dB, e.StabMargin)
+
+	bands := core.GNSSBands()
+	designer, err := suite.Designer()
+	if err != nil {
+		return err
+	}
+	amp, err := designer.Builder.Build(d)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nper-constellation performance:")
+	for _, b := range bands {
+		m, err := amp.MetricsAt(b.Center, 50)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s %.5f GHz  NF=%.3f dB  GT=%.2f dB\n", b.Name, b.Center/1e9, m.NFdB, m.GTdB)
+	}
+
+	if sens {
+		fmt.Println("\ncomponent sensitivity (+/-5%):")
+		entries, err := designer.Sensitivity(d, 0.05)
+		if err != nil {
+			return err
+		}
+		for _, s := range entries {
+			fmt.Printf("  %-8s dNF=%.3f dB  dGT=%.3f dB\n", s.Param, s.DeltaNFdB, s.DeltaGTdB)
+		}
+	}
+	if yieldN > 0 {
+		fmt.Printf("\nMonte Carlo yield (%d trials, 5%% element tolerance):\n", yieldN)
+		rep, err := designer.Yield(d, 0.05, yieldN, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  pass rate %.0f%%  NF 95th percentile %.3f dB  GT 5th percentile %.2f dB\n",
+			rep.PassRate*100, rep.NF95dB, rep.GT5dB)
+	}
+	if bom {
+		bn, err := designer.DesignBiasNetwork(d, vcc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nbias network from %.1f V supply (nonlinear DC verified):\n", vcc)
+		fmt.Printf("  achieved Vgs=%.3f V Vds=%.2f V Ids=%.1f mA\n",
+			bn.Achieved.Vgs, bn.Achieved.Vds, bn.Achieved.IdsA*1e3)
+		fmt.Println("\nbill of materials:")
+		for _, l := range designer.BOM(d, bn) {
+			fmt.Printf("  %-4s %-10s %s\n", l.Ref, l.Value, l.Role)
+		}
+		pu, err := designer.PowerUpCheck(bn, 1e-4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npower-up transient (100 us supply ramp): gate peak %.3f V, "+
+			"settled %.3f V (overshoot %.1f%%), drain settles %.2f V\n",
+			pu.GatePeak, pu.GateFinal, pu.OvershootFrac*100, pu.DrainFinal)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command sweep evaluates the optimized preamplifier over frequency and
+// prints the paper-style S-parameter/NF table, optionally exporting the
+// response as a Touchstone file.
+//
+// Usage:
+//
+//	sweep [-seed N] [-quick] [-from GHz] [-to GHz] [-points N] [-s2p FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gnsslna/internal/experiments"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/touchstone"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	quick := flag.Bool("quick", false, "use reduced optimization budgets")
+	from := flag.Float64("from", 1.0, "sweep start in GHz")
+	to := flag.Float64("to", 1.8, "sweep stop in GHz")
+	points := flag.Int("points", 17, "number of sweep points")
+	s2p := flag.String("s2p", "", "optional Touchstone output path")
+	flag.Parse()
+
+	if err := run(*seed, *quick, *from*1e9, *to*1e9, *points, *s2p); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, quick bool, from, to float64, points int, s2p string) error {
+	if points < 2 || to <= from {
+		return fmt.Errorf("invalid sweep range")
+	}
+	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick})
+	res, err := suite.Design()
+	if err != nil {
+		return err
+	}
+	designer, err := suite.Designer()
+	if err != nil {
+		return err
+	}
+	amp, err := designer.Builder.Build(res.Snapped)
+	if err != nil {
+		return err
+	}
+	freqs := mathx.Linspace(from, to, points)
+	fmt.Println("f [GHz]   NF [dB]  Fmin [dB]  GT [dB]  S11 [dB]  S22 [dB]      K     mu   tg [ns]")
+	for _, f := range freqs {
+		m, err := amp.MetricsAt(f, 50)
+		if err != nil {
+			return err
+		}
+		gd, err := amp.GroupDelay(f, 50, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7.4f  %7.3f  %9.3f  %7.2f  %8.1f  %8.1f  %5.2f  %5.3f  %8.3f\n",
+			f/1e9, m.NFdB, m.FminDB, m.GTdB, m.S11dB, m.S22dB, m.K, m.Mu, gd*1e9)
+	}
+	if s2p == "" {
+		return nil
+	}
+	net, err := amp.Network(freqs, 50)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(s2p)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := touchstone.Write(out, net, touchstone.FormatDB,
+		"gnsslna optimized multi-constellation preamplifier"); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", s2p)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Calibration example: a measurement campaign as it really happens — the
+// VNA's test set distorts everything until a SOLT calibration (short, open,
+// load at both ports plus a through) is solved and applied. The example
+// measures the golden transistor raw and corrected, then extracts noise
+// parameters with a source-pull bench and Lane's method.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/extract"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+	"gnsslna/internal/vna"
+)
+
+func main() {
+	d := device.Golden()
+	bias := device.Bias{Vgs: 0.52, Vds: 3}
+	freqs := mathx.Linspace(1.1e9, 1.7e9, 4)
+
+	chain := vna.NewRawChain(42)
+	raw, err := chain.MeasureRaw(freqs, func(f float64) (twoport.Mat2, error) {
+		return d.SAt(bias, f, 50)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrected, err := chain.MeasureDeviceCalibrated(d, bias, freqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("f [GHz]   |S21| true   |S21| raw   |S21| corrected")
+	for i, f := range freqs {
+		truth, err := d.SAt(bias, f, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.3f   %10.3f   %9.3f   %15.3f\n",
+			f/1e9, cmplx.Abs(truth[1][0]), cmplx.Abs(raw.S[i][1][0]),
+			cmplx.Abs(corrected.S[i][1][0]))
+	}
+
+	// Source-pull noise-parameter extraction at L1.
+	tp, err := d.NoisyAt(bias, 1.575e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench := &vna.SourcePullBench{SigmaDB: 0.05, Seed: 7}
+	pts, err := bench.Measure(tp, vna.DefaultTunerStates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted, err := extract.FitNoiseParams(pts, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := tp.NoiseParams(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnoise parameters at 1.575 GHz (Lane fit from %d tuner states, 0.05 dB meter):\n", len(pts))
+	fmt.Printf("  Fmin: fitted %.3f dB, true %.3f dB\n", fitted.FminDB(), truth.FminDB())
+	fmt.Printf("  Rn:   fitted %.2f ohm, true %.2f ohm\n", fitted.Rn, truth.Rn)
+	fmt.Printf("  Gopt: fitted %.3f@%.0f, true %.3f@%.0f (mag@deg)\n",
+		cmplx.Abs(fitted.GammaOpt), cmplx.Phase(fitted.GammaOpt)*180/3.14159265,
+		cmplx.Abs(truth.GammaOpt), cmplx.Phase(truth.GammaOpt)*180/3.14159265)
+}

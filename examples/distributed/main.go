@@ -1,0 +1,68 @@
+// Distributed example: design the preamplifier's matching networks from
+// microstrip line sections and open stubs attached through T-junctions —
+// the transmission-line element family whose dispersive equations are the
+// paper's third contribution — and compare the result with the
+// lumped-element variant and with an analytic single-stub seed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/match"
+	"gnsslna/internal/optim"
+)
+
+func main() {
+	d := core.NewDesigner(core.NewBuilder(device.Golden()))
+	d.Spec.NPoints = 9
+
+	// An analytic seed: the single-stub match of the bare device input at
+	// band center shows where the optimizer will land.
+	bias := device.Bias{Vgs: 0.46, Vds: 3}
+	s, err := device.Golden().SAt(bias, 1.4e9, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zin := 50 * (1 + s[0][0]) / (1 - s[0][0])
+	stub, err := match.DesignSingleStub(zin, 50, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ql, err := d.Builder.QuarterWaveLength(1.4e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	toMM := func(rad float64) float64 { return rad / (3.14159265 / 2) * ql * 1e3 }
+	fmt.Printf("analytic single-stub seed for the device input (1.4 GHz):\n")
+	fmt.Printf("  line %.1f mm then open stub %.1f mm (quarter wave = %.1f mm)\n\n",
+		toMM(stub.DistRad), toMM(stub.StubRad), ql*1e3)
+
+	fmt.Println("optimizing the distributed (line + stub) topology...")
+	res, err := d.OptimizeDistributed(&optim.AttainOptions{Seed: 4, GlobalEvals: 2500, PolishEvals: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := res.Design
+	fmt.Printf("  gamma = %.3f\n", res.Gamma)
+	fmt.Printf("  bias: Vgs=%.3f V Vds=%.2f V; degeneration %.2f nH\n", x.Vgs, x.Vds, x.LDegen*1e9)
+	fmt.Printf("  input: %.1f mm line + %.1f mm open stub\n", x.LenIn*1e3, x.StubIn*1e3)
+	fmt.Printf("  output: %.1f mm line + %.1f mm open stub\n", x.LenOut*1e3, x.StubOut*1e3)
+	e := res.Eval
+	fmt.Printf("  band: NFmax=%.3f dB GTmin=%.2f dB S11<=%.1f dB stab=%.3f\n\n",
+		e.WorstNFdB, e.MinGTdB, e.WorstS11dB, e.StabMargin)
+
+	fmt.Println("lumped-element variant for comparison...")
+	lres, err := d.Optimize(&optim.AttainOptions{Seed: 4, GlobalEvals: 2500, PolishEvals: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	le := lres.Eval
+	fmt.Printf("  band: NFmax=%.3f dB GTmin=%.2f dB S11<=%.1f dB stab=%.3f\n",
+		le.WorstNFdB, le.MinGTdB, le.WorstS11dB, le.StabMargin)
+	fmt.Println("\nThe distributed variant trades a little noise (line loss ahead")
+	fmt.Println("of the transistor) for free-form impedances and no chip-inductor")
+	fmt.Println("tolerances; the paper's amplifier mixes both families.")
+}

@@ -1,0 +1,43 @@
+// Multiband example: build the optimized preamplifier and grade it at every
+// GNSS signal (GPS, GLONASS, Galileo, Compass/BeiDou) — the workflow behind
+// the per-constellation table (E9). It demonstrates direct use of the core
+// designer API rather than the one-call facade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/optim"
+)
+
+func main() {
+	// Design straight on the golden device (skipping extraction) to show
+	// the designer API in isolation.
+	designer := core.NewDesigner(core.NewBuilder(device.Golden()))
+	designer.Spec.NPoints = 9
+	res, err := designer.Optimize(&optim.AttainOptions{Seed: 2, GlobalEvals: 2000, PolishEvals: 1200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	amp, err := designer.Builder.Build(res.Snapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized bias: Vgs=%.3f V Vds=%.2f V (Ids %.1f mA)\n\n",
+		res.Snapped.Vgs, res.Snapped.Vds, amp.Ids()*1e3)
+	fmt.Println("signal        f [GHz]    NF [dB]  GT [dB]  in spec")
+	for _, b := range core.GNSSBands() {
+		m, err := amp.MetricsAt(b.Center, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := "yes"
+		if m.NFdB > designer.Spec.NFMaxDB || m.GTdB < designer.Spec.GTMinDB {
+			ok = "NO"
+		}
+		fmt.Printf("%-12s  %.5f   %6.3f   %6.2f   %s\n", b.Name, b.Center/1e9, m.NFdB, m.GTdB, ok)
+	}
+}

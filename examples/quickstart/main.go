@@ -1,0 +1,28 @@
+// Quickstart: design a multi-constellation GNSS antenna preamplifier in
+// one call and print the result. This is the five-line path through the
+// library: the facade runs the synthetic measurement campaign, the
+// three-step model extraction and the improved goal-attainment
+// optimization, and returns the buildable design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnsslna"
+)
+
+func main() {
+	rep, err := gnsslna.DesignLNA(gnsslna.Options{Seed: 1, Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GNSS preamplifier design (all goals met when gamma <= 0):")
+	fmt.Printf("  gamma        %.3f\n", rep.Gamma)
+	fmt.Printf("  bias         Vgs=%.3f V, Vds=%.2f V, Ids=%.1f mA (%.0f mW)\n",
+		rep.Snapped.Vgs, rep.Snapped.Vds, rep.IdsA*1e3, rep.PdcW*1e3)
+	fmt.Printf("  elements     Lin=%.1f nH, Ldeg=%.2f nH, Lout=%.1f nH, Cout=%.2f pF\n",
+		rep.Snapped.LIn*1e9, rep.Snapped.LDegen*1e9, rep.Snapped.LOut*1e9, rep.Snapped.COut*1e12)
+	fmt.Printf("  in-band      NF <= %.3f dB, GT >= %.2f dB\n", rep.WorstNFdB, rep.MinGTdB)
+	fmt.Printf("  stability    margin %.3f (unconditional when > 0)\n", rep.StabMargin)
+}

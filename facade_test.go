@@ -1,0 +1,60 @@
+package gnsslna
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDesignLNAQuick(t *testing.T) {
+	rep, err := DesignLNA(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("DesignLNA: %v", err)
+	}
+	if rep.Gamma > 0 {
+		t.Errorf("gamma = %g: goals not met", rep.Gamma)
+	}
+	if rep.WorstNFdB <= 0 || rep.WorstNFdB > 0.9 {
+		t.Errorf("NF = %g dB, want (0, 0.9]", rep.WorstNFdB)
+	}
+	if rep.MinGTdB < 14 {
+		t.Errorf("GT = %g dB, want >= 14", rep.MinGTdB)
+	}
+	if rep.StabMargin <= 0 {
+		t.Errorf("stability margin = %g, want > 0", rep.StabMargin)
+	}
+	if rep.Snapped.LIn == 0 || rep.IdsA == 0 || rep.PdcW == 0 {
+		t.Error("report fields incomplete")
+	}
+}
+
+func TestExtractModelFacade(t *testing.T) {
+	rep, err := ExtractModel("Angelov", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("ExtractModel: %v", err)
+	}
+	if rep.ModelName != "Angelov" || rep.Device == nil {
+		t.Error("report incomplete")
+	}
+	if rep.SRMSE > 0.06 {
+		t.Errorf("SRMSE = %g, want < 0.06", rep.SRMSE)
+	}
+	if rep.DCRelRMSE > 0.05 {
+		t.Errorf("DC rel RMSE = %g, want < 0.05", rep.DCRelRMSE)
+	}
+	if _, err := ExtractModel("NoSuchModel", Options{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	out, err := RunExperiment("e7", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(out, "E7") || !strings.Contains(out, "epsEff") {
+		t.Errorf("unexpected E7 output:\n%s", out)
+	}
+	if _, err := RunExperiment("e42", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package gnsslna reproduces "Multi-objective optimization of a low-noise
+// antenna amplifier for multi-constellation satellite-navigation receivers"
+// (Dobeš et al., SOCC 2015) as a Go library: pHEMT modeling and three-step
+// parameter extraction, an improved goal-attainment multi-objective
+// optimizer, dispersive passive-element models, and the complete design
+// flow for a 1.1-1.7 GHz GNSS antenna preamplifier, verified against a
+// synthetic measurement substrate.
+//
+// This file is the facade: the one-call entry points a downstream user
+// needs. The building blocks live under internal/ (device, extract, optim,
+// rfpassive, noise, twoport, mna, vna, core, experiments) and are exercised
+// by the examples and the cmd/ tools.
+package gnsslna
+
+import (
+	"fmt"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/experiments"
+	"gnsslna/internal/extract"
+	"gnsslna/internal/optim"
+	"gnsslna/internal/vna"
+)
+
+// Options configures the facade workflows.
+type Options struct {
+	// Seed drives every random process deterministically (default 1).
+	Seed int64
+	// Quick trims optimization budgets (for demos and tests).
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// DesignReport flattens the outcome of the complete design flow.
+type DesignReport struct {
+	// Design and Snapped are the continuous and E24-snapped optima.
+	Design, Snapped core.Design
+	// Gamma is the goal-attainment factor (<= 0: all goals met).
+	Gamma float64
+	// WorstNFdB, MinGTdB grade the snapped design over the band.
+	WorstNFdB, MinGTdB float64
+	// StabMargin is min(mu)-1 over the wide stability scan.
+	StabMargin float64
+	// IdsA and PdcW report the bias point cost.
+	IdsA, PdcW float64
+}
+
+// DesignLNA runs the full paper flow — synthetic measurement campaign,
+// three-step extraction of an Angelov model, improved goal-attainment
+// selection of the operating point and passive elements — and reports the
+// finished multi-constellation preamplifier.
+func DesignLNA(opts Options) (DesignReport, error) {
+	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick})
+	res, err := s.Design()
+	if err != nil {
+		return DesignReport{}, fmt.Errorf("gnsslna: design: %w", err)
+	}
+	return DesignReport{
+		Design:     res.Design,
+		Snapped:    res.Snapped,
+		Gamma:      res.Gamma,
+		WorstNFdB:  res.SnappedEval.WorstNFdB,
+		MinGTdB:    res.SnappedEval.MinGTdB,
+		StabMargin: res.SnappedEval.StabMargin,
+		IdsA:       res.SnappedEval.IdsA,
+		PdcW:       res.SnappedEval.PdcW,
+	}, nil
+}
+
+// ExtractionReport flattens an extraction run.
+type ExtractionReport struct {
+	// ModelName identifies the fitted DC model class.
+	ModelName string
+	// DCRelRMSE is the relative DC fit error.
+	DCRelRMSE float64
+	// SRMSE is the normalized S-parameter fit error.
+	SRMSE float64
+	// Device is the extracted transistor, usable with core.NewBuilder.
+	Device *device.PHEMT
+}
+
+// ExtractModel runs the synthetic measurement campaign on the golden device
+// and extracts the named model class ("Curtice-2", "Curtice-3", "Statz",
+// "TOM" or "Angelov") with the three-step procedure.
+func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
+	var dc device.DCModel
+	for _, m := range device.AllModels() {
+		if m.Name() == modelName {
+			dc = m
+			break
+		}
+	}
+	if dc == nil {
+		return ExtractionReport{}, fmt.Errorf("gnsslna: unknown model %q", modelName)
+	}
+	ds, err := vna.RunCampaign(device.Golden(), vna.DefaultCampaign(opts.seed()))
+	if err != nil {
+		return ExtractionReport{}, fmt.Errorf("gnsslna: campaign: %w", err)
+	}
+	cfg := extract.Config{Seed: opts.seed()}
+	if opts.Quick {
+		cfg = extract.Config{Seed: opts.seed(), DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+	}
+	res, err := extract.ThreeStep(ds, dc, cfg)
+	if err != nil {
+		return ExtractionReport{}, fmt.Errorf("gnsslna: extraction: %w", err)
+	}
+	return ExtractionReport{
+		ModelName: dc.Name(),
+		DCRelRMSE: res.DC.RelRMSE,
+		SRMSE:     res.SRMSE,
+		Device:    res.Device,
+	}, nil
+}
+
+// RunExperiment renders one reconstructed experiment ("e1".."e9") or all of
+// them ("all") as paper-style text tables.
+func RunExperiment(id string, opts Options) (string, error) {
+	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick})
+	runs := map[string]func() (experiments.Table, error){
+		"e1":  s.E1ModelComparison,
+		"e2":  s.E2ExtractionMethods,
+		"e3":  s.E3ModelFit,
+		"e4":  s.E4GoalAttainment,
+		"e4b": s.E4bAblation,
+		"e5":  s.E5DesignFlow,
+		"e6":  s.E6Verification,
+		"e7":  s.E7Dispersion,
+		"e8":  s.E8Intermodulation,
+		"e9":  s.E9Constellations,
+		"e10": s.E10Calibration,
+		"e11": s.E11TwoStage,
+		"e12": s.E12LinkBudget,
+	}
+	if id == "all" {
+		tables, err := s.All()
+		if err != nil {
+			return "", err
+		}
+		out := ""
+		for _, t := range tables {
+			out += t.Render() + "\n"
+		}
+		return out, nil
+	}
+	run, ok := runs[id]
+	if !ok {
+		return "", fmt.Errorf("gnsslna: unknown experiment %q (want e1..e9 or all)", id)
+	}
+	t, err := run()
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+// AttainOptions exposes the optimizer budget type for advanced callers.
+type AttainOptions = optim.AttainOptions

@@ -1,0 +1,3 @@
+module gnsslna
+
+go 1.22

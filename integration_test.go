@@ -1,0 +1,69 @@
+package gnsslna
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/optim"
+)
+
+// TestLibraryWorkflow walks the path a downstream user takes: extract a
+// model through the facade, hand the device to the core designer, evaluate
+// and optimize — verifying the packages compose without glue.
+func TestLibraryWorkflow(t *testing.T) {
+	rep, err := ExtractModel("Statz", Options{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatalf("ExtractModel: %v", err)
+	}
+	designer := core.NewDesigner(core.NewBuilder(rep.Device))
+	designer.Spec.NPoints = 5
+	ev, err := designer.Evaluate(core.Design{
+		Vgs: 0.46, Vds: 3, LIn: 5.6e-9, LDegen: 0.5e-9, LOut: 2.2e-9, COut: 0.5e-12,
+	})
+	if err != nil {
+		t.Fatalf("Evaluate on extracted device: %v", err)
+	}
+	if math.IsNaN(ev.WorstNFdB) || ev.MinGTdB < 5 {
+		t.Errorf("extracted-device amplifier implausible: %+v", ev)
+	}
+	// A short optimization on the extracted (non-Angelov!) model still
+	// converges to a usable design.
+	res, err := designer.Optimize(&optim.AttainOptions{Seed: 3, GlobalEvals: 1200, PolishEvals: 800})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Eval.WorstNFdB > 1.2 || res.Eval.MinGTdB < 12 {
+		t.Errorf("Statz-model design poor: NF %g, GT %g", res.Eval.WorstNFdB, res.Eval.MinGTdB)
+	}
+}
+
+// TestFacadeDefaults exercises the zero-value Options path.
+func TestFacadeDefaults(t *testing.T) {
+	if _, err := RunExperiment("nope", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Error("unknown experiment must be rejected with a clear error")
+	}
+}
+
+// TestGoldenVariantDesignable confirms the design flow works on a
+// process-shifted device, i.e. nothing is tuned to the nominal golden part.
+func TestGoldenVariantDesignable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimization skipped in -short mode")
+	}
+	d := core.NewDesigner(core.NewBuilder(device.GoldenVariant(55)))
+	d.Spec.NPoints = 5
+	res, err := d.Optimize(&optim.AttainOptions{Seed: 5, GlobalEvals: 1500, PolishEvals: 900})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Eval.WorstNFdB > 1.0 {
+		t.Errorf("variant design NF %g dB", res.Eval.WorstNFdB)
+	}
+	if res.Eval.StabMargin <= 0 {
+		t.Errorf("variant design unstable: %g", res.Eval.StabMargin)
+	}
+}

@@ -1,0 +1,260 @@
+// Package calib models the VNA measurement chain the paper's S-parameter
+// measurements pass through: imperfect test-set error boxes (directivity,
+// source match, tracking on each port), one-port SOL (short-open-load) and
+// two-port SOLT calibration from measurements of known standards, and the
+// error correction that recovers the device-under-test S-parameters from
+// raw readings. The synthetic VNA can thus be operated either "calibrated"
+// (ideal, as in package vna) or "raw + corrected", exercising the same
+// calibration mathematics a real measurement campaign depends on.
+package calib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"gnsslna/internal/twoport"
+)
+
+// ErrBadStandard reports calibration-standard data that cannot be solved.
+var ErrBadStandard = errors.New("calib: calibration standards are degenerate")
+
+// ErrorBox is the one-port three-term error model of a reflectometer port:
+// measured = e00 + e01 * G / (1 - e11 * G), where G is the true reflection
+// coefficient, e00 the directivity, e11 the port (source) match and e01 the
+// reflection tracking.
+type ErrorBox struct {
+	// E00 is the directivity error term.
+	E00 complex128
+	// E11 is the source-match error term.
+	E11 complex128
+	// E01 is the reflection-tracking term (combined e01*e10).
+	E01 complex128
+}
+
+// Apply maps a true reflection coefficient to the raw measured one.
+func (e ErrorBox) Apply(gamma complex128) complex128 {
+	return e.E00 + e.E01*gamma/(1-e.E11*gamma)
+}
+
+// Correct maps a raw measured reflection coefficient back to the true one.
+func (e ErrorBox) Correct(measured complex128) complex128 {
+	d := measured - e.E00
+	return d / (e.E01 + e.E11*d)
+}
+
+// RandomErrorBox draws a realistic uncalibrated test-set port: directivity
+// around -30 dB, source match around -25 dB, tracking within +/-1 dB and a
+// few degrees of phase.
+func RandomErrorBox(rng *rand.Rand) ErrorBox {
+	mag := func(db float64) float64 { return math.Pow(10, db/20) }
+	return ErrorBox{
+		E00: cmplx.Rect(mag(-30+5*rng.NormFloat64()/3), 2*math.Pi*rng.Float64()),
+		E11: cmplx.Rect(mag(-25+5*rng.NormFloat64()/3), 2*math.Pi*rng.Float64()),
+		E01: cmplx.Rect(mag(rng.NormFloat64()/3), 2*math.Pi/180*5*rng.NormFloat64()),
+	}
+}
+
+// SOLStandards holds the assumed (model) and measured reflections of the
+// short, open and load standards at one frequency.
+type SOLStandards struct {
+	// ShortG, OpenG, LoadG are the true reflection coefficients of the
+	// standards (ideally -1, +1, 0; real kits include offset models).
+	ShortG, OpenG, LoadG complex128
+	// MShort, MOpen, MLoad are the raw measured reflections.
+	MShort, MOpen, MLoad complex128
+}
+
+// IdealSOL returns the textbook standard models.
+func IdealSOL() SOLStandards {
+	return SOLStandards{ShortG: -1, OpenG: 1, LoadG: 0}
+}
+
+// SolveSOL computes the three error terms from the three standards.
+// Multiplying the model m = e00 + e01 g/(1 - e11 g) through by (1 - e11 g)
+// and collecting terms gives the exact linear system
+//
+//	m_i = e00 + g_i*B + m_i*g_i*e11,  with B = e01 - e00*e11,
+//
+// in the unknowns (e00, B, e11).
+func SolveSOL(s SOLStandards) (ErrorBox, error) {
+	g := []complex128{s.ShortG, s.OpenG, s.LoadG}
+	m := []complex128{s.MShort, s.MOpen, s.MLoad}
+	// Cramer's rule on the 3x3 complex system.
+	a := [3][3]complex128{}
+	for i := 0; i < 3; i++ {
+		a[i][0] = 1
+		a[i][1] = g[i]
+		a[i][2] = m[i] * g[i]
+	}
+	det := det3(a)
+	if cmplx.Abs(det) < 1e-18 {
+		return ErrorBox{}, ErrBadStandard
+	}
+	col := func(k int) complex128 {
+		b := a
+		for i := 0; i < 3; i++ {
+			b[i][k] = m[i]
+		}
+		return det3(b) / det
+	}
+	e00 := col(0)
+	bTerm := col(1)
+	e11 := col(2)
+	e01 := bTerm + e00*e11
+	if cmplx.Abs(e01) < 1e-12 {
+		return ErrorBox{}, ErrBadStandard
+	}
+	return ErrorBox{E00: e00, E11: e11, E01: e01}, nil
+}
+
+func det3(a [3][3]complex128) complex128 {
+	return a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+		a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+		a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+}
+
+// TestSet is a two-port measurement chain: an error two-port in front of
+// each DUT port. The boxes are modeled as reciprocal adapter networks so
+// the raw measurement is simply A1 · DUT · A2 in cascade, the classical
+// 8-term error model.
+type TestSet struct {
+	// PortA and PortB are the adapter S-matrices at the two DUT ports
+	// (port 1 of each adapter faces the instrument).
+	PortA, PortB twoport.Mat2
+}
+
+// RandomTestSet draws an imperfect but well-conditioned pair of adapters.
+func RandomTestSet(rng *rand.Rand) TestSet {
+	adapter := func() twoport.Mat2 {
+		// Near-through with small reflections and ~0.2 dB loss.
+		refl := func() complex128 {
+			return cmplx.Rect(0.02+0.04*rng.Float64(), 2*math.Pi*rng.Float64())
+		}
+		thru := cmplx.Rect(0.96+0.02*rng.Float64(), 2*math.Pi/180*(10*rng.NormFloat64()))
+		return twoport.Mat2{{refl(), thru}, {thru, refl()}}
+	}
+	return TestSet{PortA: adapter(), PortB: adapter()}
+}
+
+// Raw returns the raw (uncorrected) measurement of a DUT through the test
+// set: cascade adapterA -> DUT -> flipped adapterB.
+func (t TestSet) Raw(dut twoport.Mat2, z0 float64) (twoport.Mat2, error) {
+	flipped := flip(t.PortB)
+	return twoport.CascadeS(z0, t.PortA, dut, flipped)
+}
+
+// flip reverses a two-port (port 1 <-> port 2).
+func flip(s twoport.Mat2) twoport.Mat2 {
+	return twoport.Mat2{{s[1][1], s[1][0]}, {s[0][1], s[0][0]}}
+}
+
+// SOLTCal holds the solved adapters of an 8-term two-port calibration.
+type SOLTCal struct {
+	// PortA and PortB are the identified adapter S-matrices.
+	PortA, PortB twoport.Mat2
+	// Z0 is the reference impedance of the calibration.
+	Z0 float64
+}
+
+// Calibrate solves the test set from SOL measurements at both ports plus a
+// through connection, using the known standards. rawThru is the raw
+// measurement with the DUT replaced by an ideal through.
+func Calibrate(z0 float64, solA, solB SOLStandards, rawThru twoport.Mat2) (SOLTCal, error) {
+	boxA, err := SolveSOL(solA)
+	if err != nil {
+		return SOLTCal{}, fmt.Errorf("calib: port A: %w", err)
+	}
+	boxB, err := SolveSOL(solB)
+	if err != nil {
+		return SOLTCal{}, fmt.Errorf("calib: port B: %w", err)
+	}
+	// The one-port boxes give each adapter's instrument-side reflection
+	// terms: for adapter S (instrument side = port 1): e00 = S11,
+	// e11 = S22, e01 = S12*S21. The through measurement fixes the
+	// transmission-term split; assuming reciprocal adapters
+	// (S12 = S21 = sqrt(e01)) resolves all terms up to a sign chosen to
+	// make the through's transmission phase consistent.
+	mk := func(b ErrorBox) (twoport.Mat2, twoport.Mat2) {
+		t := cmplx.Sqrt(b.E01)
+		plus := twoport.Mat2{{b.E00, t}, {t, b.E11}}
+		minus := twoport.Mat2{{b.E00, -t}, {-t, b.E11}}
+		return plus, minus
+	}
+	aPlus, aMinus := mk(boxA)
+	bPlus, bMinus := mk(boxB)
+	best := SOLTCal{Z0: z0}
+	bestErr := math.Inf(1)
+	for _, pa := range []twoport.Mat2{aPlus, aMinus} {
+		for _, pb := range []twoport.Mat2{bPlus, bMinus} {
+			cal := SOLTCal{PortA: pa, PortB: pb, Z0: z0}
+			thru, err := cal.predictRaw(twoport.Mat2{{0, 1}, {1, 0}})
+			if err != nil {
+				continue
+			}
+			if e := twoport.MaxAbsDiff(thru, rawThru); e < bestErr {
+				bestErr = e
+				best = cal
+			}
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return SOLTCal{}, ErrBadStandard
+	}
+	return best, nil
+}
+
+// predictRaw forward-models a raw measurement through the solved adapters.
+func (c SOLTCal) predictRaw(dut twoport.Mat2) (twoport.Mat2, error) {
+	return TestSet{PortA: c.PortA, PortB: c.PortB}.Raw(dut, c.Z0)
+}
+
+// Correct de-embeds a raw two-port measurement, returning the DUT
+// S-parameters.
+func (c SOLTCal) Correct(raw twoport.Mat2) (twoport.Mat2, error) {
+	// DUT = A^-1 · RAW · B'^-1 in T-parameter space.
+	ta, err := twoport.SToT(c.PortA)
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("calib: correct: %w", err)
+	}
+	tb, err := twoport.SToT(flip(c.PortB))
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("calib: correct: %w", err)
+	}
+	traw, err := twoport.SToT(raw)
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("calib: correct: %w", err)
+	}
+	taInv, err := ta.Inv()
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("calib: correct: %w", err)
+	}
+	tbInv, err := tb.Inv()
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("calib: correct: %w", err)
+	}
+	return twoport.TToS(taInv.Mul(traw).Mul(tbInv))
+}
+
+// MeasureSOL produces the raw one-port standard measurements a port adapter
+// yields for the ideal SOL kit. The adapter's port 2 faces the standard.
+func MeasureSOL(adapter twoport.Mat2) SOLStandards {
+	s := IdealSOL()
+	box := BoxFromAdapter(adapter)
+	s.MShort = box.Apply(s.ShortG)
+	s.MOpen = box.Apply(s.OpenG)
+	s.MLoad = box.Apply(s.LoadG)
+	return s
+}
+
+// BoxFromAdapter views a two-port adapter as a one-port error box for
+// reflection measurements through it.
+func BoxFromAdapter(adapter twoport.Mat2) ErrorBox {
+	return ErrorBox{
+		E00: adapter[0][0],
+		E11: adapter[1][1],
+		E01: adapter[0][1] * adapter[1][0],
+	}
+}

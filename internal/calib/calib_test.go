@@ -1,0 +1,147 @@
+package calib
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/twoport"
+)
+
+func TestErrorBoxRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		box := RandomErrorBox(rng)
+		gamma := cmplx.Rect(rng.Float64()*0.95, rng.Float64()*6.283)
+		raw := box.Apply(gamma)
+		back := box.Correct(raw)
+		if cmplx.Abs(back-gamma) > 1e-10 {
+			t.Fatalf("trial %d: round trip %v -> %v -> %v", trial, gamma, raw, back)
+		}
+	}
+}
+
+func TestSolveSOLRecoversBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		box := RandomErrorBox(rng)
+		s := IdealSOL()
+		s.MShort = box.Apply(s.ShortG)
+		s.MOpen = box.Apply(s.OpenG)
+		s.MLoad = box.Apply(s.LoadG)
+		got, err := SolveSOL(s)
+		if err != nil {
+			t.Fatalf("trial %d: SolveSOL: %v", trial, err)
+		}
+		if cmplx.Abs(got.E00-box.E00) > 1e-10 ||
+			cmplx.Abs(got.E11-box.E11) > 1e-10 ||
+			cmplx.Abs(got.E01-box.E01) > 1e-10 {
+			t.Fatalf("trial %d: recovered %+v, want %+v", trial, got, box)
+		}
+	}
+}
+
+func TestSolveSOLOffsetStandards(t *testing.T) {
+	// Non-ideal standards (offset short/open, imperfect load) must still
+	// solve exactly when the models are known.
+	box := ErrorBox{E00: 0.02 + 0.01i, E11: 0.05 - 0.03i, E01: 0.94 + 0.05i}
+	s := SOLStandards{
+		ShortG: cmplx.Rect(0.98, 3.05), // offset short
+		OpenG:  cmplx.Rect(0.97, -0.2), // fringing open
+		LoadG:  0.01 + 0.005i,          // 40 dB load
+	}
+	s.MShort = box.Apply(s.ShortG)
+	s.MOpen = box.Apply(s.OpenG)
+	s.MLoad = box.Apply(s.LoadG)
+	got, err := SolveSOL(s)
+	if err != nil {
+		t.Fatalf("SolveSOL: %v", err)
+	}
+	probe := cmplx.Rect(0.6, 1.1)
+	if d := cmplx.Abs(got.Correct(box.Apply(probe)) - probe); d > 1e-10 {
+		t.Errorf("corrected probe off by %g", d)
+	}
+}
+
+func TestSolveSOLDegenerate(t *testing.T) {
+	s := IdealSOL()
+	s.OpenG = s.ShortG // two identical standards: unsolvable
+	s.MShort, s.MOpen, s.MLoad = 0.1, 0.1, 0.2
+	if _, err := SolveSOL(s); err == nil {
+		t.Error("degenerate standards accepted")
+	}
+}
+
+func TestFullSOLTCalibrationRecoversDUT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		ts := RandomTestSet(rng)
+		// Calibration standard measurements.
+		solA := MeasureSOL(ts.PortA)
+		solB := MeasureSOL(ts.PortB)
+		thruRaw, err := ts.Raw(twoport.Mat2{{0, 1}, {1, 0}}, 50)
+		if err != nil {
+			t.Fatalf("trial %d: thru: %v", trial, err)
+		}
+		cal, err := Calibrate(50, solA, solB, thruRaw)
+		if err != nil {
+			t.Fatalf("trial %d: Calibrate: %v", trial, err)
+		}
+		// Measure a real DUT: the golden transistor at 1.575 GHz.
+		dut, err := device.Golden().SAt(device.Bias{Vgs: 0.52, Vds: 3}, 1.575e9, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := ts.Raw(dut, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Raw must differ visibly from the DUT (the test set is imperfect).
+		if twoport.MaxAbsDiff(raw, dut) < 0.01 {
+			t.Fatalf("trial %d: test set too ideal for a meaningful test", trial)
+		}
+		corrected, err := cal.Correct(raw)
+		if err != nil {
+			t.Fatalf("trial %d: Correct: %v", trial, err)
+		}
+		if d := twoport.MaxAbsDiff(corrected, dut); d > 1e-8 {
+			t.Fatalf("trial %d: corrected DUT off by %g", trial, d)
+		}
+	}
+}
+
+func TestCalibrationIdempotentOnThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := RandomTestSet(rng)
+	thru := twoport.Mat2{{0, 1}, {1, 0}}
+	thruRaw, err := ts.Raw(thru, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(50, MeasureSOL(ts.PortA), MeasureSOL(ts.PortB), thruRaw)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	got, err := cal.Correct(thruRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := twoport.MaxAbsDiff(got, thru); d > 1e-8 {
+		t.Errorf("corrected through off by %g", d)
+	}
+}
+
+func TestBoxFromAdapterConsistent(t *testing.T) {
+	// Applying the one-port view of an adapter must equal the exact
+	// two-port cascade terminated in the standard.
+	rng := rand.New(rand.NewSource(9))
+	ts := RandomTestSet(rng)
+	box := BoxFromAdapter(ts.PortA)
+	for _, g := range []complex128{-1, 1, 0, 0.3 + 0.4i} {
+		want := twoport.GammaIn(ts.PortA, g)
+		if d := cmplx.Abs(box.Apply(g) - want); d > 1e-12 {
+			t.Errorf("gamma %v: box %v vs cascade %v", g, box.Apply(g), want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package core implements the paper's contribution: multi-objective design
+// of a low-noise antenna preamplifier covering every principal
+// satellite-navigation constellation (GPS, GLONASS, Galileo and
+// Compass/BeiDou, roughly 1.1-1.7 GHz) around a low-noise pHEMT. The
+// designer evaluates a realistic amplifier topology — dispersive matching
+// elements, bias-feed T-splitters, source degeneration — with exact
+// noise-correlation bookkeeping, and selects the operating point and the
+// essential passive elements with the improved goal-attainment method.
+package core
+
+// Band is one navigation signal band.
+type Band struct {
+	// Name identifies the constellation and signal (e.g. "GPS L1").
+	Name string
+	// Center is the carrier frequency in Hz.
+	Center float64
+	// Width is the main-lobe bandwidth in Hz used for in-band checks.
+	Width float64
+}
+
+// GNSSBands returns the principal signals of the four constellations the
+// paper targets. Compass is the pre-2012 name of BeiDou used by the paper.
+func GNSSBands() []Band {
+	return []Band{
+		{Name: "GPS L5", Center: 1.17645e9, Width: 24e6},
+		{Name: "Galileo E5a", Center: 1.17645e9, Width: 24e6},
+		{Name: "Galileo E5b", Center: 1.20714e9, Width: 24e6},
+		{Name: "Compass B2", Center: 1.207e9, Width: 24e6},
+		{Name: "GLONASS G3", Center: 1.202025e9, Width: 8e6},
+		{Name: "GPS L2", Center: 1.2276e9, Width: 24e6},
+		{Name: "GLONASS G2", Center: 1.246e9, Width: 8e6},
+		{Name: "Compass B3", Center: 1.26852e9, Width: 24e6},
+		{Name: "Galileo E6", Center: 1.27875e9, Width: 40e6},
+		{Name: "Compass B1", Center: 1.561098e9, Width: 4e6},
+		{Name: "GPS L1", Center: 1.57542e9, Width: 24e6},
+		{Name: "Galileo E1", Center: 1.57542e9, Width: 24e6},
+		{Name: "GLONASS G1", Center: 1.602e9, Width: 8e6},
+	}
+}
+
+// DesignBand returns the contiguous frequency range covering all GNSS
+// signals with guard margins, the paper's "roughly 1.1 to 1.7 GHz".
+func DesignBand() (lo, hi float64) {
+	return 1.15e9, 1.65e9
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDesignBiasNetworkLandsNearTarget(t *testing.T) {
+	d := fastDesigner()
+	x := referenceDesign
+	bn, err := d.DesignBiasNetwork(x, 5)
+	if err != nil {
+		t.Fatalf("DesignBiasNetwork: %v", err)
+	}
+	// The E24-snapped divider must land the gate within ~30 mV and the
+	// drain within ~0.4 V of the target (a second iteration would tighten
+	// this; the RF sensitivity analysis shows the tolerance is acceptable).
+	if math.Abs(bn.Achieved.Vgs-x.Vgs) > 0.03 {
+		t.Errorf("achieved Vgs %.3f vs target %.3f", bn.Achieved.Vgs, x.Vgs)
+	}
+	if math.Abs(bn.Achieved.Vds-x.Vds) > 0.4 {
+		t.Errorf("achieved Vds %.2f vs target %.2f", bn.Achieved.Vds, x.Vds)
+	}
+	if bn.Achieved.IdsA <= 0 {
+		t.Error("no drain current at the solved operating point")
+	}
+	// Resistors must be on the E24 grid and positive.
+	for _, r := range []float64{bn.R1, bn.R2, bn.RDrain} {
+		if r <= 0 {
+			t.Errorf("non-positive resistor %g", r)
+		}
+	}
+	dVgs, dVds, _ := bn.BiasError(x)
+	if math.Abs(dVgs) > 0.03 || math.Abs(dVds) > 0.4 {
+		t.Errorf("BiasError reports (%.3f, %.3f)", dVgs, dVds)
+	}
+}
+
+func TestDesignBiasNetworkValidation(t *testing.T) {
+	d := fastDesigner()
+	if _, err := d.DesignBiasNetwork(referenceDesign, 2); err == nil {
+		t.Error("Vcc below Vds accepted")
+	}
+	pinched := referenceDesign
+	pinched.Vgs = -1.5
+	if _, err := d.DesignBiasNetwork(pinched, 5); err == nil {
+		t.Error("zero-current design accepted")
+	}
+}
+
+func TestBOMComplete(t *testing.T) {
+	d := fastDesigner()
+	bn, err := d.DesignBiasNetwork(referenceDesign, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bom := d.BOM(d.SnapToE24(referenceDesign), bn)
+	if len(bom) < 15 {
+		t.Fatalf("BOM has %d lines, want a complete build list", len(bom))
+	}
+	refs := map[string]bool{}
+	for _, l := range bom {
+		if l.Ref == "" || l.Value == "" || l.Role == "" {
+			t.Errorf("incomplete BOM line %+v", l)
+		}
+		if refs[l.Ref] {
+			t.Errorf("duplicate reference %s", l.Ref)
+		}
+		refs[l.Ref] = true
+	}
+	if !refs["Q1"] {
+		t.Error("transistor missing from BOM")
+	}
+}
+
+func TestPowerUpCheckClean(t *testing.T) {
+	d := fastDesigner()
+	bn, err := d.DesignBiasNetwork(referenceDesign, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.PowerUpCheck(bn, 1e-4)
+	if err != nil {
+		t.Fatalf("PowerUpCheck: %v", err)
+	}
+	// The RC divider is monotone: no meaningful overshoot, and the settled
+	// values agree with the DC verification.
+	if rep.OvershootFrac > 0.02 {
+		t.Errorf("gate overshoot %.1f%%", rep.OvershootFrac*100)
+	}
+	if math.Abs(rep.GateFinal-bn.Achieved.Vgs) > 5e-3 {
+		t.Errorf("transient settles at %g, DC says %g", rep.GateFinal, bn.Achieved.Vgs)
+	}
+	if math.Abs(rep.DrainFinal-bn.Achieved.Vds) > 2e-2 {
+		t.Errorf("drain settles at %g, DC says %g", rep.DrainFinal, bn.Achieved.Vds)
+	}
+}

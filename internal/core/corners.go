@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CornerResult is the band evaluation at one tolerance corner.
+type CornerResult struct {
+	// Label encodes the corner as a +/- string per toleranced parameter
+	// (LIn, LOut, COut, Vgs, Vds), e.g. "+-+OO" (O = nominal).
+	Label string
+	// Eval grades the corner.
+	Eval Evaluation
+	// Pass reports whether the corner still meets the spec.
+	Pass bool
+}
+
+// CornerReport summarizes the exhaustive corner analysis.
+type CornerReport struct {
+	// Corners holds every evaluated corner.
+	Corners []CornerResult
+	// WorstNFdB, WorstGTdB are the extreme band values over all corners.
+	WorstNFdB, WorstGTdB float64
+	// AllPass reports whether every corner met the spec.
+	AllPass bool
+}
+
+// Corners runs the exhaustive worst-case analysis: every combination of the
+// three matching elements at +/- tol and the bias voltages at +/- vtol
+// (2^5 = 32 corners). Where the Monte Carlo yield estimates the typical
+// spread, the corner analysis bounds it.
+func (d *Designer) Corners(x Design, tol, vtol float64) (CornerReport, error) {
+	if tol <= 0 {
+		tol = 0.05
+	}
+	if vtol <= 0 {
+		vtol = 0.02
+	}
+	rep := CornerReport{AllPass: true, WorstGTdB: math.Inf(1), WorstNFdB: math.Inf(-1)}
+	signs := []float64{-1, 1}
+	for _, sL1 := range signs {
+		for _, sL2 := range signs {
+			for _, sC := range signs {
+				for _, sVg := range signs {
+					for _, sVd := range signs {
+						p := x
+						p.LIn *= 1 + sL1*tol
+						p.LOut *= 1 + sL2*tol
+						p.COut *= 1 + sC*tol
+						p.Vgs *= 1 + sVg*vtol
+						p.Vds *= 1 + sVd*vtol
+						ev, err := d.Evaluate(p)
+						if err != nil {
+							return CornerReport{}, fmt.Errorf("core: corner: %w", err)
+						}
+						pass := ev.WorstNFdB <= d.Spec.NFMaxDB &&
+							ev.MinGTdB >= d.Spec.GTMinDB &&
+							ev.WorstS11dB <= d.Spec.S11MaxDB &&
+							ev.WorstS22dB <= d.Spec.S22MaxDB &&
+							ev.StabMargin > 0
+						rep.Corners = append(rep.Corners, CornerResult{
+							Label: cornerLabel(sL1, sL2, sC, sVg, sVd),
+							Eval:  ev,
+							Pass:  pass,
+						})
+						rep.WorstNFdB = math.Max(rep.WorstNFdB, ev.WorstNFdB)
+						rep.WorstGTdB = math.Min(rep.WorstGTdB, ev.MinGTdB)
+						rep.AllPass = rep.AllPass && pass
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func cornerLabel(signs ...float64) string {
+	out := make([]byte, len(signs))
+	for i, s := range signs {
+		if s > 0 {
+			out[i] = '+'
+		} else {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}

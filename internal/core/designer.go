@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/optim"
+	"gnsslna/internal/units"
+)
+
+// Spec captures the design requirements the goal attainment drives toward.
+type Spec struct {
+	// FLow and FHigh bound the operating band in Hz.
+	FLow, FHigh float64
+	// NPoints is the number of in-band evaluation frequencies (default 11).
+	NPoints int
+	// NFMaxDB is the worst-case in-band noise-figure goal in dB.
+	NFMaxDB float64
+	// GTMinDB is the minimum in-band transducer gain goal in dB.
+	GTMinDB float64
+	// S11MaxDB and S22MaxDB are the worst-case return-loss goals in dB.
+	S11MaxDB, S22MaxDB float64
+	// StabLow and StabHigh bound the out-of-band stability scan in Hz.
+	StabLow, StabHigh float64
+	// PdcMaxW is the DC power budget goal in watts (0 disables the goal).
+	PdcMaxW float64
+}
+
+// DefaultSpec returns the multi-constellation requirement set: all GNSS
+// bands, sub-0.9 dB noise, at least 14 dB gain, 10 dB return losses,
+// unconditional stability from 100 MHz to 6 GHz.
+func DefaultSpec() Spec {
+	lo, hi := DesignBand()
+	return Spec{
+		FLow: lo, FHigh: hi, NPoints: 11,
+		NFMaxDB: 0.9, GTMinDB: 14, S11MaxDB: -10, S22MaxDB: -10,
+		StabLow: 0.2e9, StabHigh: 6e9,
+		PdcMaxW: 0.25,
+	}
+}
+
+func (s Spec) points() []float64 {
+	n := s.NPoints
+	if n < 2 {
+		n = 11
+	}
+	return mathx.Linspace(s.FLow, s.FHigh, n)
+}
+
+func (s Spec) stabPoints() []float64 {
+	if s.StabHigh <= s.StabLow {
+		return nil
+	}
+	return mathx.Logspace(s.StabLow, s.StabHigh, 9)
+}
+
+// Evaluation aggregates the band-level objectives of one design.
+type Evaluation struct {
+	// Design echoes the evaluated parameters.
+	Design Design
+	// Points holds the per-frequency metrics.
+	Points []PointMetrics
+	// WorstNFdB, MinGTdB, WorstS11dB, WorstS22dB are the in-band extremes.
+	WorstNFdB, MinGTdB, WorstS11dB, WorstS22dB float64
+	// StabMargin is min(mu) - 1 over the wide scan (positive = stable).
+	StabMargin float64
+	// IdsA is the bias current in amperes; PdcW the DC power in watts.
+	IdsA, PdcW float64
+}
+
+// Objectives returns the minimization vector used by the multi-objective
+// solvers: [worst NF, -min GT, worst S11, worst S22, -stability margin,
+// Pdc].
+func (e Evaluation) Objectives() []float64 {
+	return []float64{
+		e.WorstNFdB,
+		-e.MinGTdB,
+		e.WorstS11dB,
+		e.WorstS22dB,
+		-e.StabMargin,
+		e.PdcW,
+	}
+}
+
+// ObjectiveNames aligns with Objectives.
+func ObjectiveNames() []string {
+	return []string{"NFmax[dB]", "-GTmin[dB]", "S11max[dB]", "S22max[dB]", "-stab", "Pdc[W]"}
+}
+
+// Designer runs the paper's design flow on a device.
+type Designer struct {
+	// Builder materializes candidate amplifiers.
+	Builder *Builder
+	// Spec holds the requirements.
+	Spec Spec
+	// Z0 is the system impedance (default 50).
+	Z0 float64
+
+	evals int
+}
+
+// NewDesigner wires a designer with the default spec.
+func NewDesigner(b *Builder) *Designer {
+	return &Designer{Builder: b, Spec: DefaultSpec(), Z0: 50}
+}
+
+func (d *Designer) z0() float64 {
+	if d.Z0 <= 0 {
+		return 50
+	}
+	return d.Z0
+}
+
+// Evaluate computes the band evaluation of one design.
+func (d *Designer) Evaluate(x Design) (Evaluation, error) {
+	d.evals++
+	amp, err := d.Builder.Build(x)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return d.evaluateAmp(amp, x)
+}
+
+// evaluateAmp aggregates the band objectives of an already-built amplifier.
+func (d *Designer) evaluateAmp(amp *Amplifier, x Design) (Evaluation, error) {
+	pts, err := amp.Sweep(d.Spec.points(), d.z0())
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev := Evaluation{
+		Design:     x,
+		Points:     pts,
+		WorstNFdB:  math.Inf(-1),
+		MinGTdB:    math.Inf(1),
+		WorstS11dB: math.Inf(-1),
+		WorstS22dB: math.Inf(-1),
+		StabMargin: math.Inf(1),
+		IdsA:       amp.Ids(),
+		PdcW:       amp.PowerDissipation(),
+	}
+	for _, p := range pts {
+		ev.WorstNFdB = math.Max(ev.WorstNFdB, p.NFdB)
+		ev.MinGTdB = math.Min(ev.MinGTdB, p.GTdB)
+		ev.WorstS11dB = math.Max(ev.WorstS11dB, p.S11dB)
+		ev.WorstS22dB = math.Max(ev.WorstS22dB, p.S22dB)
+		ev.StabMargin = math.Min(ev.StabMargin, p.Mu-1)
+	}
+	for _, f := range d.Spec.stabPoints() {
+		m, err := amp.MetricsAt(f, d.z0())
+		if err != nil {
+			return Evaluation{}, err
+		}
+		ev.StabMargin = math.Min(ev.StabMargin, m.Mu-1)
+	}
+	return ev, nil
+}
+
+// penalizeInstability returns the objective vector with a steep uniform
+// penalty when the design is potentially unstable: stability is a hard
+// constraint, and adding the violation to every objective keeps the
+// goal-attainment surface pointing back into the feasible region
+// regardless of the adaptive weight normalization.
+func penalizeInstability(ev Evaluation) []float64 {
+	obj := ev.Objectives()
+	if ev.StabMargin <= 0 {
+		pen := 50 * (0.02 - ev.StabMargin)
+		for i := range obj {
+			obj[i] += pen
+		}
+	}
+	return obj
+}
+
+// goals renders the spec as goal-attainment goals matching Objectives().
+func (d *Designer) goals() []optim.Goal {
+	pdc := d.Spec.PdcMaxW
+	if pdc <= 0 {
+		pdc = 10 // effectively unconstrained
+	}
+	return []optim.Goal{
+		{Name: "NFmax", Target: d.Spec.NFMaxDB, Weight: 0.5},
+		{Name: "GTmin", Target: -d.Spec.GTMinDB, Weight: 1},
+		{Name: "S11max", Target: d.Spec.S11MaxDB, Weight: 2},
+		{Name: "S22max", Target: d.Spec.S22MaxDB, Weight: 2},
+		{Name: "stability", Target: -0.02, Weight: 0.5},
+		{Name: "Pdc", Target: pdc, Weight: 0.2},
+	}
+}
+
+// DesignResult reports a finished optimization.
+type DesignResult struct {
+	// Design is the continuous optimum.
+	Design Design
+	// Snapped is the optimum with L/C values snapped to the E24 series.
+	Snapped Design
+	// Eval and SnappedEval grade both.
+	Eval, SnappedEval Evaluation
+	// Gamma is the attainment factor (<= 0: all goals met).
+	Gamma float64
+	// Evals counts band evaluations.
+	Evals int
+}
+
+// Optimize selects the operating point and passive elements with the
+// improved goal-attainment method (the paper's step 4).
+func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
+	d.evals = 0
+	lo, hi := DesignBounds()
+	obj := func(x []float64) []float64 {
+		ev, err := d.Evaluate(DesignFromVector(x))
+		if err != nil {
+			// Penalize unusable regions uniformly.
+			return []float64{99, 99, 99, 99, 99, 99}
+		}
+		return penalizeInstability(ev)
+	}
+	res, err := optim.GoalAttainImproved(obj, d.goals(), lo, hi, opts)
+	if err != nil {
+		return DesignResult{}, fmt.Errorf("core: optimize: %w", err)
+	}
+	best := DesignFromVector(res.X)
+	ev, err := d.Evaluate(best)
+	if err != nil {
+		return DesignResult{}, err
+	}
+	snapped := d.SnapToE24(best)
+	sev, err := d.Evaluate(snapped)
+	if err != nil {
+		return DesignResult{}, err
+	}
+	return DesignResult{
+		Design:      best,
+		Snapped:     snapped,
+		Eval:        ev,
+		SnappedEval: sev,
+		Gamma:       res.Gamma,
+		Evals:       d.evals,
+	}, nil
+}
+
+// SnapToE24 rounds the chip-element values to the E24 preferred series (the
+// degeneration inductance stays continuous: it is realized as a microstrip
+// stub cut to length).
+func (d *Designer) SnapToE24(x Design) Design {
+	x.LIn = units.SnapE24(x.LIn)
+	x.LOut = units.SnapE24(x.LOut)
+	x.COut = units.SnapE24(x.COut)
+	return x
+}

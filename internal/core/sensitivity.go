@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gnsslna/internal/mathx"
+)
+
+// SensitivityEntry reports the effect of perturbing one design parameter.
+type SensitivityEntry struct {
+	// Param names the perturbed parameter.
+	Param string
+	// DeltaNFdB and DeltaGTdB are the worst-case changes of the band
+	// extremes for a +/- RelStep perturbation.
+	DeltaNFdB, DeltaGTdB float64
+}
+
+// Sensitivity perturbs each design parameter by +/- relStep (e.g. 0.05 for
+// component tolerance) and reports the worst-case movement of the band
+// noise figure and gain — the robustness table of the final design.
+func (d *Designer) Sensitivity(x Design, relStep float64) ([]SensitivityEntry, error) {
+	if relStep <= 0 {
+		relStep = 0.05
+	}
+	base, err := d.Evaluate(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: sensitivity base: %w", err)
+	}
+	names := []string{"Vgs", "Vds", "LIn", "LDegen", "LOut", "COut"}
+	vec := x.Vector()
+	out := make([]SensitivityEntry, len(vec))
+	for i := range vec {
+		e := SensitivityEntry{Param: names[i]}
+		for _, sign := range []float64{-1, 1} {
+			p := append([]float64(nil), vec...)
+			p[i] *= 1 + sign*relStep
+			ev, err := d.Evaluate(DesignFromVector(p))
+			if err != nil {
+				continue
+			}
+			if dn := abs(ev.WorstNFdB - base.WorstNFdB); dn > e.DeltaNFdB {
+				e.DeltaNFdB = dn
+			}
+			if dg := abs(ev.MinGTdB - base.MinGTdB); dg > e.DeltaGTdB {
+				e.DeltaGTdB = dg
+			}
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// YieldReport summarizes a Monte Carlo tolerance analysis.
+type YieldReport struct {
+	// Trials is the number of sampled builds.
+	Trials int
+	// PassRate is the fraction meeting the spec goals.
+	PassRate float64
+	// NF95dB and GT5dB are the 95th percentile NF and 5th percentile gain.
+	NF95dB, GT5dB float64
+}
+
+// Yield Monte-Carlo-samples component tolerances (uniform +/- tol on the
+// three chip elements, +/- 2% on bias voltages) and reports the
+// specification yield of the design.
+func (d *Designer) Yield(x Design, tol float64, trials int, seed int64) (YieldReport, error) {
+	if tol <= 0 {
+		tol = 0.05
+	}
+	if trials <= 0 {
+		trials = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nfs, gts []float64
+	pass := 0
+	for t := 0; t < trials; t++ {
+		p := x
+		p.LIn *= 1 + tol*(2*rng.Float64()-1)
+		p.LOut *= 1 + tol*(2*rng.Float64()-1)
+		p.COut *= 1 + tol*(2*rng.Float64()-1)
+		p.Vgs *= 1 + 0.02*(2*rng.Float64()-1)
+		p.Vds *= 1 + 0.02*(2*rng.Float64()-1)
+		ev, err := d.Evaluate(p)
+		if err != nil {
+			return YieldReport{}, fmt.Errorf("core: yield trial %d: %w", t, err)
+		}
+		nfs = append(nfs, ev.WorstNFdB)
+		gts = append(gts, ev.MinGTdB)
+		if ev.WorstNFdB <= d.Spec.NFMaxDB &&
+			ev.MinGTdB >= d.Spec.GTMinDB &&
+			ev.WorstS11dB <= d.Spec.S11MaxDB &&
+			ev.WorstS22dB <= d.Spec.S22MaxDB &&
+			ev.StabMargin > 0 {
+			pass++
+		}
+	}
+	return YieldReport{
+		Trials:   trials,
+		PassRate: float64(pass) / float64(trials),
+		NF95dB:   mathx.Percentile(nfs, 95),
+		GT5dB:    mathx.Percentile(gts, 5),
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnsslna/internal/core"
+)
+
+// E9Constellations reproduces the multi-constellation table: the finished
+// (snapped) preamplifier graded at every GNSS signal the paper's
+// introduction enumerates.
+func (s *Suite) E9Constellations() (Table, error) {
+	d, err := s.Designer()
+	if err != nil {
+		return Table{}, err
+	}
+	res, err := s.Design()
+	if err != nil {
+		return Table{}, err
+	}
+	amp, err := d.Builder.Build(res.Snapped)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "E9",
+		Title:   "final preamplifier at every GNSS signal",
+		Columns: []string{"signal", "f [GHz]", "NF [dB]", "GT [dB]", "S11 [dB]", "S22 [dB]", "mu", "meets spec"},
+		Notes: fmt.Sprintf("spec: NF <= %.2f dB, GT >= %.1f dB, S11/S22 <= %.0f dB, mu > 1",
+			d.Spec.NFMaxDB, d.Spec.GTMinDB, d.Spec.S11MaxDB),
+	}
+	for _, b := range core.GNSSBands() {
+		m, err := amp.MetricsAt(b.Center, 50)
+		if err != nil {
+			return Table{}, fmt.Errorf("E9 %s: %w", b.Name, err)
+		}
+		pass := m.NFdB <= d.Spec.NFMaxDB &&
+			m.GTdB >= d.Spec.GTMinDB &&
+			m.S11dB <= d.Spec.S11MaxDB &&
+			m.S22dB <= d.Spec.S22MaxDB &&
+			m.Mu > 1
+		mark := "yes"
+		if !pass {
+			mark = "NO"
+		}
+		t.AddRow(
+			b.Name,
+			fmt.Sprintf("%.5f", b.Center/1e9),
+			fmt.Sprintf("%.3f", m.NFdB),
+			fmt.Sprintf("%.2f", m.GTdB),
+			fmt.Sprintf("%.1f", m.S11dB),
+			fmt.Sprintf("%.1f", m.S22dB),
+			fmt.Sprintf("%.3f", m.Mu),
+			mark,
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+	"gnsslna/internal/units"
+	"gnsslna/internal/vna"
+)
+
+// E5DesignFlow reproduces "Table III": the optimized operating point and
+// passive element values, with the attained band objectives against their
+// goals, for both the continuous optimum and the E24-snapped build.
+func (s *Suite) E5DesignFlow() (Table, error) {
+	d, err := s.Designer()
+	if err != nil {
+		return Table{}, err
+	}
+	res, err := s.Design()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "E5",
+		Title:   "optimized operating point and essential passive elements",
+		Columns: []string{"quantity", "goal", "continuous", "E24-snapped"},
+		Notes: fmt.Sprintf("attainment factor gamma = %.3f (<= 0 means every goal met); %d band evaluations",
+			res.Gamma, res.Evals),
+	}
+	t.AddRow("Vgs [V]", "-", fmt.Sprintf("%.3f", res.Design.Vgs), fmt.Sprintf("%.3f", res.Snapped.Vgs))
+	t.AddRow("Vds [V]", "-", fmt.Sprintf("%.2f", res.Design.Vds), fmt.Sprintf("%.2f", res.Snapped.Vds))
+	t.AddRow("Ids [mA]", "-", fmt.Sprintf("%.1f", res.Eval.IdsA*1e3), fmt.Sprintf("%.1f", res.SnappedEval.IdsA*1e3))
+	t.AddRow("L_in", "-", units.Format(res.Design.LIn, "H"), units.Format(res.Snapped.LIn, "H"))
+	t.AddRow("L_degen", "-", units.Format(res.Design.LDegen, "H"), units.Format(res.Snapped.LDegen, "H"))
+	t.AddRow("L_out", "-", units.Format(res.Design.LOut, "H"), units.Format(res.Snapped.LOut, "H"))
+	t.AddRow("C_out", "-", units.Format(res.Design.COut, "F"), units.Format(res.Snapped.COut, "F"))
+	sp := d.Spec
+	t.AddRow("NF max [dB]", fmt.Sprintf("<= %.2f", sp.NFMaxDB),
+		fmt.Sprintf("%.3f", res.Eval.WorstNFdB), fmt.Sprintf("%.3f", res.SnappedEval.WorstNFdB))
+	t.AddRow("GT min [dB]", fmt.Sprintf(">= %.1f", sp.GTMinDB),
+		fmt.Sprintf("%.2f", res.Eval.MinGTdB), fmt.Sprintf("%.2f", res.SnappedEval.MinGTdB))
+	t.AddRow("S11 max [dB]", fmt.Sprintf("<= %.0f", sp.S11MaxDB),
+		fmt.Sprintf("%.2f", res.Eval.WorstS11dB), fmt.Sprintf("%.2f", res.SnappedEval.WorstS11dB))
+	t.AddRow("S22 max [dB]", fmt.Sprintf("<= %.0f", sp.S22MaxDB),
+		fmt.Sprintf("%.2f", res.Eval.WorstS22dB), fmt.Sprintf("%.2f", res.SnappedEval.WorstS22dB))
+	t.AddRow("stab margin", "> 0",
+		fmt.Sprintf("%.3f", res.Eval.StabMargin), fmt.Sprintf("%.3f", res.SnappedEval.StabMargin))
+	t.AddRow("Pdc [mW]", fmt.Sprintf("<= %.0f", sp.PdcMaxW*1e3),
+		fmt.Sprintf("%.0f", res.Eval.PdcW*1e3), fmt.Sprintf("%.0f", res.SnappedEval.PdcW*1e3))
+	return t, nil
+}
+
+// E6Verification reproduces the final measured-vs-designed figure: the
+// snapped design is built on the golden device (the "real" hardware) and
+// measured with the synthetic VNA and noise-figure meter, against the
+// design predictions computed from the extracted model.
+func (s *Suite) E6Verification() (Table, error) {
+	d, err := s.Designer()
+	if err != nil {
+		return Table{}, err
+	}
+	res, err := s.Design()
+	if err != nil {
+		return Table{}, err
+	}
+	// Prediction: extracted-model amplifier. Hardware: the same design on
+	// the golden device.
+	predicted, err := d.Builder.Build(res.Snapped)
+	if err != nil {
+		return Table{}, err
+	}
+	hwBuilder := *d.Builder
+	hwBuilder.Dev = s.golden
+	hardware, err := hwBuilder.Build(res.Snapped)
+	if err != nil {
+		return Table{}, err
+	}
+	lo, hi := d.Spec.FLow, d.Spec.FHigh
+	freqs := mathx.Linspace(lo-0.05e9, hi+0.05e9, 9)
+	v := vna.NewVNA(s.cfg.seed() + 77)
+	measured, err := v.Measure(freqs, func(f float64) (twoport.Mat2, error) {
+		return hardware.SAt(f, 50)
+	})
+	if err != nil {
+		return Table{}, fmt.Errorf("E6 VNA: %w", err)
+	}
+	nfMeter := &vna.NFMeter{SigmaDB: 0.05, Seed: s.cfg.seed() + 78}
+	nfMeas, err := nfMeter.MeasureNF(freqs, hardware.NoisyAt)
+	if err != nil {
+		return Table{}, fmt.Errorf("E6 NF meter: %w", err)
+	}
+
+	t := Table{
+		ID:    "E6",
+		Title: "designed vs measured preamplifier (S-parameters and noise figure)",
+		Columns: []string{
+			"f [GHz]", "S21 dsg [dB]", "S21 meas [dB]",
+			"S11 dsg [dB]", "S11 meas [dB]", "NF dsg [dB]", "NF meas [dB]",
+		},
+		Notes: "dsg: extracted-model prediction; meas: golden-device hardware through " +
+			"the synthetic VNA (sigma 0.002) and NF meter (sigma 0.05 dB)",
+	}
+	for i, f := range freqs {
+		pm, err := predicted.MetricsAt(f, 50)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.3f", f/1e9),
+			fmt.Sprintf("%.2f", pm.GTdB),
+			fmt.Sprintf("%.2f", mathx.DB20(absC(measured.S[i][1][0]))),
+			fmt.Sprintf("%.1f", pm.S11dB),
+			fmt.Sprintf("%.1f", mathx.DB20(absC(measured.S[i][0][0]))),
+			fmt.Sprintf("%.3f", pm.NFdB),
+			fmt.Sprintf("%.3f", nfMeas[i]),
+		)
+	}
+	return t, nil
+}
+
+func absC(v complex128) float64 { return cmplx.Abs(v) }

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// suite is shared across the package tests so the expensive campaign,
+// extraction and design are computed once.
+var testSuite = NewSuite(Config{Seed: 1, Quick: true})
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, row []string, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", row[col], err)
+	}
+	return v
+}
+
+func findRow(t *testing.T, tab Table, name string) []string {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[0], name) {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found in %s", name, tab.ID)
+	return nil
+}
+
+func TestE1AngelovWinsCurtice2Loses(t *testing.T) {
+	tab, err := testSuite.E1ModelComparison()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 models", len(tab.Rows))
+	}
+	ang := findRow(t, tab, "Angelov")
+	c2 := findRow(t, tab, "Curtice-2")
+	if cell(t, ang, 3) > cell(t, c2, 3) {
+		t.Errorf("Angelov DC error (%s%%) worse than Curtice-2 (%s%%)", ang[3], c2[3])
+	}
+	if cell(t, ang, 4) > cell(t, c2, 4) {
+		t.Errorf("Angelov S error (%s) worse than Curtice-2 (%s)", ang[4], c2[4])
+	}
+	// Every model must produce a sane fit (not diverged).
+	for _, r := range tab.Rows {
+		if cell(t, r, 3) > 20 {
+			t.Errorf("model %s diverged: DC rel %s%%", r[0], r[3])
+		}
+	}
+}
+
+func TestE2ThreeStepMostRobust(t *testing.T) {
+	tab, err := testSuite.E2ExtractionMethods()
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	three := findRow(t, tab, "three-step")
+	lm := findRow(t, tab, "LM-only")
+	nm := findRow(t, tab, "NM-only")
+	if cell(t, three, 1) > cell(t, lm, 1) {
+		t.Errorf("three-step median (%s) worse than LM-only (%s)", three[1], lm[1])
+	}
+	if cell(t, three, 1) > cell(t, nm, 1) {
+		t.Errorf("three-step median (%s) worse than NM-only (%s)", three[1], nm[1])
+	}
+	// Success-rate column format "k/n": three-step must win or tie.
+	parse := func(s string) (int, int) {
+		parts := strings.Split(s, "/")
+		k, _ := strconv.Atoi(parts[0])
+		n, _ := strconv.Atoi(parts[1])
+		return k, n
+	}
+	k3, n3 := parse(three[4])
+	if k3 != n3 {
+		t.Errorf("three-step success %s, want full", three[4])
+	}
+	kLM, _ := parse(lm[4])
+	if kLM > k3 {
+		t.Errorf("LM-only success %s beats three-step %s", lm[4], three[4])
+	}
+}
+
+func TestE3ModelTracksMeasurement(t *testing.T) {
+	tab, err := testSuite.E3ModelFit()
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("too few frequency rows: %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		meas21 := cell(t, r, 3)
+		model21 := cell(t, r, 4)
+		if meas21 <= 0 {
+			t.Fatalf("non-positive |S21| measurement")
+		}
+		rel := (model21 - meas21) / meas21
+		if rel < -0.25 || rel > 0.25 {
+			t.Errorf("f=%s GHz: model |S21| %g vs measured %g (off %.0f%%)",
+				r[0], model21, meas21, rel*100)
+		}
+	}
+}
+
+func TestE4FrontsComparable(t *testing.T) {
+	tab, err := testSuite.E4GoalAttainment()
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 methods", len(tab.Rows))
+	}
+	imp := findRow(t, tab, "goal attainment (improved)")
+	hvImp := cell(t, imp, 2)
+	if hvImp <= 0 {
+		t.Fatalf("improved method hypervolume %g, want positive", hvImp)
+	}
+	// The improved method must be competitive: within 10% of the best
+	// hypervolume in the table.
+	best := hvImp
+	for _, r := range tab.Rows {
+		if hv := cell(t, r, 2); hv > best {
+			best = hv
+		}
+	}
+	if hvImp < 0.9*best {
+		t.Errorf("improved hypervolume %g below 90%% of best %g", hvImp, best)
+	}
+}
+
+func TestE5AllGoalsMet(t *testing.T) {
+	tab, err := testSuite.E5DesignFlow()
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	nf := findRow(t, tab, "NF max")
+	if cell(t, nf, 2) > 0.9 {
+		t.Errorf("NF goal missed: %s dB", nf[2])
+	}
+	gt := findRow(t, tab, "GT min")
+	if cell(t, gt, 2) < 14 {
+		t.Errorf("GT goal missed: %s dB", gt[2])
+	}
+	stab := findRow(t, tab, "stab margin")
+	if cell(t, stab, 2) <= 0 || cell(t, stab, 3) <= 0 {
+		t.Errorf("stability margin not positive: %s / %s", stab[2], stab[3])
+	}
+	if !strings.Contains(tab.Notes, "gamma") {
+		t.Error("notes missing attainment factor")
+	}
+}
+
+func TestE6MeasurementTracksDesign(t *testing.T) {
+	tab, err := testSuite.E6Verification()
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	for _, r := range tab.Rows {
+		dsg := cell(t, r, 1)
+		meas := cell(t, r, 2)
+		if d := dsg - meas; d > 1.5 || d < -1.5 {
+			t.Errorf("f=%s: S21 design %g vs measured %g dB differ by %g",
+				r[0], dsg, meas, d)
+		}
+		nfDsg := cell(t, r, 5)
+		nfMeas := cell(t, r, 6)
+		if d := nfDsg - nfMeas; d > 0.6 || d < -0.6 {
+			t.Errorf("f=%s: NF design %g vs measured %g dB differ by %g",
+				r[0], nfDsg, nfMeas, d)
+		}
+	}
+}
+
+func TestE7DispersionShapes(t *testing.T) {
+	tab, err := testSuite.E7Dispersion()
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	// epsEff(f) must be non-decreasing and above the static value.
+	prev := 0.0
+	for i, r := range tab.Rows {
+		e := cell(t, r, 5)
+		eStatic := cell(t, r, 6)
+		if e < eStatic-1e-9 {
+			t.Errorf("row %d: dispersive epsEff %g below static %g", i, e, eStatic)
+		}
+		if e < prev {
+			t.Errorf("row %d: epsEff not monotone", i)
+		}
+		prev = e
+		// Loss must grow with frequency.
+		if i > 0 {
+			if cell(t, r, 7) <= cell(t, tab.Rows[i-1], 7) {
+				t.Errorf("row %d: line loss not increasing", i)
+			}
+		}
+	}
+	if !strings.Contains(tab.Notes, "ablation") {
+		t.Error("notes missing the ideal-passives ablation")
+	}
+}
+
+func TestE8SlopesAndAgreement(t *testing.T) {
+	tab, err := testSuite.E8Intermodulation()
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 bands", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if s := cell(t, r, 2); s < 0.9 || s > 1.1 {
+			t.Errorf("%s: fundamental slope %g, want ~1", r[0], s)
+		}
+		if s := cell(t, r, 3); s < 2.6 || s > 3.4 {
+			t.Errorf("%s: IM3 slope %g, want ~3", r[0], s)
+		}
+		meas, analytic := cell(t, r, 4), cell(t, r, 5)
+		if d := meas - analytic; d > 2 || d < -2 {
+			t.Errorf("%s: OIP3 measured %g vs analytic %g", r[0], meas, analytic)
+		}
+	}
+}
+
+func TestE9AllSignalsPass(t *testing.T) {
+	tab, err := testSuite.E9Constellations()
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("rows = %d, want all GNSS signals", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[len(r)-1] != "yes" {
+			t.Errorf("signal %s fails the spec", r[0])
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID: "T", Title: "demo", Columns: []string{"a", "bb"},
+		Notes: "hello",
+	}
+	tab.AddRow("1", "2")
+	out := tab.Render()
+	for _, want := range []string{"T — demo", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE10CalibrationImproves(t *testing.T) {
+	tab, err := testSuite.E10Calibration()
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	for _, r := range tab.Rows {
+		raw := cell(t, r, 1)
+		corr := cell(t, r, 2)
+		if corr >= raw {
+			t.Errorf("f=%s: correction did not improve (%g -> %g)", r[0], raw, corr)
+		}
+		if raw < 0.02 {
+			t.Errorf("f=%s: raw error %g suspiciously small (test set too clean)", r[0], raw)
+		}
+	}
+}
+
+func TestE11TwoStageGoals(t *testing.T) {
+	tab, err := testSuite.E11TwoStage()
+	if err != nil {
+		t.Fatalf("E11: %v", err)
+	}
+	firstNum := func(row []string, col int) float64 {
+		fields := strings.Fields(row[col])
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("cell %q not numeric: %v", row[col], err)
+		}
+		return v
+	}
+	gt := findRow(t, tab, "GT @1.4GHz")
+	if v := firstNum(gt, 3); v < 26 {
+		t.Errorf("cascade gain %g dB, want ~>= 26 even in quick mode", v)
+	}
+	nf := findRow(t, tab, "NF @1.4GHz")
+	if v := firstNum(nf, 3); v > 1.3 {
+		t.Errorf("cascade NF %g dB, want ~<= 1.3", v)
+	}
+	stab := findRow(t, tab, "stab margin")
+	if v := cell(t, stab, 3); v <= 0 {
+		t.Errorf("cascade stability margin %g", v)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	figs, err := testSuite.Figures()
+	if err != nil {
+		t.Fatalf("Figures: %v", err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d, want 4", len(figs))
+	}
+	for i, f := range figs {
+		if !strings.Contains(f, "Fig. E") {
+			t.Errorf("figure %d missing title:\n%s", i, f)
+		}
+		if !strings.Contains(f, "*") {
+			t.Errorf("figure %d has no data points", i)
+		}
+	}
+}
+
+func TestE12LinkBudgetShapes(t *testing.T) {
+	tab, err := testSuite.E12LinkBudget()
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	prev := 0.0
+	for i, r := range tab.Rows {
+		bare := cell(t, r, 1)
+		withLNA := cell(t, r, 2)
+		gain := cell(t, r, 3)
+		if withLNA >= bare {
+			t.Errorf("row %d: LNA did not lower system temperature", i)
+		}
+		if gain <= prev-1e-9 {
+			t.Errorf("row %d: C/N0 gain not growing with cable loss", i)
+		}
+		prev = gain
+		if cn0 := cell(t, r, 4); cn0 < 35 || cn0 > 55 {
+			t.Errorf("row %d: implausible C/N0 %g", i, cn0)
+		}
+	}
+}
+
+func TestE4bAblation(t *testing.T) {
+	tab, err := testSuite.E4bAblation()
+	if err != nil {
+		t.Fatalf("E4b: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(tab.Rows))
+	}
+	full := findRow(t, tab, "full method")
+	hvFull := cell(t, full, 1)
+	if hvFull <= 0 {
+		t.Fatalf("full-method hypervolume %g", hvFull)
+	}
+	// Every ablated variant must still produce a usable front, and the
+	// full method should not be dominated badly by any ablation (within
+	// 15% hypervolume).
+	for _, r := range tab.Rows {
+		hv := cell(t, r, 1)
+		if hv <= 0 {
+			t.Errorf("%s: no front produced", r[0])
+		}
+		if hvFull < 0.85*hv {
+			t.Errorf("%s (hv %g) dominates the full method (hv %g) badly", r[0], hv, hvFull)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}, Notes: "n"}
+	tab.AddRow("1", "2")
+	md := tab.Markdown()
+	for _, want := range []string{"### T — demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

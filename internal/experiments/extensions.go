@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+	"gnsslna/internal/units"
+	"gnsslna/internal/vna"
+)
+
+// E10Calibration is an extension experiment beyond the paper's evaluation:
+// it quantifies what the SOLT calibration of the measurement chain buys by
+// comparing raw (error-box distorted) and corrected S-parameter errors
+// against the golden truth.
+func (s *Suite) E10Calibration() (Table, error) {
+	d := s.golden
+	bias := device.Bias{Vgs: 0.52, Vds: 3}
+	freqs := mathx.Linspace(1e9, 2e9, 6)
+	chain := vna.NewRawChain(s.cfg.seed() + 500)
+
+	raw, err := chain.MeasureRaw(freqs, func(f float64) (twoport.Mat2, error) {
+		return d.SAt(bias, f, 50)
+	})
+	if err != nil {
+		return Table{}, fmt.Errorf("E10 raw: %w", err)
+	}
+	corrected, err := chain.MeasureDeviceCalibrated(d, bias, freqs)
+	if err != nil {
+		return Table{}, fmt.Errorf("E10 corrected: %w", err)
+	}
+	t := Table{
+		ID:    "E10 (extension)",
+		Title: "SOLT calibration of the measurement chain",
+		Columns: []string{
+			"f [GHz]", "raw err", "corrected err", "improvement",
+		},
+		Notes: "max |dS| over the four S-parameters against the golden truth; " +
+			"the raw column shows the uncorrected test-set systematic error",
+	}
+	for i, f := range freqs {
+		truth, err := d.SAt(bias, f, 50)
+		if err != nil {
+			return Table{}, err
+		}
+		eRaw := twoport.MaxAbsDiff(raw.S[i], truth)
+		eCorr := twoport.MaxAbsDiff(corrected.S[i], truth)
+		imp := "-"
+		if eCorr > 0 {
+			imp = fmt.Sprintf("%.0fx", eRaw/eCorr)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", f/1e9),
+			fmt.Sprintf("%.4f", eRaw),
+			fmt.Sprintf("%.4f", eCorr),
+			imp,
+		)
+	}
+	return t, nil
+}
+
+// E11TwoStage is an extension experiment: a jointly optimized two-stage
+// cascade for receivers needing ~30 dB of antenna-side gain, with Friis
+// keeping the first stage in charge of the noise figure.
+func (s *Suite) E11TwoStage() (Table, error) {
+	d, err := s.Designer()
+	if err != nil {
+		return Table{}, err
+	}
+	spec := core.DefaultTwoStageSpec()
+	if s.cfg.Quick {
+		spec.Spec.NPoints = 5
+	}
+	opts := s.attainOpts(s.cfg.seed() + 11)
+	res, err := d.OptimizeTwoStage(spec, opts)
+	if err != nil {
+		return Table{}, fmt.Errorf("E11: %w", err)
+	}
+	t := Table{
+		ID:      "E11 (extension)",
+		Title:   "jointly optimized two-stage cascade",
+		Columns: []string{"quantity", "stage 1", "stage 2", "cascade"},
+		Notes: fmt.Sprintf("goals: NF <= %.2f dB, GT >= %.0f dB, Pdc <= %.0f mW; gamma = %.3f",
+			spec.NFMaxDB, spec.GTMinDB, spec.PdcMaxW*1e3, res.Gamma),
+	}
+	ts, err := d.Builder.BuildTwoStage(res.D1, res.D2)
+	if err != nil {
+		return Table{}, err
+	}
+	f0 := 1.4e9
+	m1, err := ts.First.MetricsAt(f0, 50)
+	if err != nil {
+		return Table{}, err
+	}
+	m2, err := ts.Second.MetricsAt(f0, 50)
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("Vgs [V]", fmt.Sprintf("%.3f", res.D1.Vgs), fmt.Sprintf("%.3f", res.D2.Vgs), "-")
+	t.AddRow("L_in", units.Format(res.D1.LIn, "H"), units.Format(res.D2.LIn, "H"), "-")
+	t.AddRow("NF @1.4GHz [dB]", fmt.Sprintf("%.3f", m1.NFdB), fmt.Sprintf("%.3f", m2.NFdB),
+		fmt.Sprintf("%.3f (band max %.3f)", mustMetric(ts, f0).NFdB, res.WorstNFdB))
+	t.AddRow("GT @1.4GHz [dB]", fmt.Sprintf("%.2f", m1.GTdB), fmt.Sprintf("%.2f", m2.GTdB),
+		fmt.Sprintf("%.2f (band min %.2f)", mustMetric(ts, f0).GTdB, res.MinGTdB))
+	t.AddRow("Pdc [mW]",
+		fmt.Sprintf("%.0f", ts.First.PowerDissipation()*1e3),
+		fmt.Sprintf("%.0f", ts.Second.PowerDissipation()*1e3),
+		fmt.Sprintf("%.0f", res.PdcW*1e3))
+	t.AddRow("stab margin", "-", "-", fmt.Sprintf("%.3f", res.StabMargin))
+	return t, nil
+}
+
+func mustMetric(ts *core.TwoStage, f float64) core.PointMetrics {
+	m, err := ts.MetricsAt(f, 50)
+	if err != nil {
+		return core.PointMetrics{}
+	}
+	return m
+}

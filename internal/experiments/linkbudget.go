@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnsslna/internal/core"
+)
+
+// E12LinkBudget is an extension experiment: the system-level payoff of the
+// optimized preamplifier — receive-system noise temperature and C/N0
+// improvement across cable runs, the figure of merit a GNSS installation
+// actually cares about.
+func (s *Suite) E12LinkBudget() (Table, error) {
+	res, err := s.Design()
+	if err != nil {
+		return Table{}, err
+	}
+	nf := res.SnappedEval.WorstNFdB
+	gt := res.SnappedEval.MinGTdB
+	t := Table{
+		ID:    "E12 (extension)",
+		Title: "receive-chain link budget with and without the preamplifier",
+		Columns: []string{
+			"cable [dB]", "Tsys bare [K]", "Tsys w/LNA [K]",
+			"C/N0 gain [dB]", "C/N0 L1 C/A [dB-Hz]",
+		},
+		Notes: fmt.Sprintf("LNA: NF %.3f dB, gain %.2f dB (band worst case); antenna 100 K, "+
+			"receiver NF 8 dB; L1 C/A signal -128.5 dBm", nf, gt),
+	}
+	for _, cable := range []float64{1, 2, 4, 6, 10} {
+		lb := core.LinkBudget{AntennaTempK: 100, CableLossDB: cable, ReceiverNFdB: 8}
+		t.AddRow(
+			fmt.Sprintf("%.0f", cable),
+			fmt.Sprintf("%.0f", lb.SystemNoiseTemp(false, 0, 0)),
+			fmt.Sprintf("%.0f", lb.SystemNoiseTemp(true, nf, gt)),
+			fmt.Sprintf("%.2f", lb.CN0ImprovementDB(nf, gt)),
+			fmt.Sprintf("%.1f", lb.CN0DBHz(-128.5, true, nf, gt)),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/extract"
+	"gnsslna/internal/optim"
+	"gnsslna/internal/vna"
+)
+
+// Config scales the experiment budgets.
+type Config struct {
+	// Seed drives every deterministic random process.
+	Seed int64
+	// Quick trims optimization budgets for tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Suite shares expensive intermediate results (the measurement campaign,
+// the optimized design, the extraction) across experiments.
+type Suite struct {
+	cfg    Config
+	golden *device.PHEMT
+
+	dataset   *vna.Dataset
+	extracted *extract.Result
+	design    *core.DesignResult
+	designer  *core.Designer
+}
+
+// NewSuite builds a suite around the golden device.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg, golden: device.Golden()}
+}
+
+// Golden exposes the reference device.
+func (s *Suite) Golden() *device.PHEMT { return s.golden }
+
+// Dataset lazily runs (and caches) the measurement campaign.
+func (s *Suite) Dataset() (*vna.Dataset, error) {
+	if s.dataset != nil {
+		return s.dataset, nil
+	}
+	ds, err := vna.RunCampaign(s.golden, vna.DefaultCampaign(s.cfg.seed()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign: %w", err)
+	}
+	s.dataset = ds
+	return ds, nil
+}
+
+// extractCfg returns the extraction budget for the suite mode.
+func (s *Suite) extractCfg(seed int64) extract.Config {
+	if s.cfg.Quick {
+		return extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+	}
+	return extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60}
+}
+
+// attainOpts returns the design-optimization budget for the suite mode.
+func (s *Suite) attainOpts(seed int64) *optim.AttainOptions {
+	if s.cfg.Quick {
+		return &optim.AttainOptions{Seed: seed, GlobalEvals: 1500, PolishEvals: 900}
+	}
+	return &optim.AttainOptions{Seed: seed, GlobalEvals: 5000, PolishEvals: 3000}
+}
+
+// Extracted lazily extracts (and caches) the Angelov-class device.
+func (s *Suite) Extracted() (*extract.Result, error) {
+	if s.extracted != nil {
+		return s.extracted, nil
+	}
+	ds, err := s.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	res, err := extract.ThreeStep(ds, device.NewAngelov(), s.extractCfg(s.cfg.seed()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: extraction: %w", err)
+	}
+	s.extracted = &res
+	return s.extracted, nil
+}
+
+// Designer lazily builds (and caches) the designer around the extracted
+// device — the design flows uses the model, exactly as the paper does, and
+// verification measures the golden truth.
+func (s *Suite) Designer() (*core.Designer, error) {
+	if s.designer != nil {
+		return s.designer, nil
+	}
+	ex, err := s.Extracted()
+	if err != nil {
+		return nil, err
+	}
+	d := core.NewDesigner(core.NewBuilder(ex.Device))
+	if s.cfg.Quick {
+		d.Spec.NPoints = 7
+	}
+	s.designer = d
+	return d, nil
+}
+
+// Design lazily optimizes (and caches) the preamplifier design.
+func (s *Suite) Design() (*core.DesignResult, error) {
+	if s.design != nil {
+		return s.design, nil
+	}
+	d, err := s.Designer()
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Optimize(s.attainOpts(s.cfg.seed()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: design: %w", err)
+	}
+	s.design = &res
+	return s.design, nil
+}
+
+// All runs every experiment in order.
+func (s *Suite) All() ([]Table, error) {
+	runs := []func() (Table, error){
+		s.E1ModelComparison,
+		s.E2ExtractionMethods,
+		s.E3ModelFit,
+		s.E4GoalAttainment,
+		s.E4bAblation,
+		s.E5DesignFlow,
+		s.E6Verification,
+		s.E7Dispersion,
+		s.E8Intermodulation,
+		s.E9Constellations,
+		s.E10Calibration,
+		s.E11TwoStage,
+		s.E12LinkBudget,
+	}
+	out := make([]Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (E1-E9 in DESIGN.md): the pHEMT model
+// comparison, the extraction-method study, the model-vs-measurement
+// overlay, the Pareto-front method comparison, the optimized design table,
+// the verification sweep, the passive-dispersion study, the two-tone
+// intermodulation check, and the per-constellation performance table.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a paper-style results table.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes the table or figure it reproduces.
+	Title string
+	// Columns holds the column headers.
+	Columns []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+	// Notes carries provenance or caveats printed under the table.
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render lays the table out as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Markdown lays the table out as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Notes)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package extract
+
+import (
+	"fmt"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/optim"
+	"gnsslna/internal/vna"
+)
+
+// DCFitResult reports the DC-model fit of step 2.
+type DCFitResult struct {
+	// Model is the fitted model (the same instance passed in, mutated).
+	Model device.DCModel
+	// RMSE is the root-mean-square current error in amperes.
+	RMSE float64
+	// RelRMSE is the RMSE normalized by the maximum measured current.
+	RelRMSE float64
+	// Evals counts model evaluations consumed by the fit.
+	Evals int
+}
+
+// dcResiduals builds the residual vector (model - measurement, normalized)
+// for the I-V grid.
+func dcResiduals(m device.DCModel, ds *vna.Dataset, scale float64) []float64 {
+	r := make([]float64, 0, len(ds.VgsGrid)*len(ds.VdsGrid))
+	for i, vgs := range ds.VgsGrid {
+		for j, vds := range ds.VdsGrid {
+			r = append(r, (m.Ids(vgs, vds)-ds.IV[i][j])/scale)
+		}
+	}
+	return r
+}
+
+func maxCurrent(ds *vna.Dataset) float64 {
+	var m float64
+	for _, row := range ds.IV {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m <= 0 {
+		m = 1e-3
+	}
+	return m
+}
+
+// FitDC fits the DC model to the dataset's I-V grid: differential evolution
+// over the model's parameter bounds followed by a Levenberg-Marquardt
+// polish. The model instance is mutated to the fitted parameters.
+func FitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int) (DCFitResult, error) {
+	if ds == nil || len(ds.IV) == 0 {
+		return DCFitResult{}, fmt.Errorf("%w: no I-V grid", ErrInsufficientData)
+	}
+	if budget <= 0 {
+		budget = 20000
+	}
+	scale := maxCurrent(ds)
+	lo, hi := m.Bounds()
+	evals := 0
+	obj := func(p []float64) float64 {
+		evals++
+		if err := m.SetParams(p); err != nil {
+			return 1e9
+		}
+		r := dcResiduals(m, ds, scale)
+		return mathx.RMS(r)
+	}
+	pop := 10 * len(lo)
+	if pop < 20 {
+		pop = 20
+	}
+	gens := budget / pop
+	if gens < 10 {
+		gens = 10
+	}
+	de, err := optim.DifferentialEvolution(obj, lo, hi, &optim.DEOptions{
+		Pop: pop, Generations: gens, Seed: seed,
+	})
+	if err != nil {
+		return DCFitResult{}, fmt.Errorf("extract: DC global fit: %w", err)
+	}
+	resid := func(p []float64) []float64 {
+		evals++
+		if err := m.SetParams(p); err != nil {
+			big := make([]float64, len(ds.IV)*len(ds.IV[0]))
+			for i := range big {
+				big[i] = 1e6
+			}
+			return big
+		}
+		return dcResiduals(m, ds, scale)
+	}
+	lm, err := optim.LevenbergMarquardt(resid, de.X, &optim.LMOptions{
+		MaxIter: 100, Lower: lo, Upper: hi,
+	})
+	if err != nil {
+		return DCFitResult{}, fmt.Errorf("extract: DC refinement: %w", err)
+	}
+	if err := m.SetParams(lm.X); err != nil {
+		return DCFitResult{}, err
+	}
+	rel := mathx.RMS(dcResiduals(m, ds, scale))
+	return DCFitResult{
+		Model:   m,
+		RMSE:    rel * scale,
+		RelRMSE: rel,
+		Evals:   evals,
+	}, nil
+}

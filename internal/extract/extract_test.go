@@ -1,0 +1,251 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/vna"
+)
+
+// testDataset builds a small, fast measurement campaign of the golden
+// device shared by the extraction tests.
+func testDataset(t *testing.T, seed int64) *vna.Dataset {
+	t.Helper()
+	cfg := vna.DefaultCampaign(seed)
+	ds, err := vna.RunCampaign(device.Golden(), cfg)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	return ds
+}
+
+func TestColdFETRecoversParasitics(t *testing.T) {
+	ds := testDataset(t, 11)
+	golden := device.Golden()
+	res, err := ColdFET(ds.ColdPinched, ds.ColdOpen)
+	if err != nil {
+		t.Fatalf("ColdFET: %v", err)
+	}
+	// The direct method is approximate (pads, trace noise, Ri dilution in
+	// Re(Z11)); require the resistances within ~1 ohm and inductances
+	// within ~50%.
+	checks := []struct {
+		name       string
+		got, want  float64
+		absTol     float64
+		relTolFrac float64
+	}{
+		{"Rs", res.Ext.Rs, golden.Ext.Rs, 0.8, 0},
+		{"Rg", res.Ext.Rg, golden.Ext.Rg, 1.3, 0}, // Ri share biases Rg high
+		{"Rd", res.Ext.Rd, golden.Ext.Rd, 1.0, 0},
+		{"Ls", res.Ext.Ls, golden.Ext.Ls, 0.15e-9, 0.5},
+		{"Lg", res.Ext.Lg, golden.Ext.Lg, 0.25e-9, 0.5},
+		{"Ld", res.Ext.Ld, golden.Ext.Ld, 0.25e-9, 0.5},
+	}
+	for _, c := range checks {
+		tol := c.absTol + c.relTolFrac*math.Abs(c.want)
+		if math.Abs(c.got-c.want) > tol {
+			t.Errorf("%s = %.4g, want %.4g (+/- %.2g)", c.name, c.got, c.want, tol)
+		}
+	}
+	if _, err := ColdFET(nil, ds.ColdOpen); err == nil {
+		t.Error("nil pinched network accepted")
+	}
+	if _, err := ColdFET(ds.ColdPinched, nil); err == nil {
+		t.Error("nil open network accepted")
+	}
+}
+
+func TestFitDCAngelovRecoversCurve(t *testing.T) {
+	ds := testDataset(t, 21)
+	m := device.NewAngelov()
+	res, err := FitDC(m, ds, 3, 15000)
+	if err != nil {
+		t.Fatalf("FitDC: %v", err)
+	}
+	// With 1% current noise the relative RMSE should land near the noise
+	// floor.
+	if res.RelRMSE > 0.03 {
+		t.Errorf("Angelov DC fit RelRMSE = %g, want < 0.03", res.RelRMSE)
+	}
+	// The fitted model must track the golden curve at unseen points.
+	golden := device.Golden().DC
+	for _, vgs := range []float64{0.42, 0.55, 0.67} {
+		want := golden.Ids(vgs, 2.5)
+		got := m.Ids(vgs, 2.5)
+		if math.Abs(got-want) > 0.05*want+0.5e-3 {
+			t.Errorf("fitted Ids(%g, 2.5) = %g, golden %g", vgs, got, want)
+		}
+	}
+	if res.Evals == 0 {
+		t.Error("eval count missing")
+	}
+}
+
+func TestFitDCModelRanking(t *testing.T) {
+	// The Angelov class (which generated the data) must fit at least as
+	// well as the quadratic Curtice model — the E1 expectation.
+	ds := testDataset(t, 31)
+	ang := device.NewAngelov()
+	resA, err := FitDC(ang, ds, 5, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := device.NewCurticeQuadratic()
+	resC, err := FitDC(c2, ds, 5, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.RelRMSE > resC.RelRMSE {
+		t.Errorf("Angelov fit (%g) worse than Curtice-2 (%g)", resA.RelRMSE, resC.RelRMSE)
+	}
+}
+
+func TestThreeStepExtractionEndToEnd(t *testing.T) {
+	ds := testDataset(t, 41)
+	cfg := Config{Seed: 7, DCEvals: 12000, GlobalEvals: 6000, RefineIters: 40}
+	res, err := ThreeStep(ds, device.NewAngelov(), cfg)
+	if err != nil {
+		t.Fatalf("ThreeStep: %v", err)
+	}
+	// The normalized S residual after refinement should approach the VNA
+	// noise floor (sigma 0.002 against norms of order 1-7 -> ~1e-3..1e-2).
+	if res.SRMSE > 0.05 {
+		t.Errorf("final SRMSE = %g, want < 0.05", res.SRMSE)
+	}
+	// Refinement must not worsen the DE solution.
+	if res.SRMSE > res.SRMSEAfterDE*1.01 {
+		t.Errorf("LM refinement degraded the fit: %g -> %g", res.SRMSEAfterDE, res.SRMSE)
+	}
+	// Capacitance recovery within 25% (the observable band limits
+	// identifiability).
+	golden := device.Golden()
+	if g, w := res.Device.Caps.Cgs0, golden.Caps.Cgs0; math.Abs(g-w) > 0.25*w {
+		t.Errorf("Cgs0 = %g, golden %g", g, w)
+	}
+	if res.Device.Name == "" || res.SEvals == 0 {
+		t.Error("result metadata incomplete")
+	}
+}
+
+func TestThreeStepBeatsLocalBaselines(t *testing.T) {
+	// The paper's claim (E2): the combined method is more robust than a
+	// single local method from a random start.
+	ds := testDataset(t, 51)
+	dc := device.NewAngelov()
+	if _, err := FitDC(dc, ds, 9, 12000); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 9, DCEvals: 1, GlobalEvals: 5000, RefineIters: 30}
+	three, err := RunMethod(ds, dc, MethodThreeStep, cfg)
+	if err != nil {
+		t.Fatalf("three-step: %v", err)
+	}
+	nm, err := RunMethod(ds, dc, MethodNMOnly, cfg)
+	if err != nil {
+		t.Fatalf("NM-only: %v", err)
+	}
+	if three.SRMSE >= nm.SRMSE {
+		t.Errorf("three-step (%g) not better than NM-only (%g)", three.SRMSE, nm.SRMSE)
+	}
+	lm, err := RunMethod(ds, dc, MethodLMOnly, cfg)
+	if err != nil {
+		t.Fatalf("LM-only: %v", err)
+	}
+	if three.SRMSE >= lm.SRMSE {
+		t.Errorf("three-step (%g) not better than LM-only (%g)", three.SRMSE, lm.SRMSE)
+	}
+	if _, err := RunMethod(ds, dc, Method("bogus"), cfg); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSResidualNormalization(t *testing.T) {
+	ds := testDataset(t, 61)
+	b, err := NewSResidual(ds, device.Golden().DC, device.Golden().Ext, false)
+	if err != nil {
+		t.Fatalf("NewSResidual: %v", err)
+	}
+	if b.Dim() != rfParamCount {
+		t.Errorf("dim = %d, want %d", b.Dim(), rfParamCount)
+	}
+	lo, hi := b.Bounds()
+	if len(lo) != b.Dim() || len(hi) != b.Dim() {
+		t.Error("bounds dimension mismatch")
+	}
+	// Golden parameters must give a near-noise-floor residual. The floor is
+	// set by the trace noise divided by the smallest normalization (S12):
+	// ~0.002/0.05 per part, ~0.015 RMS over all entries.
+	rmse := b.RMSE(rfVector(device.Golden()))
+	if rmse > 0.025 {
+		t.Errorf("golden-parameter residual = %g, want ~noise floor (~0.015)", rmse)
+	}
+	// A wrong candidate must score much worse.
+	bad := append([]float64(nil), rfVector(device.Golden())...)
+	bad[0] *= 2 // double Cgs0
+	if worse := b.RMSE(bad); worse < 3*rmse {
+		t.Errorf("distorted candidate too cheap: %g vs golden %g", worse, rmse)
+	}
+	if len(rfParamNames) != rfParamCount {
+		t.Error("rfParamNames out of sync")
+	}
+}
+
+func TestSRMSEOfDevice(t *testing.T) {
+	ds := testDataset(t, 71)
+	v, err := SRMSEOfDevice(device.Golden(), ds)
+	if err != nil {
+		t.Fatalf("SRMSEOfDevice: %v", err)
+	}
+	if v <= 0 || v > 0.025 {
+		t.Errorf("golden SRMSE = %g, want small positive (noise floor)", v)
+	}
+}
+
+func TestThreeStepOnProcessVariants(t *testing.T) {
+	// Extraction must converge on process-shifted devices, not just the
+	// nominal golden one.
+	for _, seed := range []int64{101, 202} {
+		dev := device.GoldenVariant(seed)
+		cfg := vna.DefaultCampaign(seed)
+		ds, err := vna.RunCampaign(dev, cfg)
+		if err != nil {
+			t.Fatalf("variant %d: campaign: %v", seed, err)
+		}
+		res, err := ThreeStep(ds, device.NewAngelov(), Config{
+			Seed: seed, DCEvals: 8000, GlobalEvals: 3500, RefineIters: 25,
+		})
+		if err != nil {
+			t.Fatalf("variant %d: ThreeStep: %v", seed, err)
+		}
+		if res.SRMSE > 0.06 {
+			t.Errorf("variant %d: SRMSE %g, want < 0.06", seed, res.SRMSE)
+		}
+		if res.DC.RelRMSE > 0.04 {
+			t.Errorf("variant %d: DC rel RMSE %g, want < 0.04", seed, res.DC.RelRMSE)
+		}
+	}
+}
+
+func TestRunMethodDEOnlySearchesParasitics(t *testing.T) {
+	// The DE-only baseline has no cold-FET step: it must still reach a
+	// decent fit by searching the parasitics itself (at higher dimension).
+	ds := testDataset(t, 81)
+	dc := device.NewAngelov()
+	if _, err := FitDC(dc, ds, 13, 10000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMethod(ds, dc, MethodDEOnly, Config{
+		Seed: 13, DCEvals: 1, GlobalEvals: 6000, RefineIters: 20,
+	})
+	if err != nil {
+		t.Fatalf("DE-only: %v", err)
+	}
+	if res.SRMSE > 0.08 {
+		t.Errorf("DE-only SRMSE = %g, want < 0.08", res.SRMSE)
+	}
+	if res.Evals == 0 {
+		t.Error("missing eval count")
+	}
+}

@@ -1,0 +1,65 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+	"gnsslna/internal/vna"
+)
+
+// FitNoiseParams recovers the four noise parameters from source-pull data
+// with Lane's linearization (Lane 1969): writing
+//
+//	F(Ys) = Fmin + Rn/Gs * ((Gs-Gopt)^2 + (Bs-Bopt)^2)
+//
+// as F = a + b*(Gs^2+Bs^2)/Gs + c/Gs + d*Bs/Gs turns the fit into ordinary
+// least squares in (a, b, c, d), from which
+//
+//	Rn = b, Bopt = -d/(2b), Gopt = sqrt(c/b - Bopt^2), Fmin = a + 2*b*Gopt.
+func FitNoiseParams(points []vna.SourcePullPoint, z0 float64) (noise.Params, error) {
+	if len(points) < 4 {
+		return noise.Params{}, fmt.Errorf("%w: need >= 4 source-pull points", ErrInsufficientData)
+	}
+	a := mathx.NewMatrix(len(points), 4)
+	rhs := make([]float64, len(points))
+	for i, p := range points {
+		ys := 1 / twoport.ZFromGamma(p.GammaS, z0)
+		gs, bs := real(ys), imag(ys)
+		if gs <= 0 {
+			return noise.Params{}, fmt.Errorf("extract: source state %v has non-positive conductance", p.GammaS)
+		}
+		a.Set(i, 0, 1)
+		a.Set(i, 1, (gs*gs+bs*bs)/gs)
+		a.Set(i, 2, 1/gs)
+		a.Set(i, 3, bs/gs)
+		rhs[i] = p.FLinear
+	}
+	c, err := mathx.LeastSquares(a, rhs)
+	if err != nil {
+		return noise.Params{}, fmt.Errorf("extract: Lane fit: %w", err)
+	}
+	b := c[1]
+	if b <= 0 {
+		return noise.Params{}, fmt.Errorf("extract: Lane fit produced non-physical Rn = %g", b)
+	}
+	bopt := -c[3] / (2 * b)
+	g2 := c[2]/b - bopt*bopt
+	if g2 < 0 {
+		g2 = 0
+	}
+	gopt := math.Sqrt(g2)
+	fmin := c[0] + 2*b*gopt
+	yopt := complex(gopt, bopt)
+	if yopt == 0 {
+		return noise.Params{}, fmt.Errorf("extract: Lane fit produced zero optimum admittance")
+	}
+	return noise.Params{
+		Fmin:     fmin,
+		Rn:       b,
+		GammaOpt: twoport.GammaFromZ(1/yopt, z0),
+		Z0:       z0,
+	}, nil
+}

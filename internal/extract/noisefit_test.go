@@ -1,0 +1,116 @@
+package extract
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/vna"
+)
+
+func TestFitNoiseParamsExactRecovery(t *testing.T) {
+	// Noiseless source pull must recover the device noise parameters to
+	// numerical precision.
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.52, Vds: 3}
+	f := 1.575e9
+	tp, err := d.NoisyAt(b, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := tp.NoiseParams(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := &vna.SourcePullBench{SigmaDB: 0, Seed: 1}
+	pts, err := bench.Measure(tp, vna.DefaultTunerStates())
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	got, err := FitNoiseParams(pts, 50)
+	if err != nil {
+		t.Fatalf("FitNoiseParams: %v", err)
+	}
+	if math.Abs(got.Fmin-truth.Fmin) > 1e-9 {
+		t.Errorf("Fmin = %.9f, want %.9f", got.Fmin, truth.Fmin)
+	}
+	if math.Abs(got.Rn-truth.Rn) > 1e-7 {
+		t.Errorf("Rn = %g, want %g", got.Rn, truth.Rn)
+	}
+	if cmplx.Abs(got.GammaOpt-truth.GammaOpt) > 1e-8 {
+		t.Errorf("GammaOpt = %v, want %v", got.GammaOpt, truth.GammaOpt)
+	}
+}
+
+func TestFitNoiseParamsNoisyRecovery(t *testing.T) {
+	// With 0.05 dB repeatability the recovery must stay within practical
+	// tolerances (Fmin within ~0.05 dB, GammaOpt within 0.1).
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.52, Vds: 3}
+	tp, err := d.NoisyAt(b, 1.575e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := tp.NoiseParams(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := &vna.SourcePullBench{SigmaDB: 0.05, Seed: 5}
+	pts, err := bench.Measure(tp, vna.DefaultTunerStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitNoiseParams(pts, 50)
+	if err != nil {
+		t.Fatalf("FitNoiseParams: %v", err)
+	}
+	dFminDB := math.Abs(got.FminDB() - truth.FminDB())
+	if dFminDB > 0.08 {
+		t.Errorf("Fmin off by %.3f dB under 0.05 dB noise", dFminDB)
+	}
+	if cmplx.Abs(got.GammaOpt-truth.GammaOpt) > 0.12 {
+		t.Errorf("GammaOpt %v, want near %v", got.GammaOpt, truth.GammaOpt)
+	}
+}
+
+func TestFitNoiseParamsValidation(t *testing.T) {
+	if _, err := FitNoiseParams(nil, 50); err == nil {
+		t.Error("empty data accepted")
+	}
+	// A source state outside the chart (negative conductance) must be
+	// rejected.
+	bad := []vna.SourcePullPoint{
+		{GammaS: 0, FLinear: 1.2},
+		{GammaS: 0.1, FLinear: 1.3},
+		{GammaS: 0.2i, FLinear: 1.3},
+		{GammaS: complex(1.5, 0), FLinear: 1.4}, // |gamma| > 1
+	}
+	if _, err := FitNoiseParams(bad, 50); err == nil {
+		t.Error("unphysical source state accepted")
+	}
+}
+
+func TestSourcePullBenchValidation(t *testing.T) {
+	d := device.Golden()
+	tp, err := d.NoisyAt(device.Bias{Vgs: 0.5, Vds: 3}, 1.4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := &vna.SourcePullBench{Seed: 1}
+	if _, err := bench.Measure(tp, []complex128{0, 0.1}); err == nil {
+		t.Error("too few tuner states accepted")
+	}
+}
+
+func TestDefaultTunerStatesWellConditioned(t *testing.T) {
+	states := vna.DefaultTunerStates()
+	if len(states) < 10 {
+		t.Fatalf("states = %d, want a rich set", len(states))
+	}
+	for _, g := range states {
+		if cmplx.Abs(g) >= 1 {
+			t.Errorf("state %v outside the unit disc", g)
+		}
+	}
+}

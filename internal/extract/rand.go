@@ -1,0 +1,12 @@
+package extract
+
+import "math/rand"
+
+// randFrom returns a deterministic RNG for the given seed (0 maps to 1 so a
+// zero-value config still behaves deterministically).
+func randFrom(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}

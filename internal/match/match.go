@@ -1,0 +1,231 @@
+// Package match synthesizes impedance matching networks analytically: the
+// lumped L-section and the single-stub transmission-line match. The design
+// flow uses numerical optimization for the full multi-band problem, but the
+// analytic single-frequency solutions seed designs, provide sanity anchors
+// in tests, and make the library useful as a standalone RF toolbox.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrUnmatchable reports a load that the requested topology cannot match
+// (e.g. purely reactive loads).
+var ErrUnmatchable = errors.New("match: load not matchable with this topology")
+
+// LSection is a two-element matching network: a shunt susceptance on one
+// side and a series reactance on the other, both specified at the design
+// frequency as element values (negative inductance/capacitance never
+// appears: the signs choose between L and C).
+type LSection struct {
+	// SeriesX is the series reactance in ohms (positive: inductor,
+	// negative: capacitor).
+	SeriesX float64
+	// ShuntB is the shunt susceptance in siemens (positive: capacitor,
+	// negative: inductor).
+	ShuntB float64
+	// ShuntFirst reports whether the shunt element faces the load
+	// (true when the load resistance exceeds the source resistance).
+	ShuntFirst bool
+}
+
+// SeriesElement returns the series element value at f: (inductance,
+// capacitance), exactly one of which is non-zero.
+func (l LSection) SeriesElement(f float64) (henries, farads float64) {
+	w := 2 * math.Pi * f
+	if l.SeriesX >= 0 {
+		return l.SeriesX / w, 0
+	}
+	return 0, -1 / (w * l.SeriesX)
+}
+
+// ShuntElement returns the shunt element value at f: (inductance,
+// capacitance), exactly one of which is non-zero.
+func (l LSection) ShuntElement(f float64) (henries, farads float64) {
+	w := 2 * math.Pi * f
+	if l.ShuntB >= 0 {
+		return 0, l.ShuntB / w
+	}
+	return -1 / (w * l.ShuntB), 0
+}
+
+// DesignLSection matches the complex load zl to a real source resistance
+// r0 at a single frequency, returning the L-section with the high-pass or
+// low-pass orientation selected by sign (lowpass true picks series-L /
+// shunt-C when available).
+func DesignLSection(zl complex128, r0 float64, lowpass bool) (LSection, error) {
+	rl, xl := real(zl), imag(zl)
+	if rl <= 0 || r0 <= 0 {
+		return LSection{}, fmt.Errorf("%w: load %v, source %g", ErrUnmatchable, zl, r0)
+	}
+	if rl > r0 {
+		// Shunt element at the load side: transform down.
+		// Exact classical formulas (Pozar, Microwave Engineering, ch. 5):
+		// B = (XL +/- sqrt(RL/Z0) * sqrt(RL^2 + XL^2 - Z0*RL)) / (RL^2 + XL^2)
+		// X = 1/B + XL*Z0/RL - Z0/(B*RL)
+		root := math.Sqrt(rl/r0) * math.Sqrt(rl*rl+xl*xl-r0*rl)
+		den := rl*rl + xl*xl
+		var best LSection
+		found := false
+		for _, sgn := range []float64{1, -1} {
+			b := (xl + sgn*root) / den
+			if b == 0 {
+				continue
+			}
+			x := 1/b + xl*r0/rl - r0/(b*rl)
+			cand := LSection{SeriesX: x, ShuntB: b, ShuntFirst: true}
+			if !found || matchesFamily(cand, lowpass) {
+				best = cand
+				found = true
+				if matchesFamily(cand, lowpass) {
+					break
+				}
+			}
+		}
+		if !found {
+			return LSection{}, ErrUnmatchable
+		}
+		return best, nil
+	}
+	// rl < r0: series element at the load side: transform up.
+	// X = +/- sqrt(RL*(Z0-RL)) - XL, B = +/- sqrt((Z0-RL)/RL)/Z0.
+	root := math.Sqrt(rl * (r0 - rl))
+	var best LSection
+	found := false
+	for _, sgn := range []float64{1, -1} {
+		x := sgn*root - xl
+		b := sgn * math.Sqrt((r0-rl)/rl) / r0
+		cand := LSection{SeriesX: x, ShuntB: b, ShuntFirst: false}
+		if !found || matchesFamily(cand, lowpass) {
+			best = cand
+			found = true
+			if matchesFamily(cand, lowpass) {
+				break
+			}
+		}
+	}
+	if !found {
+		return LSection{}, ErrUnmatchable
+	}
+	return best, nil
+}
+
+// matchesFamily reports whether the section is the lowpass (series-L,
+// shunt-C) or highpass flavor.
+func matchesFamily(l LSection, lowpass bool) bool {
+	if lowpass {
+		return l.SeriesX >= 0 && l.ShuntB >= 0
+	}
+	return l.SeriesX < 0 && l.ShuntB < 0
+}
+
+// InputImpedance evaluates the matched input impedance the section presents
+// when terminated by zl, for verification.
+func (l LSection) InputImpedance(zl complex128) complex128 {
+	if l.ShuntFirst {
+		// Shunt at the load, then series toward the source.
+		y := 1/zl + complex(0, l.ShuntB)
+		return 1/y + complex(0, l.SeriesX)
+	}
+	// Series at the load, then shunt toward the source.
+	z := zl + complex(0, l.SeriesX)
+	y := 1/z + complex(0, l.ShuntB)
+	return 1 / y
+}
+
+// StubMatch is a single-stub shunt matching solution on a transmission
+// line: a line length d from the load, then an open- or short-circuited
+// stub of length lStub, both in electrical radians (beta*l).
+type StubMatch struct {
+	// DistRad is the electrical distance from the load to the stub.
+	DistRad float64
+	// StubRad is the electrical stub length.
+	StubRad float64
+	// Open reports whether the stub is open-circuited (else shorted).
+	Open bool
+}
+
+// DesignSingleStub matches load zl to line impedance z0 with a shunt stub.
+// It returns the solution with the shortest positive stub position.
+func DesignSingleStub(zl complex128, z0 float64, open bool) (StubMatch, error) {
+	if real(zl) <= 0 {
+		return StubMatch{}, fmt.Errorf("%w: load %v", ErrUnmatchable, zl)
+	}
+	if cmplx.Abs(zl-complex(z0, 0)) < 1e-12 {
+		return StubMatch{DistRad: 0, StubRad: stubLenFor(0, open), Open: open}, nil
+	}
+	// Distance solutions t = tan(beta*d) from the classical quadratic
+	// (Pozar, Microwave Engineering, section 5.2).
+	rl, xl := real(zl), imag(zl)
+	var ts []float64
+	if math.Abs(rl-z0) < 1e-12 {
+		ts = []float64{-xl / (2 * z0)}
+	} else {
+		disc := rl * ((z0-rl)*(z0-rl) + xl*xl) / z0
+		if disc < 0 {
+			return StubMatch{}, ErrUnmatchable
+		}
+		sq := math.Sqrt(disc)
+		ts = []float64{(xl + sq) / (rl - z0), (xl - sq) / (rl - z0)}
+	}
+	best := StubMatch{DistRad: math.Inf(1)}
+	for _, t := range ts {
+		d := math.Atan(t)
+		for d < 0 {
+			d += math.Pi
+		}
+		// Susceptance to cancel at the stub plane (absolute siemens),
+		// normalized to the line for the stub-length formula.
+		den := rl*rl + (xl+z0*t)*(xl+z0*t)
+		b := (rl*rl*t - (z0-xl*t)*(xl+z0*t)) / (z0 * den)
+		stub := stubLenFor(b*z0, open)
+		if d < best.DistRad {
+			best = StubMatch{DistRad: d, StubRad: stub, Open: open}
+		}
+	}
+	if math.IsInf(best.DistRad, 1) {
+		return StubMatch{}, ErrUnmatchable
+	}
+	return best, nil
+}
+
+// stubLenFor returns the electrical length of an open/short stub with input
+// susceptance -b (normalized to 1/z0... here b is the absolute susceptance
+// times z0 handled by caller convention: we need stub input susceptance
+// Bstub = -B to cancel).
+func stubLenFor(b float64, open bool) float64 {
+	// Open stub: Bin = (1/z0) tan(beta l)  -> normalized tan(bl) = -b*z0.
+	// Short stub: Bin = -(1/z0) cot(beta l) -> cot(bl) = b*z0.
+	var l float64
+	if open {
+		l = math.Atan(-b)
+	} else {
+		l = math.Atan2(1, b)
+	}
+	for l < 0 {
+		l += math.Pi
+	}
+	return l
+}
+
+// InputImpedance evaluates the matched line system terminated in zl, for
+// verification: the load seen through distance DistRad with the stub in
+// shunt at that plane, all on lines of impedance z0.
+func (m StubMatch) InputImpedance(zl complex128, z0 float64) complex128 {
+	zc := complex(z0, 0)
+	// Transform the load along the line.
+	t := complex(math.Tan(m.DistRad), 0)
+	zd := zc * (zl + zc*1i*t) / (zc + zl*1i*t)
+	// Stub input admittance.
+	var ystub complex128
+	if m.Open {
+		ystub = complex(0, math.Tan(m.StubRad)) / zc
+	} else {
+		ystub = complex(0, -1/math.Tan(m.StubRad)) / zc
+	}
+	y := 1/zd + ystub
+	return 1 / y
+}

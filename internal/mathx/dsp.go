@@ -1,0 +1,54 @@
+package mathx
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Goertzel computes the single-bin DFT of the real-valued samples x at the
+// (possibly fractional) bin k = f/fs * N, returning the complex spectral
+// amplitude normalized so that a pure tone A*cos(2*pi*f*t + phi) sampled
+// coherently yields magnitude A.
+func Goertzel(x []float64, freq, sampleRate float64) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Standard Goertzel finalization yields the DFT bin value; normalize to
+	// single-tone amplitude (x2/N accounts for the split between +f and -f).
+	re := s1 - s2*math.Cos(w)
+	im := s2 * math.Sin(w)
+	return complex(re, im) * complex(2/float64(n), 0)
+}
+
+// ToneAmplitude returns the amplitude of the tone at freq in the coherently
+// sampled real signal x.
+func ToneAmplitude(x []float64, freq, sampleRate float64) float64 {
+	return cmplx.Abs(Goertzel(x, freq, sampleRate))
+}
+
+// CoherentSampling picks a sample rate and sample count such that every
+// frequency in freqs completes an integer number of cycles in the record,
+// which makes Goertzel bins leakage-free. All freqs must be integer multiples
+// of resolution. It returns the sample rate fs = oversample * maxFreq rounded
+// to a multiple of resolution, and the record length N = fs / resolution.
+func CoherentSampling(freqs []float64, resolution float64, oversample int) (sampleRate float64, n int) {
+	var fmax float64
+	for _, f := range freqs {
+		if f > fmax {
+			fmax = f
+		}
+	}
+	fs := float64(oversample) * fmax
+	cycles := math.Ceil(fs / resolution)
+	fs = cycles * resolution
+	return fs, int(cycles)
+}

@@ -1,0 +1,67 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoertzelSingleTone(t *testing.T) {
+	fs := 1e6
+	n := 1000 // 1 kHz resolution
+	freq := 50e3
+	amp := 0.7
+	phase := 0.3
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = amp * math.Cos(2*math.Pi*freq*ti+phase)
+	}
+	got := ToneAmplitude(x, freq, fs)
+	if math.Abs(got-amp) > 1e-9 {
+		t.Errorf("amplitude = %g, want %g", got, amp)
+	}
+	// A bin with no tone must read (nearly) zero.
+	if off := ToneAmplitude(x, 60e3, fs); off > 1e-9 {
+		t.Errorf("off-bin amplitude = %g, want ~0", off)
+	}
+}
+
+func TestGoertzelTwoTonesSeparation(t *testing.T) {
+	fs := 2e6
+	n := 2000
+	f1, f2 := 100e3, 103e3
+	a1, a2 := 1.0, 0.01
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = a1*math.Cos(2*math.Pi*f1*ti) + a2*math.Cos(2*math.Pi*f2*ti)
+	}
+	if got := ToneAmplitude(x, f1, fs); math.Abs(got-a1) > 1e-9 {
+		t.Errorf("tone1 = %g, want %g", got, a1)
+	}
+	if got := ToneAmplitude(x, f2, fs); math.Abs(got-a2) > 1e-9 {
+		t.Errorf("tone2 = %g, want %g", got, a2)
+	}
+}
+
+func TestGoertzelDCAndEmpty(t *testing.T) {
+	if got := Goertzel(nil, 1, 10); got != 0 {
+		t.Errorf("Goertzel(nil) = %v, want 0", got)
+	}
+}
+
+func TestCoherentSampling(t *testing.T) {
+	freqs := []float64{1.5748e9, 1.5758e9, 1.5768e9}
+	res := 100e3
+	fs, n := CoherentSampling(freqs, res, 8)
+	if fs < 8*1.5768e9 {
+		t.Errorf("fs = %g below 8x max tone", fs)
+	}
+	// Every tone must fall on an exact bin: f/fs*N integer.
+	for _, f := range freqs {
+		bins := f / fs * float64(n)
+		if math.Abs(bins-math.Round(bins)) > 1e-6 {
+			t.Errorf("tone %g not on an exact bin (%g)", f, bins)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// errUnsortedKnots reports interpolation knots that are not strictly
+// increasing.
+var errUnsortedKnots = errors.New("mathx: interpolation knots must be strictly increasing")
+
+// LinearInterp evaluates a piecewise-linear interpolant through (xs, ys) at
+// x. Outside the knot range the boundary segments are extrapolated.
+func LinearInterp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		panic("mathx: LinearInterp requires equal, non-empty xs and ys")
+	}
+	if n == 1 {
+		return ys[0]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	if x1 == x0 {
+		return y0
+	}
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Spline is a natural cubic spline interpolant.
+type Spline struct {
+	xs, ys []float64
+	m      []float64 // second derivatives at the knots
+}
+
+// NewSpline constructs a natural cubic spline through the given knots, which
+// must be strictly increasing in x.
+func NewSpline(xs, ys []float64) (*Spline, error) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return nil, fmt.Errorf("mathx: NewSpline requires >= 2 equal-length knots, got %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, errUnsortedKnots
+		}
+	}
+	s := &Spline{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		m:  make([]float64, n),
+	}
+	if n == 2 {
+		return s, nil // linear segment; second derivatives stay zero
+	}
+	// Tridiagonal system for natural spline second derivatives (Thomas
+	// algorithm).
+	a := make([]float64, n) // sub-diagonal
+	b := make([]float64, n) // diagonal
+	c := make([]float64, n) // super-diagonal
+	d := make([]float64, n) // rhs
+	b[0], b[n-1] = 1, 1
+	for i := 1; i < n-1; i++ {
+		h0 := xs[i] - xs[i-1]
+		h1 := xs[i+1] - xs[i]
+		a[i] = h0
+		b[i] = 2 * (h0 + h1)
+		c[i] = h1
+		d[i] = 6 * ((ys[i+1]-ys[i])/h1 - (ys[i]-ys[i-1])/h0)
+	}
+	for i := 1; i < n; i++ {
+		w := a[i] / b[i-1]
+		b[i] -= w * c[i-1]
+		d[i] -= w * d[i-1]
+	}
+	s.m[n-1] = d[n-1] / b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		s.m[i] = (d[i] - c[i]*s.m[i+1]) / b[i]
+	}
+	return s, nil
+}
+
+// Eval evaluates the spline at x. Outside the knot range the boundary cubic
+// pieces are extrapolated.
+func (s *Spline) Eval(x float64) float64 {
+	n := len(s.xs)
+	i := sort.SearchFloat64s(s.xs, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	h := s.xs[i] - s.xs[i-1]
+	t := (x - s.xs[i-1]) / h
+	u := 1 - t
+	return u*s.ys[i-1] + t*s.ys[i] +
+		h*h/6*((u*u*u-u)*s.m[i-1]+(t*t*t-t)*s.m[i])
+}

@@ -1,0 +1,117 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearInterpExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 3, 7}
+	ys := []float64{5, -1, 2, 2}
+	for i := range xs {
+		if got := LinearInterp(xs, ys, xs[i]); !Close(got, ys[i], 1e-12) {
+			t.Errorf("LinearInterp at knot %d = %g, want %g", i, got, ys[i])
+		}
+	}
+}
+
+func TestLinearInterpMidpoint(t *testing.T) {
+	xs := []float64{0, 2}
+	ys := []float64{0, 10}
+	if got := LinearInterp(xs, ys, 1); !Close(got, 5, 1e-12) {
+		t.Errorf("midpoint = %g, want 5", got)
+	}
+	// Extrapolation continues the boundary segment.
+	if got := LinearInterp(xs, ys, 3); !Close(got, 15, 1e-12) {
+		t.Errorf("extrapolated = %g, want 15", got)
+	}
+}
+
+func TestSplineReproducesLine(t *testing.T) {
+	// A natural cubic spline through collinear points is exactly the line.
+	xs := Linspace(0, 10, 8)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 2
+	}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatalf("NewSpline: %v", err)
+	}
+	for _, x := range Linspace(0, 10, 41) {
+		if got := s.Eval(x); !Close(got, 3*x-2, 1e-9) {
+			t.Errorf("spline(%g) = %g, want %g", x, got, 3*x-2)
+		}
+	}
+}
+
+func TestSplineInterpolatesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2, 4, 5}
+	ys := []float64{1, 3, 2, -1, 0}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatalf("NewSpline: %v", err)
+	}
+	for i := range xs {
+		if got := s.Eval(xs[i]); !Close(got, ys[i], 1e-10) {
+			t.Errorf("spline at knot %g = %g, want %g", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestSplineApproximatesSine(t *testing.T) {
+	xs := Linspace(0, math.Pi, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Sin(x)
+	}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatalf("NewSpline: %v", err)
+	}
+	for _, x := range Linspace(0.1, math.Pi-0.1, 50) {
+		if got := s.Eval(x); math.Abs(got-math.Sin(x)) > 1e-4 {
+			t.Errorf("spline(%g) = %g, want sin = %g", x, got, math.Sin(x))
+		}
+	}
+}
+
+func TestSplineRejectsUnsorted(t *testing.T) {
+	if _, err := NewSpline([]float64{0, 2, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error for unsorted knots")
+	}
+	if _, err := NewSpline([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("want error for single knot")
+	}
+}
+
+func TestSplineMonotoneDataStaysBounded(t *testing.T) {
+	// Property: spline through random monotone data stays within a modest
+	// overshoot factor of the data range on the knot interval.
+	f := func(seed int64) bool {
+		xs := Linspace(0, 1, 6)
+		ys := make([]float64, 6)
+		acc := 0.0
+		for i := range ys {
+			acc += 0.1 + math.Abs(math.Sin(float64(seed)+float64(i)))
+			ys[i] = acc
+		}
+		s, err := NewSpline(xs, ys)
+		if err != nil {
+			return false
+		}
+		lo, hi := ys[0], ys[5]
+		span := hi - lo
+		for _, x := range Linspace(0, 1, 51) {
+			v := s.Eval(x)
+			if v < lo-span || v > hi+span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package mathx
+
+import "fmt"
+
+// PolyEval evaluates the polynomial with coefficients c (c[0] + c[1] x +
+// c[2] x^2 + ...) at x using Horner's scheme.
+func PolyEval(c []float64, x float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// PolyDeriv returns the coefficients of the derivative of the polynomial c.
+func PolyDeriv(c []float64) []float64 {
+	if len(c) <= 1 {
+		return []float64{0}
+	}
+	d := make([]float64, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		d[i-1] = float64(i) * c[i]
+	}
+	return d
+}
+
+// PolyFit fits a polynomial of the given degree to the points (xs, ys) in the
+// least-squares sense and returns its coefficients, lowest order first.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("mathx: PolyFit degree must be non-negative, got %d", degree)
+	}
+	if len(xs) != len(ys) || len(xs) < degree+1 {
+		return nil, fmt.Errorf("mathx: PolyFit needs >= %d equal-length points, got %d/%d", degree+1, len(xs), len(ys))
+	}
+	a := NewMatrix(len(xs), degree+1)
+	for i, x := range xs {
+		p := 1.0
+		for j := 0; j <= degree; j++ {
+			a.Set(i, j, p)
+			p *= x
+		}
+	}
+	return LeastSquares(a, ys)
+}
+
+// Derivative computes a central-difference numerical derivative of f at x
+// with a scale-aware step.
+func Derivative(f func(float64) float64, x float64) float64 {
+	h := 1e-6 * (1 + abs(x))
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// Derivative2 computes a central-difference numerical second derivative of f
+// at x.
+func Derivative2(f func(float64) float64, x float64) float64 {
+	h := 1e-4 * (1 + abs(x))
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// Derivative3 computes a numerical third derivative of f at x.
+func Derivative3(f func(float64) float64, x float64) float64 {
+	h := 1e-3 * (1 + abs(x))
+	return (f(x+2*h) - 2*f(x+h) + 2*f(x-h) - f(x-2*h)) / (2 * h * h * h)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Jacobian computes the numerical Jacobian of a vector function f at x using
+// forward differences: J[i][j] = df_i/dx_j. The returned matrix has one row
+// per component of f(x).
+func Jacobian(f func([]float64) []float64, x []float64) *Matrix {
+	fx := f(x)
+	j := NewMatrix(len(fx), len(x))
+	xp := append([]float64(nil), x...)
+	for col := range x {
+		h := 1e-7 * (1 + abs(x[col]))
+		xp[col] = x[col] + h
+		fp := f(xp)
+		xp[col] = x[col]
+		for row := range fp {
+			j.Set(row, col, (fp[row]-fx[row])/h)
+		}
+	}
+	return j
+}

@@ -1,0 +1,97 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 1 + 2x + 3x^2
+	c := []float64{1, 2, 3}
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 6}, {2, 17}, {-1, 2},
+	}
+	for _, tc := range cases {
+		if got := PolyEval(c, tc.x); !Close(got, tc.want, 1e-12) {
+			t.Errorf("PolyEval(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPolyDeriv(t *testing.T) {
+	// d/dx (1 + 2x + 3x^2 + 4x^3) = 2 + 6x + 12x^2
+	d := PolyDeriv([]float64{1, 2, 3, 4})
+	want := []float64{2, 6, 12}
+	if len(d) != len(want) {
+		t.Fatalf("deriv len = %d, want %d", len(d), len(want))
+	}
+	for i := range want {
+		if !Close(d[i], want[i], 1e-12) {
+			t.Errorf("deriv[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	if d := PolyDeriv([]float64{5}); len(d) != 1 || d[0] != 0 {
+		t.Errorf("deriv of constant = %v, want [0]", d)
+	}
+}
+
+func TestPolyFitRecoversCubic(t *testing.T) {
+	want := []float64{0.5, -1, 2, 0.25}
+	xs := Linspace(-2, 2, 15)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = PolyEval(want, x)
+	}
+	got, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	for i := range want {
+		if !Close(got[i], want[i], 1e-8) {
+			t.Errorf("coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("want error when points < degree+1")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("want error for negative degree")
+	}
+}
+
+func TestNumericalDerivatives(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(0.5 * x) }
+	x := 1.3
+	want1 := 0.5 * math.Exp(0.5*x)
+	want2 := 0.25 * math.Exp(0.5*x)
+	want3 := 0.125 * math.Exp(0.5*x)
+	if got := Derivative(f, x); math.Abs(got-want1) > 1e-6 {
+		t.Errorf("Derivative = %g, want %g", got, want1)
+	}
+	if got := Derivative2(f, x); math.Abs(got-want2) > 1e-5 {
+		t.Errorf("Derivative2 = %g, want %g", got, want2)
+	}
+	if got := Derivative3(f, x); math.Abs(got-want3) > 1e-4 {
+		t.Errorf("Derivative3 = %g, want %g", got, want3)
+	}
+}
+
+func TestJacobianLinearMap(t *testing.T) {
+	// f(x) = A x has Jacobian exactly A.
+	a := MatrixFromRows([][]float64{
+		{1, -2, 0.5},
+		{3, 4, -1},
+	})
+	f := func(x []float64) []float64 { return a.MulVec(x) }
+	j := Jacobian(f, []float64{0.3, -0.7, 2})
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 3; k++ {
+			if math.Abs(j.At(i, k)-a.At(i, k)) > 1e-5 {
+				t.Errorf("J[%d][%d] = %g, want %g", i, k, j.At(i, k), a.At(i, k))
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveRKnown(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{4, 1},
+		{1, 3},
+	})
+	b := []float64{1, 2}
+	x, err := SolveR(a, b)
+	if err != nil {
+		t.Fatalf("SolveR: %v", err)
+	}
+	// Solved by hand: x = (1/11)[1, 7]
+	if !Close(x[0], 1.0/11, 1e-12) || !Close(x[1], 7.0/11, 1e-12) {
+		t.Errorf("x = %v, want [1/11 7/11]", x)
+	}
+}
+
+func TestSolveRSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveR(a, []float64{1, 1}); err == nil {
+		t.Fatal("want error on singular system")
+	}
+}
+
+func TestSolveRRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		got, err := SolveR(a, a.MulVec(want))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if !Close(got[i], want[i], 1e-9) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// Overdetermined but consistent: y = 2 + 3x sampled at 5 points.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2 + 3*x
+	}
+	c, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !Close(c[0], 2, 1e-8) || !Close(c[1], 3, 1e-8) {
+		t.Errorf("coefficients = %v, want [2 3]", c)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be (nearly) orthogonal to the column space.
+	rng := rand.New(rand.NewSource(5))
+	a := NewMatrix(20, 3)
+	b := make([]float64, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	ax := a.MulVec(x)
+	r := make([]float64, len(b))
+	for i := range b {
+		r[i] = b[i] - ax[i]
+	}
+	atr := a.Transpose().MulVec(r)
+	for j, v := range atr {
+		if math.Abs(v) > 1e-6 {
+			t.Errorf("A^T r [%d] = %g, want ~0", j, v)
+		}
+	}
+}
+
+func TestMatrixTransposeInvolution(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := a.Transpose().Transpose()
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != tt.At(i, j) {
+				t.Fatalf("transpose involution broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}

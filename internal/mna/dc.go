@@ -1,0 +1,244 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+)
+
+// ErrNoConvergence reports a Newton iteration that failed to settle.
+var ErrNoConvergence = errors.New("mna: DC Newton iteration did not converge")
+
+// DCCircuit is a nonlinear DC circuit solved by Newton-Raphson on the
+// modified nodal equations: resistors, current and voltage sources, and
+// FETs described by any device.DCModel. It computes the true operating
+// point of the amplifier's bias network — divider, feed resistors and the
+// transistor's own I-V feedback — rather than assuming ideal bias voltages.
+type DCCircuit struct {
+	nodeIndex map[string]int
+	nodeNames []string
+
+	resistors []dcResistor
+	isources  []dcISource
+	vsources  []dcVSource
+	fets      []dcFET
+}
+
+type dcResistor struct {
+	a, b int
+	g    float64
+}
+
+type dcISource struct {
+	a, b int // current flows from a to b through the source (into b)
+	amps float64
+}
+
+type dcVSource struct {
+	plus, minus int
+	volts       float64
+}
+
+type dcFET struct {
+	model            device.DCModel
+	gate, drain, src int
+}
+
+// NewDC returns an empty DC circuit.
+func NewDC() *DCCircuit {
+	return &DCCircuit{nodeIndex: make(map[string]int)}
+}
+
+func (c *DCCircuit) node(name string) int {
+	if name == Ground || name == "gnd" || name == "GND" {
+		return -1
+	}
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	i := len(c.nodeNames)
+	c.nodeIndex[name] = i
+	c.nodeNames = append(c.nodeNames, name)
+	return i
+}
+
+// AddR places a resistor between nodes a and b.
+func (c *DCCircuit) AddR(a, b string, ohms float64) {
+	c.resistors = append(c.resistors, dcResistor{c.node(a), c.node(b), 1 / ohms})
+}
+
+// AddI places a DC current source driving amps from node a to node b.
+func (c *DCCircuit) AddI(a, b string, amps float64) {
+	c.isources = append(c.isources, dcISource{c.node(a), c.node(b), amps})
+}
+
+// AddV places an ideal DC voltage source of volts between plus and minus.
+func (c *DCCircuit) AddV(plus, minus string, volts float64) {
+	c.vsources = append(c.vsources, dcVSource{c.node(plus), c.node(minus), volts})
+}
+
+// AddFET places a transistor described by the DC model with its gate, drain
+// and source terminals.
+func (c *DCCircuit) AddFET(m device.DCModel, gate, drain, src string) {
+	c.fets = append(c.fets, dcFET{m, c.node(gate), c.node(drain), c.node(src)})
+}
+
+// OperatingPoint solves the nonlinear DC equations and returns the node
+// voltages by name.
+func (c *DCCircuit) OperatingPoint() (map[string]float64, error) {
+	n := len(c.nodeNames)
+	if n == 0 {
+		return nil, errors.New("mna: empty DC circuit")
+	}
+	nv := len(c.vsources)
+	dim := n + nv
+	x := make([]float64, dim) // node voltages then source currents
+
+	vAt := func(idx int) float64 {
+		if idx < 0 {
+			return 0
+		}
+		return x[idx]
+	}
+
+	const (
+		maxIter = 200
+		tol     = 1e-10
+		maxStep = 0.5 // volts per Newton step on any node (damping)
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		j := mathx.NewMatrix(dim, dim)
+		f := make([]float64, dim) // residual: KCL currents + source equations
+
+		stampG := func(a, b int, g float64) {
+			if a >= 0 {
+				j.Add(a, a, g)
+			}
+			if b >= 0 {
+				j.Add(b, b, g)
+			}
+			if a >= 0 && b >= 0 {
+				j.Add(a, b, -g)
+				j.Add(b, a, -g)
+			}
+		}
+		addCurrent := func(node int, i float64) {
+			if node >= 0 {
+				f[node] += i
+			}
+		}
+
+		// Resistors: current a->b = g*(Va-Vb).
+		for _, r := range c.resistors {
+			i := r.g * (vAt(r.a) - vAt(r.b))
+			addCurrent(r.a, i)
+			addCurrent(r.b, -i)
+			stampG(r.a, r.b, r.g)
+		}
+		// Current sources.
+		for _, s := range c.isources {
+			addCurrent(s.a, s.amps)
+			addCurrent(s.b, -s.amps)
+		}
+		// Voltage sources: extra unknown x[n+k] is the current flowing from
+		// plus through the source to minus.
+		for k, s := range c.vsources {
+			row := n + k
+			i := x[row]
+			addCurrent(s.plus, i)
+			addCurrent(s.minus, -i)
+			if s.plus >= 0 {
+				j.Add(s.plus, row, 1)
+				j.Add(row, s.plus, 1)
+			}
+			if s.minus >= 0 {
+				j.Add(s.minus, row, -1)
+				j.Add(row, s.minus, -1)
+			}
+			f[row] = vAt(s.plus) - vAt(s.minus) - s.volts
+		}
+		// FETs: drain current Ids(vgs, vds) flows drain -> source.
+		for _, t := range c.fets {
+			vg, vd, vs := vAt(t.gate), vAt(t.drain), vAt(t.src)
+			vgs, vds := vg-vs, vd-vs
+			ids := t.model.Ids(vgs, vds)
+			gm := device.Gm(t.model, vgs, vds)
+			gds := device.Gds(t.model, vgs, vds)
+			addCurrent(t.drain, ids)
+			addCurrent(t.src, -ids)
+			// dIds/dVg = gm, /dVd = gds, /dVs = -(gm+gds).
+			stampFET := func(row int, sign float64) {
+				if row < 0 {
+					return
+				}
+				if t.gate >= 0 {
+					j.Add(row, t.gate, sign*gm)
+				}
+				if t.drain >= 0 {
+					j.Add(row, t.drain, sign*gds)
+				}
+				if t.src >= 0 {
+					j.Add(row, t.src, -sign*(gm+gds))
+				}
+			}
+			stampFET(t.drain, 1)
+			stampFET(t.src, -1)
+		}
+
+		// Converged when the residual is tiny.
+		var rn float64
+		for _, v := range f {
+			rn += v * v
+		}
+		if math.Sqrt(rn) < tol {
+			out := make(map[string]float64, n)
+			for i, name := range c.nodeNames {
+				out[name] = x[i]
+			}
+			return out, nil
+		}
+
+		// Newton step: J dx = -f.
+		rhs := make([]float64, dim)
+		for i := range f {
+			rhs[i] = -f[i]
+		}
+		dx, err := mathx.SolveR(j, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("mna: DC Jacobian singular at iteration %d: %w", iter, err)
+		}
+		// Damped update.
+		scale := 1.0
+		for i := 0; i < n; i++ {
+			if s := math.Abs(dx[i]); s > maxStep {
+				scale = math.Min(scale, maxStep/s)
+			}
+		}
+		for i := range x {
+			x[i] += scale * dx[i]
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// FETBias reports the operating point of the k-th FET after a solve.
+func (c *DCCircuit) FETBias(voltages map[string]float64, k int) (device.Bias, float64, error) {
+	if k < 0 || k >= len(c.fets) {
+		return device.Bias{}, 0, fmt.Errorf("mna: no FET %d", k)
+	}
+	t := c.fets[k]
+	get := func(idx int) float64 {
+		if idx < 0 {
+			return 0
+		}
+		return voltages[c.nodeNames[idx]]
+	}
+	b := device.Bias{
+		Vgs: get(t.gate) - get(t.src),
+		Vds: get(t.drain) - get(t.src),
+	}
+	return b, t.model.Ids(b.Vgs, b.Vds), nil
+}

@@ -1,0 +1,339 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+)
+
+// TransientCircuit is a nonlinear time-domain circuit: resistors,
+// capacitors, inductors, FETs and time-dependent sources, integrated with
+// the trapezoidal rule and a Newton solve per step. The design flow uses it
+// to check the bias network's power-up behaviour (supply ramp, decoupling
+// charge, gate overshoot) that no frequency-domain view can show.
+type TransientCircuit struct {
+	nodeIndex map[string]int
+	nodeNames []string
+
+	resistors []dcResistor
+	caps      []trCap
+	inds      []trInd
+	fets      []dcFET
+	vsources  []trVSource
+	isources  []trISource
+}
+
+type trCap struct {
+	a, b   int
+	farads float64
+	// state: voltage and current at the previous accepted step
+	vPrev, iPrev float64
+}
+
+type trInd struct {
+	a, b    int
+	henries float64
+	vPrev   float64
+	iPrev   float64
+}
+
+type trVSource struct {
+	plus, minus int
+	volts       func(t float64) float64
+}
+
+type trISource struct {
+	a, b int
+	amps func(t float64) float64
+}
+
+// NewTransient returns an empty transient circuit.
+func NewTransient() *TransientCircuit {
+	return &TransientCircuit{nodeIndex: make(map[string]int)}
+}
+
+func (c *TransientCircuit) node(name string) int {
+	if name == Ground || name == "gnd" || name == "GND" {
+		return -1
+	}
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	i := len(c.nodeNames)
+	c.nodeIndex[name] = i
+	c.nodeNames = append(c.nodeNames, name)
+	return i
+}
+
+// AddR places a resistor between a and b.
+func (c *TransientCircuit) AddR(a, b string, ohms float64) {
+	c.resistors = append(c.resistors, dcResistor{c.node(a), c.node(b), 1 / ohms})
+}
+
+// AddC places a capacitor between a and b (initially discharged).
+func (c *TransientCircuit) AddC(a, b string, farads float64) {
+	c.caps = append(c.caps, trCap{a: c.node(a), b: c.node(b), farads: farads})
+}
+
+// AddL places an inductor between a and b (initially currentless).
+func (c *TransientCircuit) AddL(a, b string, henries float64) {
+	c.inds = append(c.inds, trInd{a: c.node(a), b: c.node(b), henries: henries})
+}
+
+// AddFET places a transistor with the given DC model.
+func (c *TransientCircuit) AddFET(m device.DCModel, gate, drain, src string) {
+	c.fets = append(c.fets, dcFET{m, c.node(gate), c.node(drain), c.node(src)})
+}
+
+// AddV places a time-dependent voltage source.
+func (c *TransientCircuit) AddV(plus, minus string, volts func(t float64) float64) {
+	c.vsources = append(c.vsources, trVSource{c.node(plus), c.node(minus), volts})
+}
+
+// AddI places a time-dependent current source driving from a to b.
+func (c *TransientCircuit) AddI(a, b string, amps func(t float64) float64) {
+	c.isources = append(c.isources, trISource{c.node(a), c.node(b), amps})
+}
+
+// Step is the proposal the per-timestep Newton solves: node voltages plus
+// voltage-source currents.
+//
+// Trapezoidal companion models:
+//
+//	capacitor: i = Geq*v - (Geq*vPrev + iPrev), Geq = 2C/h
+//	inductor:  i = Geq*v + (iPrev + Geq*vPrev), Geq = h/(2L)
+//
+// RampV returns a supply that ramps linearly from 0 to v over rise seconds.
+func RampV(v, rise float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		if t >= rise {
+			return v
+		}
+		return v * t / rise
+	}
+}
+
+// StepV returns an ideal step to v at t = 0.
+func StepV(v float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// Waveform is one node's sampled response.
+type Waveform struct {
+	// Times holds the sample instants.
+	Times []float64
+	// V holds the node voltage at each instant.
+	V []float64
+}
+
+// ErrTransientDiverged reports a Newton failure during integration.
+var ErrTransientDiverged = errors.New("mna: transient Newton diverged")
+
+// Run integrates from 0 to tEnd with fixed step h and returns the waveform
+// of every requested node.
+func (c *TransientCircuit) Run(tEnd, h float64, watch []string) (map[string]*Waveform, error) {
+	n := len(c.nodeNames)
+	if n == 0 {
+		return nil, errors.New("mna: empty transient circuit")
+	}
+	if h <= 0 || tEnd <= 0 {
+		return nil, fmt.Errorf("mna: invalid transient window (%g, %g)", tEnd, h)
+	}
+	for _, w := range watch {
+		if _, ok := c.nodeIndex[w]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, w)
+		}
+	}
+	nv := len(c.vsources)
+	dim := n + nv
+	x := make([]float64, dim)
+	out := make(map[string]*Waveform, len(watch))
+	for _, w := range watch {
+		out[w] = &Waveform{}
+	}
+	record := func(t float64) {
+		for _, w := range watch {
+			wf := out[w]
+			wf.Times = append(wf.Times, t)
+			wf.V = append(wf.V, x[c.nodeIndex[w]])
+		}
+	}
+	record(0)
+
+	vAt := func(xv []float64, idx int) float64 {
+		if idx < 0 {
+			return 0
+		}
+		return xv[idx]
+	}
+
+	steps := int(math.Ceil(tEnd / h))
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * h
+		// Newton solve for this step, warm-started from the previous one.
+		converged := false
+		for iter := 0; iter < 80; iter++ {
+			j := mathx.NewMatrix(dim, dim)
+			f := make([]float64, dim)
+			stampG := func(a, b int, g float64) {
+				if a >= 0 {
+					j.Add(a, a, g)
+				}
+				if b >= 0 {
+					j.Add(b, b, g)
+				}
+				if a >= 0 && b >= 0 {
+					j.Add(a, b, -g)
+					j.Add(b, a, -g)
+				}
+			}
+			addCur := func(node int, i float64) {
+				if node >= 0 {
+					f[node] += i
+				}
+			}
+			for _, r := range c.resistors {
+				i := r.g * (vAt(x, r.a) - vAt(x, r.b))
+				addCur(r.a, i)
+				addCur(r.b, -i)
+				stampG(r.a, r.b, r.g)
+			}
+			for k := range c.caps {
+				cp := &c.caps[k]
+				geq := 2 * cp.farads / h
+				v := vAt(x, cp.a) - vAt(x, cp.b)
+				i := geq*v - (geq*cp.vPrev + cp.iPrev)
+				addCur(cp.a, i)
+				addCur(cp.b, -i)
+				stampG(cp.a, cp.b, geq)
+			}
+			for k := range c.inds {
+				ld := &c.inds[k]
+				geq := h / (2 * ld.henries)
+				v := vAt(x, ld.a) - vAt(x, ld.b)
+				i := geq*v + ld.iPrev + geq*ld.vPrev
+				addCur(ld.a, i)
+				addCur(ld.b, -i)
+				stampG(ld.a, ld.b, geq)
+			}
+			for _, t2 := range c.fets {
+				vg, vd, vs := vAt(x, t2.gate), vAt(x, t2.drain), vAt(x, t2.src)
+				vgs, vds := vg-vs, vd-vs
+				ids := t2.model.Ids(vgs, vds)
+				gm := device.Gm(t2.model, vgs, vds)
+				gds := device.Gds(t2.model, vgs, vds)
+				addCur(t2.drain, ids)
+				addCur(t2.src, -ids)
+				stamp := func(row int, sign float64) {
+					if row < 0 {
+						return
+					}
+					if t2.gate >= 0 {
+						j.Add(row, t2.gate, sign*gm)
+					}
+					if t2.drain >= 0 {
+						j.Add(row, t2.drain, sign*gds)
+					}
+					if t2.src >= 0 {
+						j.Add(row, t2.src, -sign*(gm+gds))
+					}
+				}
+				stamp(t2.drain, 1)
+				stamp(t2.src, -1)
+			}
+			for _, s2 := range c.isources {
+				i := s2.amps(t)
+				addCur(s2.a, i)
+				addCur(s2.b, -i)
+			}
+			for k, s2 := range c.vsources {
+				row := n + k
+				i := x[row]
+				addCur(s2.plus, i)
+				addCur(s2.minus, -i)
+				if s2.plus >= 0 {
+					j.Add(s2.plus, row, 1)
+					j.Add(row, s2.plus, 1)
+				}
+				if s2.minus >= 0 {
+					j.Add(s2.minus, row, -1)
+					j.Add(row, s2.minus, -1)
+				}
+				f[row] = vAt(x, s2.plus) - vAt(x, s2.minus) - s2.volts(t)
+			}
+			var rn float64
+			for _, v := range f {
+				rn += v * v
+			}
+			if math.Sqrt(rn) < 1e-9 {
+				converged = true
+				break
+			}
+			rhs := make([]float64, dim)
+			for i := range f {
+				rhs[i] = -f[i]
+			}
+			dx, err := mathx.SolveR(j, rhs)
+			if err != nil {
+				return nil, fmt.Errorf("mna: transient Jacobian at t=%g: %w", t, err)
+			}
+			scale := 1.0
+			for i := 0; i < n; i++ {
+				if s := math.Abs(dx[i]); s > 1.0 {
+					scale = math.Min(scale, 1.0/s)
+				}
+			}
+			for i := range x {
+				x[i] += scale * dx[i]
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("%w at t=%g", ErrTransientDiverged, t)
+		}
+		// Commit reactive states (trapezoidal current at the new point).
+		for k := range c.caps {
+			cp := &c.caps[k]
+			geq := 2 * cp.farads / h
+			v := vAt(x, cp.a) - vAt(x, cp.b)
+			i := geq*v - (geq*cp.vPrev + cp.iPrev)
+			cp.vPrev, cp.iPrev = v, i
+		}
+		for k := range c.inds {
+			ld := &c.inds[k]
+			geq := h / (2 * ld.henries)
+			v := vAt(x, ld.a) - vAt(x, ld.b)
+			i := geq*v + ld.iPrev + geq*ld.vPrev
+			ld.vPrev, ld.iPrev = v, i
+		}
+		record(t)
+	}
+	return out, nil
+}
+
+// Final returns the last sample of a waveform.
+func (w *Waveform) Final() float64 {
+	if len(w.V) == 0 {
+		return math.NaN()
+	}
+	return w.V[len(w.V)-1]
+}
+
+// Max returns the largest sample of a waveform.
+func (w *Waveform) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range w.V {
+		m = math.Max(m, v)
+	}
+	return m
+}

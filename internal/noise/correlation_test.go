@@ -1,0 +1,308 @@
+package noise
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+const z0 = 50.0
+
+// attenuatorABCD returns the chain matrix of a matched resistive tee
+// attenuator with the given loss in dB at Z0 = 50.
+func attenuatorABCD(db float64) twoport.Mat2 {
+	a := math.Pow(10, db/20)
+	r1 := z0 * (a - 1) / (a + 1)
+	r2 := z0 * 2 * a / (a*a - 1)
+	return twoport.SeriesZ(complex(r1, 0)).
+		Mul(twoport.ShuntY(complex(1/r2, 0))).
+		Mul(twoport.SeriesZ(complex(r1, 0)))
+}
+
+func TestAttenuatorNoiseFigureEqualsLoss(t *testing.T) {
+	// The fundamental thermodynamic check: a matched attenuator at T0 has
+	// F = L exactly.
+	for _, db := range []float64{1, 3, 6, 10, 20} {
+		tp, err := PassiveFromABCD(attenuatorABCD(db), mathx.T0)
+		if err != nil {
+			t.Fatalf("%g dB: %v", db, err)
+		}
+		f := tp.FigureY(1 / complex(z0, 0))
+		if got := mathx.DB10(f); math.Abs(got-db) > 1e-9 {
+			t.Errorf("%g dB attenuator: NF = %g dB, want %g", db, got, db)
+		}
+	}
+}
+
+func TestColdAttenuatorQuieter(t *testing.T) {
+	// An attenuator at 77 K must contribute proportionally less noise:
+	// F = 1 + (L-1)*T/T0.
+	const db = 6.0
+	l := mathx.FromDB10(db)
+	for _, temp := range []float64{77, 150, 290, 400} {
+		tp, err := PassiveFromABCD(attenuatorABCD(db), temp)
+		if err != nil {
+			t.Fatalf("temp %g: %v", temp, err)
+		}
+		got := tp.FigureY(1 / complex(z0, 0))
+		want := 1 + (l-1)*temp/mathx.T0
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("T=%g K: F = %g, want %g", temp, got, want)
+		}
+	}
+}
+
+func TestCascadeOfAttenuatorsMultipliesLoss(t *testing.T) {
+	a3, err := PassiveFromABCD(attenuatorABCD(3), mathx.T0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a7, err := PassiveFromABCD(attenuatorABCD(7), mathx.T0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc := a3.Cascade(a7)
+	f := casc.FigureY(1 / complex(z0, 0))
+	if got := mathx.DB10(f); math.Abs(got-10) > 1e-9 {
+		t.Errorf("3+7 dB cascade NF = %g dB, want 10", got)
+	}
+	// And the cascaded S21 must show 10 dB loss.
+	s, err := casc.S(z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := -mathx.DB20(cmplx.Abs(s[1][0])); math.Abs(got-10) > 1e-9 {
+		t.Errorf("cascade loss = %g dB, want 10", got)
+	}
+}
+
+func TestFriisAgreesWithCorrelationCascade(t *testing.T) {
+	// Passive stage + synthetic amplifier stage, matched interfaces: the
+	// correlation-matrix cascade must reproduce Friis.
+	const attDB = 2.0
+	att, err := PassiveFromABCD(attenuatorABCD(attDB), mathx.T0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A matched unilateral amplifier: S = [[0,0],[g,0]] has ABCD form only
+	// approximately; construct from Y parameters of a VCCS with matched
+	// input/output resistors.
+	gm := 0.2 // 10x voltage gain into 50 ohms
+	y := twoport.Mat2{
+		{complex(1/z0, 0), 0},
+		{complex(gm, 0), complex(1/z0, 0)},
+	}
+	// Give it known noise parameters.
+	amp, err := twoport.YToABCD(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAmp := Params{Fmin: 2.0, Rn: 15, GammaOpt: 0, Z0: z0}
+	ampN := FromNoiseParams(amp, pAmp)
+
+	fAmp := ampN.FigureY(1 / complex(z0, 0))
+	casc := att.Cascade(ampN)
+	fTot := casc.FigureY(1 / complex(z0, 0))
+
+	l := mathx.FromDB10(attDB)
+	// Friis with stage1 = attenuator (F = L, GA = 1/L).
+	want := Friis([]float64{l, fAmp}, []float64{1 / l, 1})
+	if math.Abs(fTot-want) > 1e-9 {
+		t.Errorf("cascade F = %g, Friis predicts %g", fTot, want)
+	}
+}
+
+func TestNoiseParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		p := Params{
+			Fmin:     1 + rng.Float64()*2,
+			Rn:       5 + rng.Float64()*45,
+			GammaOpt: cmplx.Rect(rng.Float64()*0.7, rng.Float64()*2*math.Pi),
+			Z0:       z0,
+		}
+		a := attenuatorABCD(3) // any chain matrix will do
+		tp := FromNoiseParams(a, p)
+		got, err := tp.NoiseParams(z0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !mathx.CloseRel(got.Fmin, p.Fmin, 1e-9) {
+			t.Errorf("trial %d: Fmin %g != %g", trial, got.Fmin, p.Fmin)
+		}
+		if !mathx.CloseRel(got.Rn, p.Rn, 1e-9) {
+			t.Errorf("trial %d: Rn %g != %g", trial, got.Rn, p.Rn)
+		}
+		if cmplx.Abs(got.GammaOpt-p.GammaOpt) > 1e-8 {
+			t.Errorf("trial %d: GammaOpt %v != %v", trial, got.GammaOpt, p.GammaOpt)
+		}
+	}
+}
+
+func TestRepresentationRoundTrips(t *testing.T) {
+	// CY -> CA -> CY and CZ round trips on random physical matrices.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		// Random passive-ish admittance with positive-definite Hermitian part.
+		y := twoport.Mat2{
+			{complex(1+rng.Float64(), rng.NormFloat64()), complex(-rng.Float64(), rng.NormFloat64())},
+			{complex(-rng.Float64(), rng.NormFloat64()), complex(1+rng.Float64(), rng.NormFloat64())},
+		}
+		y = y.Scale(complex(0.02, 0))
+		cy := twoport.Mat2{
+			{y[0][0] + cmplx.Conj(y[0][0]), y[0][1] + cmplx.Conj(y[1][0])},
+			{y[1][0] + cmplx.Conj(y[0][1]), y[1][1] + cmplx.Conj(y[1][1])},
+		}.Scale(0.5)
+		tp, err := FromY(y, cy)
+		if err != nil {
+			continue
+		}
+		y2, cy2, err := tp.ToY()
+		if err != nil {
+			t.Fatalf("trial %d: ToY: %v", trial, err)
+		}
+		if d := twoport.MaxAbsDiff(y, y2); d > 1e-10 {
+			t.Fatalf("trial %d: Y round trip diff %g", trial, d)
+		}
+		if d := twoport.MaxAbsDiff(cy, cy2); d > 1e-10 {
+			t.Fatalf("trial %d: CY round trip diff %g", trial, d)
+		}
+		z, cz, err := tp.ToZ()
+		if err != nil {
+			t.Fatalf("trial %d: ToZ: %v", trial, err)
+		}
+		tp2, err := FromZ(z, cz)
+		if err != nil {
+			t.Fatalf("trial %d: FromZ: %v", trial, err)
+		}
+		if d := twoport.MaxAbsDiff(tp.CA, tp2.CA); d > 1e-9 {
+			t.Fatalf("trial %d: CA via Z round trip diff %g", trial, d)
+		}
+	}
+}
+
+func TestSeriesShuntElementNoise(t *testing.T) {
+	// A series resistor in front of a matched termination forms an L-pad;
+	// verify against the exact passive formula by building it both ways.
+	r := complex(25, 0)
+	viaElement := SeriesZ(r, mathx.T0)
+	viaPassive, err := PassiveFromABCD(
+		twoport.SeriesZ(r).Mul(twoport.ShuntY(complex(1e-12, 0))), mathx.T0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := 1 / complex(z0, 0)
+	f1 := viaElement.FigureY(ys)
+	f2 := viaPassive.FigureY(ys)
+	if math.Abs(f1-f2) > 1e-6 {
+		t.Errorf("series-R noise figure: element %g vs passive %g", f1, f2)
+	}
+	// Lossless elements are noiseless: series reactance adds no noise.
+	lossless := SeriesZ(complex(0, 40), mathx.T0)
+	if f := lossless.FigureY(ys); math.Abs(f-1) > 1e-12 {
+		t.Errorf("lossless series element F = %g, want 1", f)
+	}
+	losslessShunt := ShuntY(complex(0, 0.01), mathx.T0)
+	if f := losslessShunt.FigureY(ys); math.Abs(f-1) > 1e-12 {
+		t.Errorf("lossless shunt element F = %g, want 1", f)
+	}
+}
+
+func TestLosslessEmbeddingPreservesFmin(t *testing.T) {
+	// A lossless input network transforms GammaOpt but leaves Fmin intact.
+	dev := FromNoiseParams(attenuatorABCD(3), Params{
+		Fmin: 1.35, Rn: 9, GammaOpt: cmplx.Rect(0.4, 1.0), Z0: z0,
+	})
+	line := Noiseless(twoport.LineABCD(complex(z0, 0), complex(0, 4.2), 0.21))
+	emb := line.Cascade(dev)
+	p0, err := dev.NoiseParams(z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := emb.NoiseParams(z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.CloseRel(p1.Fmin, p0.Fmin, 1e-9) {
+		t.Errorf("Fmin changed under lossless embedding: %g -> %g", p0.Fmin, p1.Fmin)
+	}
+	if cmplx.Abs(p1.GammaOpt-p0.GammaOpt) < 1e-6 {
+		t.Error("GammaOpt should move under a non-trivial line embedding")
+	}
+}
+
+func TestFigureAtOptimumIsFmin(t *testing.T) {
+	p := Params{Fmin: 1.4, Rn: 12, GammaOpt: cmplx.Rect(0.35, -0.8), Z0: z0}
+	tp := FromNoiseParams(attenuatorABCD(1), p)
+	got := tp.Figure(p.GammaOpt, z0)
+	if !mathx.CloseRel(got, p.Fmin, 1e-9) {
+		t.Errorf("F(GammaOpt) = %g, want Fmin = %g", got, p.Fmin)
+	}
+	// Any other source must be noisier.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		g := cmplx.Rect(rng.Float64()*0.9, rng.Float64()*2*math.Pi)
+		if f := tp.Figure(g, z0); f < p.Fmin-1e-12 {
+			t.Fatalf("F(%v) = %g below Fmin %g", g, f, p.Fmin)
+		}
+	}
+}
+
+func TestNoiseParamsNotPhysical(t *testing.T) {
+	bad := TwoPort{
+		A:  attenuatorABCD(1),
+		CA: twoport.Mat2{{complex(-1, 0), 0}, {0, 0}},
+	}
+	if _, err := bad.NoiseParams(z0); err == nil {
+		t.Error("negative Rn accepted as physical")
+	}
+}
+
+func TestFriisApproximationErrorUnderMismatch(t *testing.T) {
+	// DESIGN.md ablation: the Friis formula assumes each stage sees the
+	// source impedance its noise figure was specified for. With a badly
+	// mismatched interstage the exact correlation-matrix cascade deviates
+	// from naive Friis; this quantifies why the design flow carries full
+	// correlation matrices instead.
+	mk := func(gm float64, p Params) TwoPort {
+		y := twoport.Mat2{
+			{complex(1.0/200, 0), 0}, // deliberately mismatched input
+			{complex(gm, 0), complex(1.0/40, 0)},
+		}
+		a, err := twoport.YToABCD(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FromNoiseParams(a, p)
+	}
+	stage1 := mk(0.08, Params{Fmin: 1.25, Rn: 20, GammaOpt: 0.4 + 0.2i, Z0: z0})
+	stage2 := mk(0.08, Params{Fmin: 2.2, Rn: 35, GammaOpt: -0.3 + 0.1i, Z0: z0})
+
+	exact := stage1.Cascade(stage2).FigureY(1 / complex(z0, 0))
+	f1 := stage1.FigureY(1 / complex(z0, 0))
+	s1, err := stage1.S(z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga1 := twoport.AvailableGain(s1, 0)
+	f2 := stage2.FigureY(1 / complex(z0, 0)) // naive: 50-ohm F for stage 2
+	naive := Friis([]float64{f1, f2}, []float64{ga1, 1})
+
+	// The naive estimate must differ measurably (the whole point) but not
+	// absurdly (same order of magnitude).
+	relErr := math.Abs(naive-exact) / exact
+	if relErr < 0.005 {
+		t.Errorf("Friis vs exact differ by only %.2f%%: fixture not mismatched enough", relErr*100)
+	}
+	if relErr > 0.5 {
+		t.Errorf("Friis vs exact differ by %.0f%%: implausible fixture", relErr*100)
+	}
+	// And the exact cascade figure can never be below stage 1's.
+	if exact < f1 {
+		t.Errorf("exact cascade F %g below first stage %g", exact, f1)
+	}
+}

@@ -1,0 +1,35 @@
+package noise_test
+
+import (
+	"fmt"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+)
+
+// ExampleTwoPort_Cascade demonstrates the thermodynamic identity that
+// anchors the noise engine: a matched 3 dB attenuator at 290 K has a noise
+// figure of exactly 3 dB, and two in cascade give 6 dB.
+func ExampleTwoPort_Cascade() {
+	a := mathx.FromDB20(3)
+	r1 := 50 * (a - 1) / (a + 1)
+	r2 := 50 * 2 * a / (a*a - 1)
+	abcd := twoport.SeriesZ(complex(r1, 0)).
+		Mul(twoport.ShuntY(complex(1/r2, 0))).
+		Mul(twoport.SeriesZ(complex(r1, 0)))
+	att, _ := noise.PassiveFromABCD(abcd, 290)
+	one := att.FigureY(complex(1.0/50, 0))
+	two := att.Cascade(att).FigureY(complex(1.0/50, 0))
+	fmt.Printf("NF one = %.2f dB, two = %.2f dB\n", mathx.DB10(one), mathx.DB10(two))
+	// Output:
+	// NF one = 3.00 dB, two = 6.00 dB
+}
+
+// ExampleFriis reproduces the classic cascade formula.
+func ExampleFriis() {
+	total := noise.Friis([]float64{2, 10}, []float64{10, 1})
+	fmt.Printf("F = %.2f\n", total)
+	// Output:
+	// F = 2.90
+}

@@ -1,0 +1,292 @@
+package optim
+
+import (
+	"math"
+	"sort"
+
+	"gnsslna/internal/mathx"
+)
+
+// CMAESOptions configures the covariance-matrix-adaptation evolution
+// strategy.
+type CMAESOptions struct {
+	// Lambda is the population size (default 4 + 3*ln(dim)).
+	Lambda int
+	// Generations caps the run (default 300).
+	Generations int
+	// Sigma0 is the initial step size relative to the box span
+	// (default 0.3).
+	Sigma0 float64
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+}
+
+// CMAES minimizes f over the box [lo, hi] with a (mu/mu_w, lambda)-CMA-ES
+// (Hansen's standard formulation with rank-one and rank-mu updates,
+// simplified to a diagonal-plus-full covariance handled by explicit
+// eigendecomposition via Jacobi rotations).
+func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
+	n := len(lo)
+	if n == 0 || len(hi) != n {
+		return Result{}, ErrBadInput
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Result{}, ErrBadInput
+		}
+	}
+	lambda := 4 + int(3*math.Log(float64(n)))
+	gens, sigmaRel, seed := 300, 0.3, int64(1)
+	if opts != nil {
+		if opts.Lambda > 3 {
+			lambda = opts.Lambda
+		}
+		if opts.Generations > 0 {
+			gens = opts.Generations
+		}
+		if opts.Sigma0 > 0 {
+			sigmaRel = opts.Sigma0
+		}
+		if opts.Seed != 0 {
+			seed = opts.Seed
+		}
+	}
+	rng := newRand(seed)
+	c := &counter{f: f}
+
+	// Work in normalized coordinates u in [0,1]^n. Out-of-box samples are
+	// evaluated at the clamped point plus a quadratic boundary penalty so
+	// the selection gradient keeps pointing inward (plain clamping makes
+	// the boundary flat and stalls the covariance adaptation).
+	toX := func(u []float64) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			v := mathx.Clamp(u[i], 0, 1)
+			x[i] = lo[i] + v*(hi[i]-lo[i])
+		}
+		return x
+	}
+	boundaryPenalty := func(u []float64) float64 {
+		var p float64
+		for i := range u {
+			if u[i] < 0 {
+				p += u[i] * u[i]
+			}
+			if u[i] > 1 {
+				p += (u[i] - 1) * (u[i] - 1)
+			}
+		}
+		return p
+	}
+
+	mu := lambda / 2
+	weights := make([]float64, mu)
+	var wSum float64
+	for i := range weights {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		wSum += weights[i]
+	}
+	var muEff float64
+	for i := range weights {
+		weights[i] /= wSum
+		muEff += weights[i] * weights[i]
+	}
+	muEff = 1 / muEff
+
+	nf := float64(n)
+	cc := (4 + muEff/nf) / (nf + 4 + 2*muEff/nf)
+	cs := (muEff + 2) / (nf + muEff + 5)
+	c1 := 2 / ((nf+1.3)*(nf+1.3) + muEff)
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/((nf+2)*(nf+2)+muEff))
+	damps := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(nf+1))-1) + cs
+	chiN := math.Sqrt(nf) * (1 - 1/(4*nf) + 1/(21*nf*nf))
+
+	mean := make([]float64, n)
+	for i := range mean {
+		mean[i] = rng.Float64()
+	}
+	sigma := sigmaRel
+	cov := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cov.Set(i, i, 1)
+	}
+	ps := make([]float64, n)
+	pc := make([]float64, n)
+
+	bestX := toX(mean)
+	bestF := c.eval(bestX)
+
+	type cand struct {
+		u []float64
+		z []float64
+		f float64
+	}
+
+	for g := 0; g < gens; g++ {
+		// Eigendecomposition of cov: B D^2 B^T via Jacobi.
+		b, d := jacobiEigen(cov)
+		cands := make([]cand, lambda)
+		for k := 0; k < lambda; k++ {
+			z := make([]float64, n)
+			for i := range z {
+				z[i] = rng.NormFloat64()
+			}
+			// y = B * D * z
+			y := make([]float64, n)
+			for i := 0; i < n; i++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += b.At(i, j) * d[j] * z[j]
+				}
+				y[i] = s
+			}
+			u := make([]float64, n)
+			for i := range u {
+				u[i] = mean[i] + sigma*y[i]
+			}
+			x := toX(u)
+			raw := c.eval(x)
+			fx := raw
+			if p := boundaryPenalty(u); p > 0 {
+				fx += (1 + math.Abs(raw)) * p * 100
+			}
+			cands[k] = cand{u: u, z: z, f: fx}
+			if raw < bestF && boundaryPenalty(u) == 0 {
+				bestF = raw
+				bestX = x
+			}
+		}
+		sort.Slice(cands, func(a, bI int) bool { return cands[a].f < cands[bI].f })
+
+		oldMean := append([]float64(nil), mean...)
+		for i := range mean {
+			mean[i] = 0
+			for k := 0; k < mu; k++ {
+				mean[i] += weights[k] * cands[k].u[i]
+			}
+		}
+		// Evolution paths.
+		// C^(-1/2) * (mean-oldMean)/sigma = B * D^-1 * B^T * dm
+		dm := make([]float64, n)
+		for i := range dm {
+			dm[i] = (mean[i] - oldMean[i]) / sigma
+		}
+		cInvSqrtDM := make([]float64, n)
+		{
+			// t = B^T dm; t_i /= d_i; out = B t
+			tvec := make([]float64, n)
+			for i := 0; i < n; i++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += b.At(j, i) * dm[j]
+				}
+				if d[i] > 1e-12 {
+					tvec[i] = s / d[i]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += b.At(i, j) * tvec[j]
+				}
+				cInvSqrtDM[i] = s
+			}
+		}
+		var psNorm float64
+		for i := range ps {
+			ps[i] = (1-cs)*ps[i] + math.Sqrt(cs*(2-cs)*muEff)*cInvSqrtDM[i]
+			psNorm += ps[i] * ps[i]
+		}
+		psNorm = math.Sqrt(psNorm)
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2*float64(g+1)))/chiN < 1.4+2/(nf+1) {
+			hsig = 1
+		}
+		for i := range pc {
+			pc[i] = (1-cc)*pc[i] + hsig*math.Sqrt(cc*(2-cc)*muEff)*dm[i]
+		}
+		// Covariance update.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := (1 - c1 - cmu) * cov.At(i, j)
+				v += c1 * (pc[i]*pc[j] + (1-hsig)*cc*(2-cc)*cov.At(i, j))
+				for k := 0; k < mu; k++ {
+					yi := (cands[k].u[i] - oldMean[i]) / sigma
+					yj := (cands[k].u[j] - oldMean[j]) / sigma
+					v += cmu * weights[k] * yi * yj
+				}
+				cov.Set(i, j, v)
+			}
+		}
+		sigma *= math.Exp((cs / damps) * (psNorm/chiN - 1))
+		if sigma < 1e-12 {
+			break
+		}
+	}
+	return Result{X: bestX, F: bestF, Evals: c.n, Converged: false}, nil
+}
+
+// jacobiEigen computes the eigendecomposition of a symmetric matrix with
+// cyclic Jacobi rotations, returning the eigenvector matrix B (columns) and
+// the square roots of the (clamped-positive) eigenvalues.
+func jacobiEigen(a *mathx.Matrix) (*mathx.Matrix, []float64) {
+	n := a.Rows()
+	m := a.Clone()
+	v := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < 30; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				theta := (m.At(q, q) - m.At(p, p)) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				cth := 1 / math.Sqrt(t*t+1)
+				sth := t * cth
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, cth*akp-sth*akq)
+					m.Set(k, q, sth*akp+cth*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, cth*apk-sth*aqk)
+					m.Set(q, k, sth*apk+cth*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cth*vkp-sth*vkq)
+					v.Set(k, q, sth*vkp+cth*vkq)
+				}
+			}
+		}
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev := m.At(i, i)
+		if ev < 1e-14 {
+			ev = 1e-14
+		}
+		d[i] = math.Sqrt(ev)
+	}
+	return v, d
+}

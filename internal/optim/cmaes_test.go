@@ -1,0 +1,101 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"gnsslna/internal/mathx"
+)
+
+func TestCMAESSphere(t *testing.T) {
+	lo := []float64{-5, -5, -5, -5}
+	hi := []float64{5, 5, 5, 5}
+	res, err := CMAES(sphere, lo, hi, &CMAESOptions{Generations: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("CMAES: %v", err)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("CMAES on sphere: F = %g, want ~0 (x = %v)", res.F, res.X)
+	}
+}
+
+func TestCMAESRosenbrock(t *testing.T) {
+	lo := []float64{-2, -2}
+	hi := []float64{2, 2}
+	res, err := CMAES(rosenbrock, lo, hi, &CMAESOptions{Generations: 600, Seed: 5, Lambda: 12})
+	if err != nil {
+		t.Fatalf("CMAES: %v", err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Errorf("CMAES on Rosenbrock: x = %v, F = %g, want [1 1]", res.X, res.F)
+	}
+}
+
+func TestCMAESIllConditionedQuadratic(t *testing.T) {
+	// CMA-ES's selling point: adapt to a badly scaled, rotated quadratic.
+	f := func(x []float64) float64 {
+		u := x[0] + 0.8*x[1]
+		v := x[1] - 0.8*x[0]
+		return u*u + 1e4*v*v
+	}
+	res, err := CMAES(f, []float64{-3, -3}, []float64{3, 3},
+		&CMAESOptions{Generations: 400, Seed: 7})
+	if err != nil {
+		t.Fatalf("CMAES: %v", err)
+	}
+	if res.F > 1e-6 {
+		t.Errorf("ill-conditioned quadratic: F = %g (x = %v)", res.F, res.X)
+	}
+}
+
+func TestCMAESRespectsBounds(t *testing.T) {
+	res, err := CMAES(sphere, []float64{1, 1}, []float64{2, 2},
+		&CMAESOptions{Generations: 100, Seed: 2})
+	if err != nil {
+		t.Fatalf("CMAES: %v", err)
+	}
+	for i, v := range res.X {
+		if v < 1-1e-9 || v > 2+1e-9 {
+			t.Errorf("x[%d] = %g outside [1, 2]", i, v)
+		}
+	}
+	// Constrained optimum is the corner (1, 1).
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("constrained optimum = %v, want [1 1]", res.X)
+	}
+}
+
+func TestCMAESBadInput(t *testing.T) {
+	if _, err := CMAES(sphere, nil, nil, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := CMAES(sphere, []float64{1}, []float64{0}, nil); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestJacobiEigenIdentityAndKnown(t *testing.T) {
+	// Known 2x2: [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := mathx.MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	b, d := jacobiEigen(m)
+	got := []float64{d[0] * d[0], d[1] * d[1]}
+	if got[0] > got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-1) > 1e-9 || math.Abs(got[1]-3) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [1 3]", got)
+	}
+	// Eigenvectors must be orthonormal: B^T B = I.
+	bt := b.Transpose().Mul(b)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(bt.At(i, j)-want) > 1e-9 {
+				t.Errorf("B^T B [%d][%d] = %g, want %g", i, j, bt.At(i, j), want)
+			}
+		}
+	}
+}

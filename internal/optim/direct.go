@@ -1,0 +1,282 @@
+// Package optim provides the optimization machinery of the paper's design
+// flow: direct local methods (Nelder-Mead, Hooke-Jeeves, golden section,
+// Levenberg-Marquardt), meta-heuristics (differential evolution, particle
+// swarm, simulated annealing), and multi-objective methods — the standard
+// goal-attainment method of Gembicki, the paper's improved goal-attainment
+// variant, a weighted-sum baseline, epsilon-constraint scans and NSGA-II —
+// plus Pareto-front utilities (dominance filtering, hypervolume, spread).
+package optim
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Objective is a scalar function to minimize.
+type Objective func(x []float64) float64
+
+// Result reports the outcome of a scalar minimization.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Evals is the number of objective evaluations consumed.
+	Evals int
+	// Converged reports whether the tolerance criterion was met before the
+	// evaluation budget ran out.
+	Converged bool
+}
+
+// ErrBadInput reports invalid optimizer input (empty vectors, inconsistent
+// bounds).
+var ErrBadInput = errors.New("optim: invalid input")
+
+// counter wraps an objective with an evaluation counter.
+type counter struct {
+	f Objective
+	n int
+}
+
+func (c *counter) eval(x []float64) float64 {
+	c.n++
+	return c.f(x)
+}
+
+// NMOptions configures Nelder-Mead.
+type NMOptions struct {
+	// MaxEvals caps objective evaluations (default 2000 * dim).
+	MaxEvals int
+	// Tol is the simplex spread tolerance (default 1e-10).
+	Tol float64
+	// Scale is the initial simplex edge length (default 0.1 per coordinate,
+	// scale-aware).
+	Scale float64
+}
+
+func (o *NMOptions) defaults(dim int) NMOptions {
+	out := NMOptions{MaxEvals: 2000 * dim, Tol: 1e-10, Scale: 0.1}
+	if o != nil {
+		if o.MaxEvals > 0 {
+			out.MaxEvals = o.MaxEvals
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+		if o.Scale > 0 {
+			out.Scale = o.Scale
+		}
+	}
+	return out
+}
+
+// NelderMead minimizes f starting from x0 with the downhill-simplex method
+// (adaptive parameters after Gao & Han).
+func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, ErrBadInput
+	}
+	o := opts.defaults(n)
+	c := &counter{f: f}
+
+	// Adaptive coefficients improve high-dimensional behaviour.
+	nf := float64(n)
+	alpha, beta, gamma, delta := 1.0, 1+2/nf, 0.75-1/(2*nf), 1-1/nf
+
+	// Build initial simplex.
+	simplex := make([][]float64, n+1)
+	fv := make([]float64, n+1)
+	for i := range simplex {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			step := o.Scale * (1 + math.Abs(p[i-1]))
+			p[i-1] += step
+		}
+		simplex[i] = p
+		fv[i] = c.eval(p)
+	}
+
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return fv[idx[a]] < fv[idx[b]] })
+		ns := make([][]float64, n+1)
+		nv := make([]float64, n+1)
+		for i, j := range idx {
+			ns[i], nv[i] = simplex[j], fv[j]
+		}
+		copy(simplex, ns)
+		copy(fv, nv)
+	}
+
+	centroid := make([]float64, n)
+	point := func(base []float64, coef float64, away []float64) []float64 {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = base[i] + coef*(base[i]-away[i])
+		}
+		return p
+	}
+
+	for c.n < o.MaxEvals {
+		order()
+		// Convergence: simplex function spread.
+		if math.Abs(fv[n]-fv[0]) <= o.Tol*(1+math.Abs(fv[0])) {
+			return Result{X: simplex[0], F: fv[0], Evals: c.n, Converged: true}, nil
+		}
+		for i := range centroid {
+			centroid[i] = 0
+			for j := 0; j < n; j++ {
+				centroid[i] += simplex[j][i]
+			}
+			centroid[i] /= nf
+		}
+		xr := point(centroid, alpha, simplex[n])
+		fr := c.eval(xr)
+		switch {
+		case fr < fv[0]:
+			// Try expansion.
+			xe := point(centroid, alpha*beta, simplex[n])
+			if fe := c.eval(xe); fe < fr {
+				simplex[n], fv[n] = xe, fe
+			} else {
+				simplex[n], fv[n] = xr, fr
+			}
+		case fr < fv[n-1]:
+			simplex[n], fv[n] = xr, fr
+		default:
+			// Contraction.
+			var xc []float64
+			if fr < fv[n] {
+				xc = point(centroid, alpha*gamma, simplex[n])
+			} else {
+				xc = point(centroid, -gamma, simplex[n])
+			}
+			if fc := c.eval(xc); fc < math.Min(fr, fv[n]) {
+				simplex[n], fv[n] = xc, fc
+			} else {
+				// Shrink toward the best vertex.
+				for j := 1; j <= n; j++ {
+					for i := range simplex[j] {
+						simplex[j][i] = simplex[0][i] + delta*(simplex[j][i]-simplex[0][i])
+					}
+					fv[j] = c.eval(simplex[j])
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: simplex[0], F: fv[0], Evals: c.n, Converged: false}, nil
+}
+
+// HJOptions configures Hooke-Jeeves pattern search.
+type HJOptions struct {
+	// MaxEvals caps objective evaluations (default 4000 * dim).
+	MaxEvals int
+	// Step is the initial exploratory step (default 0.25).
+	Step float64
+	// Tol is the terminal step size (default 1e-9).
+	Tol float64
+}
+
+// HookeJeeves minimizes f from x0 by pattern search, a derivative-free
+// method robust to the mild noise of simulated measurements.
+func HookeJeeves(f Objective, x0 []float64, opts *HJOptions) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, ErrBadInput
+	}
+	maxEvals := 4000 * n
+	step, tol := 0.25, 1e-9
+	if opts != nil {
+		if opts.MaxEvals > 0 {
+			maxEvals = opts.MaxEvals
+		}
+		if opts.Step > 0 {
+			step = opts.Step
+		}
+		if opts.Tol > 0 {
+			tol = opts.Tol
+		}
+	}
+	c := &counter{f: f}
+	base := append([]float64(nil), x0...)
+	fb := c.eval(base)
+
+	explore := func(from []float64, ffrom float64) ([]float64, float64) {
+		x := append([]float64(nil), from...)
+		fx := ffrom
+		for i := 0; i < n; i++ {
+			h := step * (1 + math.Abs(x[i]))
+			x[i] += h
+			if fp := c.eval(x); fp < fx {
+				fx = fp
+				continue
+			}
+			x[i] -= 2 * h
+			if fm := c.eval(x); fm < fx {
+				fx = fm
+				continue
+			}
+			x[i] += h
+		}
+		return x, fx
+	}
+
+	for c.n < maxEvals && step > tol {
+		xNew, fNew := explore(base, fb)
+		if fNew < fb {
+			// Pattern move: keep going in the improving direction.
+			for c.n < maxEvals {
+				pattern := make([]float64, n)
+				for i := range pattern {
+					pattern[i] = 2*xNew[i] - base[i]
+				}
+				fp := c.eval(pattern)
+				xp, fxp := explore(pattern, fp)
+				base, fb = xNew, fNew
+				if fxp >= fNew {
+					break
+				}
+				xNew, fNew = xp, fxp
+			}
+			base, fb = xNew, fNew
+		} else {
+			step /= 2
+		}
+	}
+	return Result{X: base, F: fb, Evals: c.n, Converged: step <= tol}, nil
+}
+
+// GoldenSection minimizes a one-dimensional function on [a, b] to the given
+// x tolerance.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (x, fx float64, evals int) {
+	if a > b {
+		a, b = b, a
+	}
+	const phi = 0.6180339887498949 // (sqrt(5)-1)/2
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	evals = 2
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+		evals++
+	}
+	if f1 < f2 {
+		return x1, f1, evals
+	}
+	return x2, f2, evals
+}

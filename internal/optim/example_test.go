@@ -1,0 +1,41 @@
+package optim_test
+
+import (
+	"fmt"
+
+	"gnsslna/internal/optim"
+)
+
+// ExampleGoalAttainImproved drives two competing objectives to their goals:
+// gamma <= 0 means every goal was met.
+func ExampleGoalAttainImproved() {
+	obj := func(x []float64) []float64 {
+		f1 := x[0]*x[0] + x[1]*x[1]
+		d := x[0] - 2
+		return []float64{f1, d*d + x[1]*x[1]}
+	}
+	goals := []optim.Goal{
+		{Name: "f1", Target: 2.5, Weight: 1},
+		{Name: "f2", Target: 2.5, Weight: 1},
+	}
+	res, _ := optim.GoalAttainImproved(obj, goals,
+		[]float64{-4, -4}, []float64{4, 4}, &optim.AttainOptions{Seed: 7})
+	fmt.Printf("goals met: %v\n", res.Gamma <= 0)
+	// Output:
+	// goals met: true
+}
+
+// ExampleDifferentialEvolution finds the Rosenbrock minimum.
+func ExampleDifferentialEvolution() {
+	rosen := func(x []float64) float64 {
+		a := x[1] - x[0]*x[0]
+		b := 1 - x[0]
+		return 100*a*a + b*b
+	}
+	res, _ := optim.DifferentialEvolution(rosen,
+		[]float64{-2, -2}, []float64{2, 2},
+		&optim.DEOptions{Generations: 300, Seed: 1})
+	fmt.Printf("x ~ [%.2f %.2f]\n", res.X[0], res.X[1])
+	// Output:
+	// x ~ [1.00 1.00]
+}

@@ -1,0 +1,364 @@
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// VectorObjective maps a design vector to multiple objective values, all to
+// be minimized.
+type VectorObjective func(x []float64) []float64
+
+// Goal is one design goal for goal attainment: drive objective i to at most
+// Target, with Weight expressing how much over/under-attainment is
+// acceptable relative to the other goals (Gembicki's w_i).
+type Goal struct {
+	// Name labels the goal in reports.
+	Name string
+	// Target is the desired value g_i of the (minimized) objective.
+	Target float64
+	// Weight is the relative attainment weight w_i (> 0).
+	Weight float64
+}
+
+// AttainResult reports a goal-attainment run.
+type AttainResult struct {
+	// X is the best design found.
+	X []float64
+	// Gamma is the attainment factor: gamma <= 0 means every goal was met.
+	Gamma float64
+	// F holds the objective values at X.
+	F []float64
+	// Evals counts vector-objective evaluations.
+	Evals int
+}
+
+// AttainOptions configures the goal-attainment solvers.
+type AttainOptions struct {
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+	// GlobalEvals budgets the global (DE) phase (default 6000).
+	GlobalEvals int
+	// PolishEvals budgets each local polish (default 4000).
+	PolishEvals int
+}
+
+func (o *AttainOptions) defaults() AttainOptions {
+	out := AttainOptions{Seed: 1, GlobalEvals: 6000, PolishEvals: 4000}
+	if o != nil {
+		if o.Seed != 0 {
+			out.Seed = o.Seed
+		}
+		if o.GlobalEvals > 0 {
+			out.GlobalEvals = o.GlobalEvals
+		}
+		if o.PolishEvals > 0 {
+			out.PolishEvals = o.PolishEvals
+		}
+	}
+	return out
+}
+
+func validateGoals(obj VectorObjective, goals []Goal, lo, hi []float64) error {
+	if obj == nil || len(goals) == 0 || len(lo) == 0 || len(lo) != len(hi) {
+		return ErrBadInput
+	}
+	for i, g := range goals {
+		if g.Weight <= 0 {
+			return fmt.Errorf("%w: goal %d (%s) has non-positive weight", ErrBadInput, i, g.Name)
+		}
+	}
+	return nil
+}
+
+// gammaOf is the Gembicki attainment factor: max_i (f_i - T_i)/w_i.
+func gammaOf(f []float64, goals []Goal) float64 {
+	g := math.Inf(-1)
+	for i := range goals {
+		v := (f[i] - goals[i].Target) / goals[i].Weight
+		if v > g {
+			g = v
+		}
+	}
+	return g
+}
+
+// GoalAttainStandard solves the multi-objective problem with the classical
+// goal-attainment formulation: minimize the (non-smooth) attainment factor
+// gamma(x) = max_i (f_i(x)-T_i)/w_i directly with differential evolution
+// followed by a Nelder-Mead polish. This is the baseline the paper
+// improves upon.
+func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
+	if err := validateGoals(obj, goals, lo, hi); err != nil {
+		return AttainResult{}, err
+	}
+	o := opts.defaults()
+	evals := 0
+	scalar := func(x []float64) float64 {
+		evals++
+		return gammaOf(obj(x), goals)
+	}
+	pop := 10 * len(lo)
+	if pop < 20 {
+		pop = 20
+	}
+	gens := o.GlobalEvals / pop
+	if gens < 1 {
+		gens = 1
+	}
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
+		Pop: pop, Generations: gens, Seed: o.Seed,
+	})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	x := clampBox(nm.X, lo, hi)
+	f := obj(x)
+	return AttainResult{X: x, Gamma: gammaOf(f, goals), F: f, Evals: evals + 1}, nil
+}
+
+// ImprovedVariant switches off individual ingredients of the improved
+// goal-attainment method for the ablation experiment.
+type ImprovedVariant struct {
+	// DisableNormalization skips the adaptive goal-range rescaling.
+	DisableNormalization bool
+	// DisableKS replaces the Kreisselmeier-Steinhauser envelope with the
+	// raw non-smooth max in the polish stages.
+	DisableKS bool
+	// DisableSeeding skips the DE global stage (polish from a random
+	// point).
+	DisableSeeding bool
+}
+
+// GoalAttainImproved is the paper's improved goal-attainment method. Three
+// modifications over the standard formulation:
+//
+//  1. Adaptive goal normalization: the weights are rescaled by the objective
+//     ranges observed in the global population, so goals expressed in
+//     different units (dB of noise vs dB of gain) attain at comparable
+//     rates regardless of the caller's initial weight guess.
+//  2. Kreisselmeier-Steinhauser smoothing: the non-smooth max() is replaced
+//     by the KS envelope (1/rho) ln sum exp(rho z_i) with an increasing rho
+//     schedule; each stage is warm-started from the previous solution, so
+//     the local searches operate on a differentiable surrogate that
+//     converges to the true minimax.
+//  3. Hybrid seeding: a short DE run on the smoothed objective seeds the
+//     polish stages, combining global reach with fast local convergence.
+func GoalAttainImproved(obj VectorObjective, goals []Goal, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
+	return GoalAttainImprovedVariant(obj, goals, lo, hi, opts, ImprovedVariant{})
+}
+
+// GoalAttainImprovedVariant runs the improved method with selected
+// ingredients disabled, for the ablation study.
+func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float64, opts *AttainOptions, variant ImprovedVariant) (AttainResult, error) {
+	if err := validateGoals(obj, goals, lo, hi); err != nil {
+		return AttainResult{}, err
+	}
+	o := opts.defaults()
+	evals := 0
+	eval := func(x []float64) []float64 {
+		evals++
+		return obj(x)
+	}
+
+	// Stage 0: probe the box to learn objective scales.
+	scaled := make([]Goal, len(goals))
+	copy(scaled, goals)
+	if !variant.DisableNormalization {
+		probePop := 4 * len(lo)
+		if probePop < 16 {
+			probePop = 16
+		}
+		rngSpan := make([][2]float64, len(goals))
+		for i := range rngSpan {
+			rngSpan[i] = [2]float64{math.Inf(1), math.Inf(-1)}
+		}
+		rng := newRand(o.Seed)
+		x := make([]float64, len(lo))
+		for p := 0; p < probePop; p++ {
+			for j := range x {
+				x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			f := eval(x)
+			for i, v := range f {
+				if v < rngSpan[i][0] {
+					rngSpan[i][0] = v
+				}
+				if v > rngSpan[i][1] {
+					rngSpan[i][1] = v
+				}
+			}
+		}
+		for i := range scaled {
+			span := rngSpan[i][1] - rngSpan[i][0]
+			if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+				span = 1
+			}
+			// Blend the caller's weight with the observed span.
+			scaled[i].Weight = goals[i].Weight * span
+		}
+	}
+
+	ks := func(rho float64) Objective {
+		return func(x []float64) float64 {
+			f := eval(x)
+			// KS envelope with max-shift for numerical stability.
+			zmax := math.Inf(-1)
+			z := make([]float64, len(f))
+			for i := range f {
+				z[i] = (f[i] - scaled[i].Target) / scaled[i].Weight
+				if z[i] > zmax {
+					zmax = z[i]
+				}
+			}
+			if variant.DisableKS {
+				return zmax
+			}
+			var s float64
+			for _, v := range z {
+				s += math.Exp(rho * (v - zmax))
+			}
+			return zmax + math.Log(s)/rho
+		}
+	}
+
+	// Stage 1: global DE on a mildly smoothed surface.
+	var x []float64
+	if variant.DisableSeeding {
+		rng := newRand(o.Seed)
+		x = make([]float64, len(lo))
+		for i := range x {
+			x[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+	} else {
+		pop := 10 * len(lo)
+		if pop < 20 {
+			pop = 20
+		}
+		gens := o.GlobalEvals / pop
+		if gens < 1 {
+			gens = 1
+		}
+		de, err := DifferentialEvolution(ks(5), lo, hi, &DEOptions{
+			Pop: pop, Generations: gens, Seed: o.Seed,
+		})
+		if err != nil {
+			return AttainResult{}, err
+		}
+		x = de.X
+	}
+
+	// Stage 2: rho continuation with warm-started Nelder-Mead polishes.
+	budget := o.PolishEvals / 3
+	if budget < 200 {
+		budget = 200
+	}
+	for _, rho := range []float64{20, 100, 500} {
+		nm, err := NelderMead(ks(rho), x, &NMOptions{MaxEvals: budget, Scale: 0.02})
+		if err != nil {
+			return AttainResult{}, err
+		}
+		x = clampBox(nm.X, lo, hi)
+	}
+	f := obj(x)
+	return AttainResult{X: x, Gamma: gammaOf(f, goals), F: f, Evals: evals + 1}, nil
+}
+
+// WeightedSum minimizes the scalarization sum_i w_i f_i(x) — the classical
+// baseline that cannot reach concave regions of a Pareto front.
+func WeightedSum(obj VectorObjective, weights []float64, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
+	if obj == nil || len(weights) == 0 || len(lo) == 0 || len(lo) != len(hi) {
+		return AttainResult{}, ErrBadInput
+	}
+	o := opts.defaults()
+	evals := 0
+	scalar := func(x []float64) float64 {
+		evals++
+		f := obj(x)
+		var s float64
+		for i, w := range weights {
+			s += w * f[i]
+		}
+		return s
+	}
+	pop := 10 * len(lo)
+	if pop < 20 {
+		pop = 20
+	}
+	gens := o.GlobalEvals / pop
+	if gens < 1 {
+		gens = 1
+	}
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{Pop: pop, Generations: gens, Seed: o.Seed})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	x := clampBox(nm.X, lo, hi)
+	f := obj(x)
+	return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: evals + 1}, nil
+}
+
+// EpsilonConstraint minimizes objective primary subject to f_i(x) <= eps_i
+// for every other objective, via an exact penalty.
+func EpsilonConstraint(obj VectorObjective, primary int, eps []float64, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
+	if obj == nil || primary < 0 || len(eps) == 0 || len(lo) == 0 || len(lo) != len(hi) {
+		return AttainResult{}, ErrBadInput
+	}
+	o := opts.defaults()
+	evals := 0
+	const penalty = 1e4
+	scalar := func(x []float64) float64 {
+		evals++
+		f := obj(x)
+		s := f[primary]
+		for i, e := range eps {
+			if i == primary {
+				continue
+			}
+			if v := f[i] - e; v > 0 {
+				s += penalty * v
+			}
+		}
+		return s
+	}
+	pop := 10 * len(lo)
+	if pop < 20 {
+		pop = 20
+	}
+	gens := o.GlobalEvals / pop
+	if gens < 1 {
+		gens = 1
+	}
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{Pop: pop, Generations: gens, Seed: o.Seed})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	if err != nil {
+		return AttainResult{}, err
+	}
+	x := clampBox(nm.X, lo, hi)
+	f := obj(x)
+	return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: evals + 1}, nil
+}
+
+func clampBox(x, lo, hi []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i := range out {
+		if out[i] < lo[i] {
+			out[i] = lo[i]
+		}
+		if out[i] > hi[i] {
+			out[i] = hi[i]
+		}
+	}
+	return out
+}

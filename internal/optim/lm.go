@@ -1,0 +1,151 @@
+package optim
+
+import (
+	"math"
+
+	"gnsslna/internal/mathx"
+)
+
+// ResidualFunc maps parameters to a residual vector; Levenberg-Marquardt
+// minimizes the sum of squared residuals.
+type ResidualFunc func(x []float64) []float64
+
+// LMOptions configures Levenberg-Marquardt.
+type LMOptions struct {
+	// MaxIter caps outer iterations (default 200).
+	MaxIter int
+	// Tol is the relative cost-decrease tolerance (default 1e-12).
+	Tol float64
+	// Lambda0 is the initial damping (default 1e-3).
+	Lambda0 float64
+	// Lower and Upper optionally box-constrain the parameters (projected
+	// steps). Nil means unconstrained.
+	Lower, Upper []float64
+}
+
+// LMResult reports a Levenberg-Marquardt run.
+type LMResult struct {
+	// X is the final parameter vector.
+	X []float64
+	// Cost is the final 0.5 * sum of squared residuals.
+	Cost float64
+	// Iters is the number of accepted iterations.
+	Iters int
+	// Evals counts residual-vector evaluations (Jacobians count dim+1).
+	Evals int
+	// Converged reports whether the tolerance was met.
+	Converged bool
+}
+
+// LevenbergMarquardt minimizes 0.5*||r(x)||^2 with damped Gauss-Newton steps
+// and a numerical Jacobian.
+func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult, error) {
+	n := len(x0)
+	if n == 0 {
+		return LMResult{}, ErrBadInput
+	}
+	maxIter, tol, lambda := 200, 1e-12, 1e-3
+	var lower, upper []float64
+	if opts != nil {
+		if opts.MaxIter > 0 {
+			maxIter = opts.MaxIter
+		}
+		if opts.Tol > 0 {
+			tol = opts.Tol
+		}
+		if opts.Lambda0 > 0 {
+			lambda = opts.Lambda0
+		}
+		lower, upper = opts.Lower, opts.Upper
+	}
+	project := func(x []float64) {
+		for i := range x {
+			if lower != nil && x[i] < lower[i] {
+				x[i] = lower[i]
+			}
+			if upper != nil && x[i] > upper[i] {
+				x[i] = upper[i]
+			}
+		}
+	}
+
+	x := append([]float64(nil), x0...)
+	project(x)
+	evals := 0
+	res := r(x)
+	evals++
+	cost := halfSq(res)
+
+	converged := false
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		j := mathx.Jacobian(func(p []float64) []float64 { return r(p) }, x)
+		evals += n + 1
+		jt := j.Transpose()
+		jtj := jt.Mul(j)
+		g := jt.MulVec(res)
+		// Check gradient norm for stationarity.
+		gn := 0.0
+		for _, v := range g {
+			gn += v * v
+		}
+		if math.Sqrt(gn) < 1e-15*(1+cost) {
+			converged = true
+			break
+		}
+		accepted := false
+		for tries := 0; tries < 30; tries++ {
+			a := jtj.Clone()
+			for i := 0; i < n; i++ {
+				a.Add(i, i, lambda*(jtj.At(i, i)+1e-12))
+			}
+			nb := make([]float64, n)
+			for i := range nb {
+				nb[i] = -g[i]
+			}
+			step, err := mathx.SolveR(a, nb)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			xNew := make([]float64, n)
+			for i := range xNew {
+				xNew[i] = x[i] + step[i]
+			}
+			project(xNew)
+			rNew := r(xNew)
+			evals++
+			cNew := halfSq(rNew)
+			if cNew < cost {
+				rel := (cost - cNew) / (1 + cost)
+				x, res, cost = xNew, rNew, cNew
+				lambda = math.Max(lambda/3, 1e-12)
+				accepted = true
+				iters++
+				if rel < tol {
+					converged = true
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		if !accepted || converged {
+			if !accepted {
+				converged = true // damping exhausted: local minimum to precision
+			}
+			break
+		}
+	}
+	return LMResult{X: x, Cost: cost, Iters: iters, Evals: evals, Converged: converged}, nil
+}
+
+func halfSq(r []float64) float64 {
+	var s float64
+	for _, v := range r {
+		s += v * v
+	}
+	return s / 2
+}

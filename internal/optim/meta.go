@@ -1,0 +1,305 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DEOptions configures differential evolution.
+type DEOptions struct {
+	// Pop is the population size (default 15 * dim, min 20).
+	Pop int
+	// Generations caps the number of generations (default 300).
+	Generations int
+	// F is the differential weight (default 0.7).
+	F float64
+	// CR is the crossover probability (default 0.9).
+	CR float64
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+	// Tol stops early when the population's objective spread falls below it
+	// (default 0: run all generations).
+	Tol float64
+}
+
+// DifferentialEvolution minimizes f over the box [lo, hi] with the
+// rand/1/bin strategy.
+func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Result, error) {
+	n := len(lo)
+	if n == 0 || len(hi) != n {
+		return Result{}, ErrBadInput
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Result{}, ErrBadInput
+		}
+	}
+	pop := 15 * n
+	if pop < 20 {
+		pop = 20
+	}
+	gens, fw, cr, seed, tol := 300, 0.7, 0.9, int64(1), 0.0
+	if opts != nil {
+		if opts.Pop > 3 {
+			pop = opts.Pop
+		}
+		if opts.Generations > 0 {
+			gens = opts.Generations
+		}
+		if opts.F > 0 {
+			fw = opts.F
+		}
+		if opts.CR > 0 {
+			cr = opts.CR
+		}
+		if opts.Seed != 0 {
+			seed = opts.Seed
+		}
+		if opts.Tol > 0 {
+			tol = opts.Tol
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &counter{f: f}
+
+	xs := make([][]float64, pop)
+	fs := make([]float64, pop)
+	for i := range xs {
+		xs[i] = make([]float64, n)
+		for j := range xs[i] {
+			xs[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		fs[i] = c.eval(xs[i])
+	}
+	best := 0
+	for i := range fs {
+		if fs[i] < fs[best] {
+			best = i
+		}
+	}
+
+	trial := make([]float64, n)
+	for g := 0; g < gens; g++ {
+		for i := 0; i < pop; i++ {
+			// Pick three distinct partners != i.
+			var a, b, cc int
+			for {
+				a = rng.Intn(pop)
+				if a != i {
+					break
+				}
+			}
+			for {
+				b = rng.Intn(pop)
+				if b != i && b != a {
+					break
+				}
+			}
+			for {
+				cc = rng.Intn(pop)
+				if cc != i && cc != a && cc != b {
+					break
+				}
+			}
+			jr := rng.Intn(n)
+			for j := 0; j < n; j++ {
+				if j == jr || rng.Float64() < cr {
+					v := xs[a][j] + fw*(xs[b][j]-xs[cc][j])
+					// Reflect into bounds.
+					if v < lo[j] {
+						v = lo[j] + (lo[j]-v)*rng.Float64()
+						if v > hi[j] {
+							v = lo[j] + rng.Float64()*(hi[j]-lo[j])
+						}
+					}
+					if v > hi[j] {
+						v = hi[j] - (v-hi[j])*rng.Float64()
+						if v < lo[j] {
+							v = lo[j] + rng.Float64()*(hi[j]-lo[j])
+						}
+					}
+					trial[j] = v
+				} else {
+					trial[j] = xs[i][j]
+				}
+			}
+			ft := c.eval(trial)
+			if ft <= fs[i] {
+				copy(xs[i], trial)
+				fs[i] = ft
+				if ft < fs[best] {
+					best = i
+				}
+			}
+		}
+		if tol > 0 {
+			mn, mx := fs[0], fs[0]
+			for _, v := range fs[1:] {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			if mx-mn < tol*(1+math.Abs(mn)) {
+				return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: true}, nil
+			}
+		}
+	}
+	return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: false}, nil
+}
+
+// PSOOptions configures particle-swarm optimization.
+type PSOOptions struct {
+	// Pop is the swarm size (default 10*dim, min 20).
+	Pop int
+	// Iterations caps the run (default 300).
+	Iterations int
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+}
+
+// ParticleSwarm minimizes f over the box [lo, hi] with a standard
+// constricted-velocity swarm.
+func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, error) {
+	n := len(lo)
+	if n == 0 || len(hi) != n {
+		return Result{}, ErrBadInput
+	}
+	pop := 10 * n
+	if pop < 20 {
+		pop = 20
+	}
+	iters, seed := 300, int64(1)
+	if opts != nil {
+		if opts.Pop > 1 {
+			pop = opts.Pop
+		}
+		if opts.Iterations > 0 {
+			iters = opts.Iterations
+		}
+		if opts.Seed != 0 {
+			seed = opts.Seed
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &counter{f: f}
+	const (
+		w  = 0.7298 // constriction
+		c1 = 1.4962
+		c2 = 1.4962
+	)
+	x := make([][]float64, pop)
+	v := make([][]float64, pop)
+	pb := make([][]float64, pop)
+	pf := make([]float64, pop)
+	gb := make([]float64, n)
+	gf := math.Inf(1)
+	for i := range x {
+		x[i] = make([]float64, n)
+		v[i] = make([]float64, n)
+		for j := range x[i] {
+			span := hi[j] - lo[j]
+			x[i][j] = lo[j] + rng.Float64()*span
+			v[i][j] = (rng.Float64()*2 - 1) * span * 0.1
+		}
+		pb[i] = append([]float64(nil), x[i]...)
+		pf[i] = c.eval(x[i])
+		if pf[i] < gf {
+			gf = pf[i]
+			copy(gb, x[i])
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < pop; i++ {
+			for j := 0; j < n; j++ {
+				v[i][j] = w*v[i][j] +
+					c1*rng.Float64()*(pb[i][j]-x[i][j]) +
+					c2*rng.Float64()*(gb[j]-x[i][j])
+				x[i][j] += v[i][j]
+				if x[i][j] < lo[j] {
+					x[i][j] = lo[j]
+					v[i][j] = -0.5 * v[i][j]
+				}
+				if x[i][j] > hi[j] {
+					x[i][j] = hi[j]
+					v[i][j] = -0.5 * v[i][j]
+				}
+			}
+			fx := c.eval(x[i])
+			if fx < pf[i] {
+				pf[i] = fx
+				copy(pb[i], x[i])
+				if fx < gf {
+					gf = fx
+					copy(gb, x[i])
+				}
+			}
+		}
+	}
+	return Result{X: gb, F: gf, Evals: c.n, Converged: false}, nil
+}
+
+// SAOptions configures simulated annealing.
+type SAOptions struct {
+	// Iterations is the total annealing budget (default 20000).
+	Iterations int
+	// T0 is the initial temperature relative to the initial objective
+	// magnitude (default 1.0).
+	T0 float64
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+}
+
+// SimulatedAnnealing minimizes f over the box [lo, hi] with geometric
+// cooling and coordinate-wise Gaussian proposals.
+func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result, error) {
+	n := len(lo)
+	if n == 0 || len(hi) != n {
+		return Result{}, ErrBadInput
+	}
+	iters, t0, seed := 20000, 1.0, int64(1)
+	if opts != nil {
+		if opts.Iterations > 0 {
+			iters = opts.Iterations
+		}
+		if opts.T0 > 0 {
+			t0 = opts.T0
+		}
+		if opts.Seed != 0 {
+			seed = opts.Seed
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &counter{f: f}
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+	}
+	fx := c.eval(x)
+	best := append([]float64(nil), x...)
+	fb := fx
+	temp := t0 * (1 + math.Abs(fx))
+	cool := math.Pow(1e-6, 1/float64(iters)) // end ~1e-6 of start
+	cand := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		copy(cand, x)
+		j := rng.Intn(n)
+		sigma := 0.1 * (hi[j] - lo[j]) * math.Max(temp/(t0*(1+math.Abs(fb))), 0.01)
+		cand[j] += rng.NormFloat64() * sigma
+		if cand[j] < lo[j] {
+			cand[j] = lo[j]
+		}
+		if cand[j] > hi[j] {
+			cand[j] = hi[j]
+		}
+		fc := c.eval(cand)
+		if fc <= fx || rng.Float64() < math.Exp((fx-fc)/temp) {
+			copy(x, cand)
+			fx = fc
+			if fx < fb {
+				fb = fx
+				copy(best, x)
+			}
+		}
+		temp *= cool
+	}
+	return Result{X: best, F: fb, Evals: c.n, Converged: false}, nil
+}

@@ -1,0 +1,151 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDifferentialEvolutionRastrigin(t *testing.T) {
+	// DE must escape Rastrigin's local minima in 4-D.
+	lo := []float64{-5.12, -5.12, -5.12, -5.12}
+	hi := []float64{5.12, 5.12, 5.12, 5.12}
+	res, err := DifferentialEvolution(rastrigin, lo, hi, &DEOptions{
+		Generations: 400, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("DE: %v", err)
+	}
+	if res.F > 1e-3 {
+		t.Errorf("DE on Rastrigin: F = %g, want ~0 (x=%v)", res.F, res.X)
+	}
+}
+
+func TestDifferentialEvolutionRespectsBounds(t *testing.T) {
+	lo := []float64{1, -2}
+	hi := []float64{2, -1}
+	res, err := DifferentialEvolution(sphere, lo, hi, &DEOptions{Generations: 50, Seed: 2})
+	if err != nil {
+		t.Fatalf("DE: %v", err)
+	}
+	for i := range res.X {
+		if res.X[i] < lo[i]-1e-12 || res.X[i] > hi[i]+1e-12 {
+			t.Errorf("x[%d] = %g outside [%g, %g]", i, res.X[i], lo[i], hi[i])
+		}
+	}
+	// Optimum of sphere on this box is the corner (1, -1).
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]+1) > 1e-3 {
+		t.Errorf("constrained optimum = %v, want [1 -1]", res.X)
+	}
+}
+
+func TestDifferentialEvolutionEarlyStop(t *testing.T) {
+	res, err := DifferentialEvolution(sphere, []float64{-1, -1}, []float64{1, 1},
+		&DEOptions{Generations: 10000, Tol: 1e-14, Seed: 5})
+	if err != nil {
+		t.Fatalf("DE: %v", err)
+	}
+	if !res.Converged {
+		t.Error("expected early convergence on sphere")
+	}
+	if res.Evals >= 10000*30 {
+		t.Errorf("early stop did not trigger: %d evals", res.Evals)
+	}
+}
+
+func TestDEBadInput(t *testing.T) {
+	if _, err := DifferentialEvolution(sphere, nil, nil, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := DifferentialEvolution(sphere, []float64{1}, []float64{0}, nil); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestParticleSwarmSphere(t *testing.T) {
+	lo := []float64{-5, -5, -5}
+	hi := []float64{5, 5, 5}
+	res, err := ParticleSwarm(sphere, lo, hi, &PSOOptions{Iterations: 200, Seed: 4})
+	if err != nil {
+		t.Fatalf("PSO: %v", err)
+	}
+	if res.F > 1e-6 {
+		t.Errorf("PSO on sphere: F = %g, want ~0", res.F)
+	}
+	if _, err := ParticleSwarm(sphere, nil, nil, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestSimulatedAnnealingMultimodal(t *testing.T) {
+	// 1-D multimodal with global optimum at x ~ 0.
+	f := func(x []float64) float64 {
+		return x[0]*x[0] + 3*math.Sin(5*x[0])*math.Sin(5*x[0])
+	}
+	res, err := SimulatedAnnealing(f, []float64{-4}, []float64{4},
+		&SAOptions{Iterations: 50000, Seed: 9})
+	if err != nil {
+		t.Fatalf("SA: %v", err)
+	}
+	if res.F > 0.05 {
+		t.Errorf("SA stuck at F = %g (x = %v)", res.F, res.X)
+	}
+	if _, err := SimulatedAnnealing(f, nil, nil, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestMetaheuristicsDeterministic(t *testing.T) {
+	lo := []float64{-3, -3}
+	hi := []float64{3, 3}
+	r1, err := DifferentialEvolution(rosenbrock, lo, hi, &DEOptions{Generations: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DifferentialEvolution(rosenbrock, lo, hi, &DEOptions{Generations: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.F != r2.F {
+		t.Errorf("same seed, different results: %g vs %g", r1.F, r2.F)
+	}
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Errorf("same seed, different x[%d]", i)
+		}
+	}
+}
+
+// TestOptimizerShootout cross-checks every global optimizer on the same
+// multimodal problem with a fixed budget: all must land within a modest
+// factor of the best, which guards against silent regressions in any one of
+// them.
+func TestOptimizerShootout(t *testing.T) {
+	lo := []float64{-5.12, -5.12}
+	hi := []float64{5.12, 5.12}
+	results := map[string]float64{}
+	if r, err := DifferentialEvolution(rastrigin, lo, hi, &DEOptions{Generations: 150, Seed: 9}); err == nil {
+		results["DE"] = r.F
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := ParticleSwarm(rastrigin, lo, hi, &PSOOptions{Iterations: 150, Seed: 9}); err == nil {
+		results["PSO"] = r.F
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := SimulatedAnnealing(rastrigin, lo, hi, &SAOptions{Iterations: 40000, Seed: 9}); err == nil {
+		results["SA"] = r.F
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := CMAES(rastrigin, lo, hi, &CMAESOptions{Generations: 200, Seed: 9, Lambda: 16}); err == nil {
+		results["CMA-ES"] = r.F
+	} else {
+		t.Fatal(err)
+	}
+	for name, f := range results {
+		if f > 2.5 {
+			t.Errorf("%s stuck at F = %g on 2-D Rastrigin", name, f)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// newRand centralizes deterministic RNG creation.
+func newRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// Dominates reports whether point a Pareto-dominates point b (both
+// minimized): a is no worse in every objective and strictly better in at
+// least one.
+func Dominates(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// NonDominated returns the indices of the Pareto-optimal points in fs.
+func NonDominated(fs [][]float64) []int {
+	var out []int
+	for i := range fs {
+		dominated := false
+		for j := range fs {
+			if i != j && Dominates(fs[j], fs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Hypervolume2D computes the exact dominated hypervolume of a set of
+// two-objective points relative to the reference point ref (both objectives
+// minimized; points beyond ref contribute nothing).
+func Hypervolume2D(fs [][]float64, ref [2]float64) float64 {
+	// Keep the non-dominated points within the reference box.
+	var pts [][]float64
+	for _, f := range fs {
+		if len(f) >= 2 && f[0] < ref[0] && f[1] < ref[1] {
+			pts = append(pts, f)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	idx := NonDominated(pts)
+	front := make([][]float64, len(idx))
+	for i, j := range idx {
+		front[i] = pts[j]
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a][0] < front[b][0] })
+	var hv float64
+	prevY := ref[1]
+	for _, p := range front {
+		hv += (ref[0] - p[0]) * (prevY - p[1])
+		prevY = p[1]
+	}
+	return hv
+}
+
+// Spread returns the spacing metric of a two-objective front: the standard
+// deviation of consecutive-point distances along the front (lower = more
+// uniform coverage).
+func Spread(fs [][]float64) float64 {
+	if len(fs) < 3 {
+		return 0
+	}
+	front := append([][]float64(nil), fs...)
+	sort.Slice(front, func(a, b int) bool { return front[a][0] < front[b][0] })
+	dists := make([]float64, 0, len(front)-1)
+	for i := 1; i < len(front); i++ {
+		dx := front[i][0] - front[i-1][0]
+		dy := front[i][1] - front[i-1][1]
+		dists = append(dists, math.Hypot(dx, dy))
+	}
+	var mean float64
+	for _, d := range dists {
+		mean += d
+	}
+	mean /= float64(len(dists))
+	var s float64
+	for _, d := range dists {
+		s += (d - mean) * (d - mean)
+	}
+	return math.Sqrt(s / float64(len(dists)))
+}
+
+// AttainmentError measures how far a produced front point sits from its
+// aimed goal ray: |gamma| distance along the (normalized) goal direction.
+// It is the per-point quality metric of the E4 experiment.
+func AttainmentError(f []float64, goals []Goal) float64 {
+	return math.Abs(gammaOf(f, goals))
+}

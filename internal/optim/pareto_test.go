@@ -1,0 +1,160 @@
+package optim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict improvement
+		{[]float64{1, 1}, []float64{1, 2}, true},
+		{[]float64{3, 1}, []float64{2, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNonDominated(t *testing.T) {
+	fs := [][]float64{
+		{1, 5}, {2, 3}, {3, 4}, {4, 1}, {5, 5},
+	}
+	got := NonDominated(fs)
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("front size = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("index %d should be dominated", i)
+		}
+	}
+}
+
+func TestHypervolume2DKnown(t *testing.T) {
+	// Single point (1,1) with ref (3,3): box 2x2 = 4.
+	if hv := Hypervolume2D([][]float64{{1, 1}}, [2]float64{3, 3}); math.Abs(hv-4) > 1e-12 {
+		t.Errorf("hv = %g, want 4", hv)
+	}
+	// Two staircase points.
+	fs := [][]float64{{1, 2}, {2, 1}}
+	// Area = (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+	if hv := Hypervolume2D(fs, [2]float64{3, 3}); math.Abs(hv-3) > 1e-12 {
+		t.Errorf("hv = %g, want 3", hv)
+	}
+	// Dominated point adds nothing.
+	fs = append(fs, [][]float64{{2.5, 2.5}}...)
+	if hv := Hypervolume2D(fs, [2]float64{3, 3}); math.Abs(hv-3) > 1e-12 {
+		t.Errorf("hv with dominated point = %g, want 3", hv)
+	}
+	// Points outside the reference contribute nothing.
+	if hv := Hypervolume2D([][]float64{{4, 4}}, [2]float64{3, 3}); hv != 0 {
+		t.Errorf("out-of-box hv = %g, want 0", hv)
+	}
+}
+
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	// Adding a point never decreases hypervolume.
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		ref := [2]float64{10, 10}
+		var fs [][]float64
+		prev := 0.0
+		for k := 0; k < 10; k++ {
+			fs = append(fs, []float64{rng.Float64() * 10, rng.Float64() * 10})
+			hv := Hypervolume2D(fs, ref)
+			if hv < prev-1e-12 {
+				return false
+			}
+			prev = hv
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadUniformVsClustered(t *testing.T) {
+	uniform := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	clustered := [][]float64{{0, 4}, {0.1, 3.9}, {0.2, 3.8}, {0.3, 3.7}, {4, 0}}
+	if su, sc := Spread(uniform), Spread(clustered); su >= sc {
+		t.Errorf("uniform spread %g should beat clustered %g", su, sc)
+	}
+	if Spread(nil) != 0 || Spread([][]float64{{1, 2}}) != 0 {
+		t.Error("degenerate spreads must be 0")
+	}
+}
+
+func TestNSGA2OnConvexProblem(t *testing.T) {
+	res, err := NSGA2(convexBi, biBox.lo, biBox.hi, &NSGA2Options{
+		Pop: 60, Generations: 60, Seed: 21,
+	})
+	if err != nil {
+		t.Fatalf("NSGA2: %v", err)
+	}
+	if len(res.F) < 10 {
+		t.Fatalf("front too small: %d points", len(res.F))
+	}
+	// Every returned point must be near the analytic front
+	// f2 = (2 - sqrt(f1))^2 for f1 in [0, 4].
+	for _, f := range res.F {
+		if f[0] < -1e-9 || f[0] > 4.5 {
+			continue // extremes may be slightly past the segment
+		}
+		want := (2 - math.Sqrt(math.Max(f[0], 0))) * (2 - math.Sqrt(math.Max(f[0], 0)))
+		if f[1]-want > 0.15 {
+			t.Errorf("NSGA2 point %v is %g above the analytic front", f, f[1]-want)
+		}
+	}
+	// Reasonable coverage: hypervolume close to analytic optimum (~10.83
+	// for ref (5,5): integral of (5-f2(f1)) df1 ... just require > 80% of a
+	// generous bound).
+	hv := Hypervolume2D(res.F, [2]float64{5, 5})
+	if hv < 18 {
+		t.Errorf("NSGA2 hypervolume = %g, want > 18", hv)
+	}
+	if res.Evals == 0 {
+		t.Error("evaluation count missing")
+	}
+}
+
+func TestNSGA2CoversConcaveFront(t *testing.T) {
+	res, err := NSGA2(concaveBi, biBox.lo, biBox.hi, &NSGA2Options{
+		Pop: 60, Generations: 80, Seed: 8,
+	})
+	if err != nil {
+		t.Fatalf("NSGA2: %v", err)
+	}
+	// The concave front middle (f1 ~ f2) must be populated.
+	foundMiddle := false
+	for _, f := range res.F {
+		if math.Abs(f[0]-f[1]) < 0.1 && f[0] < 0.9 {
+			foundMiddle = true
+			break
+		}
+	}
+	if !foundMiddle {
+		t.Error("NSGA2 failed to populate the concave front middle")
+	}
+	if _, err := NSGA2(nil, nil, nil, nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+}
+
+func TestAttainmentError(t *testing.T) {
+	goals := []Goal{{Target: 1, Weight: 2}, {Target: 0, Weight: 1}}
+	// F = (3, 0.5): gamma = max((3-1)/2, 0.5/1) = 1.
+	if e := AttainmentError([]float64{3, 0.5}, goals); math.Abs(e-1) > 1e-12 {
+		t.Errorf("attainment error = %g, want 1", e)
+	}
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// GammaSeries is one point set in the reflection-coefficient plane.
+type GammaSeries struct {
+	// Name labels the series.
+	Name string
+	// Points are reflection coefficients.
+	Points []complex128
+	// Marker is the rune used (auto-assigned when zero).
+	Marker rune
+}
+
+// GammaPlane renders sets of reflection coefficients inside the unit circle
+// as ASCII art (a Smith-chart-style view without the impedance grid).
+type GammaPlane struct {
+	// Title is printed above the chart.
+	Title string
+	// Size is the canvas height in characters (width is 2*Size for aspect
+	// correction; default 21).
+	Size int
+	// Series holds the point sets.
+	Series []GammaSeries
+}
+
+// Add appends a point set.
+func (g *GammaPlane) Add(name string, pts []complex128) {
+	g.Series = append(g.Series, GammaSeries{Name: name, Points: pts})
+}
+
+// AddCircle appends a circle sampled as a point set.
+func (g *GammaPlane) AddCircle(name string, center complex128, radius float64) {
+	n := 64
+	pts := make([]complex128, 0, n)
+	for k := 0; k < n; k++ {
+		th := 2 * math.Pi * float64(k) / float64(n)
+		pts = append(pts, center+cmplx.Rect(radius, th))
+	}
+	g.Add(name, pts)
+}
+
+// Render draws the chart.
+func (g *GammaPlane) Render() string {
+	size := g.Size
+	if size <= 0 {
+		size = 21
+	}
+	if size%2 == 0 {
+		size++
+	}
+	w := 2 * size
+	grid := make([][]rune, size)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	// Map gamma to canvas: re in [-1.1, 1.1] across width, im down rows.
+	put := func(v complex128, marker rune) {
+		re, im := real(v), imag(v)
+		if math.Abs(re) > 1.15 || math.Abs(im) > 1.15 {
+			return
+		}
+		col := int(math.Round((re + 1.1) / 2.2 * float64(w-1)))
+		row := int(math.Round((1.1 - im) / 2.2 * float64(size-1)))
+		if col >= 0 && col < w && row >= 0 && row < size {
+			grid[row][col] = marker
+		}
+	}
+	// Unit circle outline.
+	for k := 0; k < 180; k++ {
+		th := 2 * math.Pi * float64(k) / 180
+		put(cmplx.Rect(1, th), '.')
+	}
+	// Axes through the origin.
+	put(0, '+')
+	for _, s := range []float64{-0.5, 0.5} {
+		put(complex(s, 0), '.')
+		put(complex(0, s), '.')
+	}
+	for si, s := range g.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for _, p := range s.Points {
+			put(p, marker)
+		}
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	for si, s := range g.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}

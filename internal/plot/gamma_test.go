@@ -1,0 +1,36 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGammaPlaneRender(t *testing.T) {
+	g := GammaPlane{Title: "circles"}
+	g.AddCircle("noise 0.1dB", 0.3+0.2i, 0.15)
+	g.Add("gamma opt", []complex128{0.3 + 0.2i})
+	out := g.Render()
+	for _, want := range []string{"circles", "noise 0.1dB", "gamma opt", "*", "o", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGammaPlaneClipsOutside(t *testing.T) {
+	g := GammaPlane{Size: 11}
+	g.Add("far", []complex128{5 + 5i})
+	out := g.Render()
+	// The far point is clipped: only axis/outline dots and legend.
+	if strings.Count(out, "*") != 1 { // legend only
+		t.Errorf("out-of-plane point drawn:\n%s", out)
+	}
+}
+
+func TestGammaPlaneEvenSizeAdjusted(t *testing.T) {
+	g := GammaPlane{Size: 10}
+	g.Add("p", []complex128{0})
+	if out := g.Render(); out == "" {
+		t.Fatal("no output")
+	}
+}

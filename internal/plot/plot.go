@@ -1,0 +1,145 @@
+// Package plot renders simple XY line/scatter plots as fixed-width ASCII
+// art, so the reproduced paper *figures* (S-parameter sweeps, Pareto
+// fronts, noise-figure curves) can be displayed by the command-line tools
+// and embedded in EXPERIMENTS.md without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve of a plot.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Xs and Ys are the sample coordinates (equal length).
+	Xs, Ys []float64
+	// Marker is the rune drawn for the series (assigned automatically if
+	// zero).
+	Marker rune
+}
+
+// Plot is an ASCII chart.
+type Plot struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the canvas size in characters (defaults 64x20).
+	Width, Height int
+	// Series holds the curves.
+	Series []Series
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series.
+func (p *Plot) Add(name string, xs, ys []float64) {
+	p.Series = append(p.Series, Series{Name: name, Xs: xs, Ys: ys})
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.Xs {
+			if i >= len(s.Ys) {
+				break
+			}
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y-range slightly so extremes stay visible.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.Xs {
+			if i >= len(s.Ys) {
+				break
+			}
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xl := fmt.Sprintf("%.4g", xmin)
+	xr := fmt.Sprintf("%.4g", xmax)
+	gap := w - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xl, strings.Repeat(" ", gap), xr)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), marker, s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := Plot{Title: "demo", XLabel: "f", YLabel: "dB", Width: 40, Height: 10}
+	p.Add("gain", []float64{1, 2, 3, 4}, []float64{10, 12, 11, 9})
+	out := p.Render()
+	for _, want := range []string{"demo", "*", "gain", "x: f", "y: dB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	p := Plot{Width: 30, Height: 8}
+	p.Add("a", []float64{0, 1}, []float64{0, 1})
+	p.Add("b", []float64{0, 1}, []float64{1, 0})
+	out := p.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	p := Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot should say so:\n%s", out)
+	}
+	// Constant series must not divide by zero.
+	p2 := Plot{Width: 20, Height: 5}
+	p2.Add("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	if out := p2.Render(); !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	p.Add("s", []float64{0, 1, 2}, []float64{1, math.Inf(1), math.NaN()})
+	out := p.Render()
+	if out == "" {
+		t.Fatal("no output")
+	}
+	// Only the finite point is drawn; just assert it does not crash and the
+	// marker appears once.
+	if c := strings.Count(out, "*"); c != 2 { // one on canvas + one in legend
+		t.Errorf("marker count = %d, want 2:\n%s", c, out)
+	}
+}
+
+func TestCornerPlacement(t *testing.T) {
+	// Extremes must land on the canvas, not be clipped away.
+	p := Plot{Width: 21, Height: 7}
+	p.Add("d", []float64{0, 10}, []float64{0, 10})
+	out := p.Render()
+	rows := strings.Split(out, "\n")
+	var first, last string
+	for _, r := range rows {
+		if strings.Contains(r, "|") {
+			if first == "" {
+				first = r
+			}
+			last = r
+		}
+	}
+	// With 5% y padding the extremes sit just inside the first/last rows.
+	if !strings.Contains(first, "*") && !strings.Contains(rows[1], "*") {
+		t.Errorf("max point missing near top:\n%s", out)
+	}
+	if !strings.Contains(last, "*") && !strings.Contains(rows[len(rows)-6], "*") {
+		t.Errorf("min point missing near bottom:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package rfpassive
+
+import (
+	"fmt"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+)
+
+// Impedancer is any one-port element exposing a frequency-dependent
+// impedance (chip inductors, capacitors, resistors).
+type Impedancer interface {
+	Impedance(f float64) complex128
+}
+
+// ShuntBranch is a series connection of one-port elements hung from the
+// signal path to ground — e.g. the classic R+L low-frequency stabilizing
+// load whose inductor lifts the resistor out of the band.
+type ShuntBranch struct {
+	// Parts are the series-connected one-ports of the branch.
+	Parts []Impedancer
+	// Temp is the branch physical temperature (290 K if zero).
+	Temp float64
+}
+
+var _ Element = ShuntBranch{}
+
+// Impedance returns the branch impedance at f.
+func (s ShuntBranch) Impedance(f float64) complex128 {
+	var z complex128
+	for _, p := range s.Parts {
+		z += p.Impedance(f)
+	}
+	return z
+}
+
+// ABCD returns the chain matrix of the shunt branch at f.
+func (s ShuntBranch) ABCD(f float64) twoport.Mat2 {
+	return twoport.ShuntY(1 / s.Impedance(f))
+}
+
+// Noisy returns the branch with its thermal noise at f.
+func (s ShuntBranch) Noisy(f float64) noise.TwoPort {
+	t := s.Temp
+	if t == 0 {
+		t = mathx.T0
+	}
+	return noise.ShuntY(1/s.Impedance(f), t)
+}
+
+// String describes the branch.
+func (s ShuntBranch) String() string {
+	return fmt.Sprintf("shunt branch (%d series parts)", len(s.Parts))
+}
+
+// StabilizerRL builds the standard low-frequency stabilizing load: r ohms
+// in series with l henries, shunted to ground. In band the inductive
+// reactance isolates the resistor; below the band the resistor damps the
+// stage.
+func StabilizerRL(r, l float64) ShuntBranch {
+	return ShuntBranch{
+		Parts: []Impedancer{
+			NewChipResistor(r, Shunt),
+			NewChipInductor(l, Shunt),
+		},
+		Temp: mathx.T0,
+	}
+}

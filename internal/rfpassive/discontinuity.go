@@ -1,0 +1,88 @@
+package rfpassive
+
+import (
+	"fmt"
+	"math"
+
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+)
+
+// OpenEndExtension returns the equivalent length extension dL of a
+// microstrip open end (Kirschning, Jansen & Koster closed form): the
+// fringing field makes an open stub look electrically longer by dL.
+func (s Substrate) OpenEndExtension(w float64) float64 {
+	e0, _ := s.StaticParams(w)
+	u := w / s.H
+	x1 := 0.434907 * (math.Pow(e0, 0.81) + 0.26) / (math.Pow(e0, 0.81) - 0.189) *
+		(math.Pow(u, 0.8544) + 0.236) / (math.Pow(u, 0.8544) + 0.87)
+	x2 := 1 + math.Pow(u, 0.371)/(2.358*s.Er+1)
+	x3 := 1 + 0.5274*math.Atan(0.084*math.Pow(u, 1.9413/x2))/math.Pow(e0, 0.9236)
+	x4 := 1 + 0.0377*math.Atan(0.067*math.Pow(u, 1.456))*(6-5*math.Exp(0.036*(1-s.Er)))
+	x5 := 1 - 0.218*math.Exp(-7.5*u)
+	return s.H * x1 * x3 * x5 / x4
+}
+
+// StepInWidth models a microstrip width step as the series inductance and
+// shunt capacitance discontinuity (first-order closed forms). w1 is the
+// wider, w2 the narrower strip.
+type StepInWidth struct {
+	// Sub is the substrate.
+	Sub Substrate
+	// W1 and W2 are the two strip widths (order-independent).
+	W1, W2 float64
+}
+
+var _ Element = StepInWidth{}
+
+// elements returns the equivalent series inductance (H) and shunt
+// capacitance (F) of the step.
+func (s StepInWidth) elements() (lSeries, cShunt float64) {
+	w1, w2 := s.W1, s.W2
+	if w1 < w2 {
+		w1, w2 = w2, w1
+	}
+	e1, z1 := s.Sub.StaticParams(w1)
+	_, z2 := s.Sub.StaticParams(w2)
+	// Series inductance per Gupta/Garg closed form (first order):
+	// L ~ h * (z2 - z1)/c0 scaled by the width ratio.
+	ratio := w1 / w2
+	lSeries = s.Sub.H * (z2 - z1) / c0 * math.Sqrt(ratio-1)
+	if lSeries < 0 {
+		lSeries = 0
+	}
+	// Shunt capacitance: excess fringing at the wide side's edge.
+	cShunt = math.Sqrt(w1*w2) * math.Sqrt(e1) * (1 - w2/w1) * 40e-12 // ~pF/m scale
+	return lSeries, cShunt
+}
+
+// ABCD returns the chain matrix of the step at f.
+func (s StepInWidth) ABCD(f float64) twoport.Mat2 {
+	l, cp := s.elements()
+	w := 2 * math.Pi * f
+	half := twoport.SeriesZ(complex(0, w*l/2))
+	shunt := twoport.ShuntY(complex(0, w*cp))
+	return half.Mul(shunt).Mul(half)
+}
+
+// Noisy returns the (lossless, noiseless) step discontinuity at f.
+func (s StepInWidth) Noisy(f float64) noise.TwoPort {
+	return noise.Noiseless(s.ABCD(f))
+}
+
+// String describes the step.
+func (s StepInWidth) String() string {
+	return fmt.Sprintf("STEP %.3g->%.3g mm", s.W1*1e3, s.W2*1e3)
+}
+
+// OpenStubWithEnd returns an open-circuited stub Line whose physical length
+// is shortened by the open-end extension so its electrical behaviour matches
+// the target length — the correction the paper's careful element equations
+// apply when cutting real stubs.
+func OpenStubWithEnd(sub Substrate, w, targetLen float64) Line {
+	l := targetLen - sub.OpenEndExtension(w)
+	if l < 0 {
+		l = 0
+	}
+	return Line{Sub: sub, W: w, Len: l, Dispersion: true}
+}

@@ -1,0 +1,131 @@
+package rfpassive
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+func TestInductorDispersion(t *testing.T) {
+	l := NewChipInductor(7.5e-9, Series)
+	// Below SRF the reactance is inductive and grows.
+	srf := l.SRF()
+	if srf < 2e9 {
+		t.Fatalf("SRF = %g, expected above L band for 7.5 nH/0.12 pF", srf)
+	}
+	z1 := l.Impedance(1e9)
+	z2 := l.Impedance(1.5e9)
+	if imag(z1) <= 0 || imag(z2) <= imag(z1) {
+		t.Errorf("inductive reactance not growing: %v -> %v", z1, z2)
+	}
+	// ESR grows with frequency (skin effect + proximity to SRF).
+	if l.ESR(1.5e9) <= l.ESR(0.5e9) {
+		t.Errorf("ESR not dispersive: %g -> %g", l.ESR(0.5e9), l.ESR(1.5e9))
+	}
+	// Q at the reference frequency matches the spec within the Cp detuning.
+	q := l.Q(l.FRef)
+	if math.Abs(q-l.QRef) > 0.15*l.QRef {
+		t.Errorf("Q(FRef) = %g, want ~%g", q, l.QRef)
+	}
+	// Above SRF the element turns capacitive.
+	if imag(l.Impedance(srf*1.5)) >= 0 {
+		t.Error("inductor should be capacitive above SRF")
+	}
+}
+
+func TestCapacitorDispersion(t *testing.T) {
+	c := NewChipCapacitor(3.3e-12, Series)
+	// ESR has a minimum: dielectric term falls as 1/f, metal term grows as
+	// sqrt(f).
+	low := c.ESR(10e6)
+	mid := c.ESR(1e9)
+	if low <= mid {
+		t.Errorf("low-frequency ESR %g should exceed mid-band %g (tan d term)", low, mid)
+	}
+	hi := c.ESR(20e9)
+	if hi <= mid {
+		t.Errorf("ESR should rise again at high f: %g vs %g", hi, mid)
+	}
+	// Below SRF: capacitive; above: inductive.
+	srf := c.SRF()
+	if imag(c.Impedance(srf/2)) >= 0 {
+		t.Error("capacitive below SRF expected")
+	}
+	if imag(c.Impedance(srf*2)) <= 0 {
+		t.Error("inductive above SRF expected")
+	}
+	// Q is high for C0G parts at L band.
+	if q := c.Q(1.575e9); q < 50 {
+		t.Errorf("C0G cap Q = %g, expected > 50", q)
+	}
+}
+
+func TestResistorParasitics(t *testing.T) {
+	r := NewChipResistor(50, Shunt)
+	z0 := r.Impedance(1e6)
+	if math.Abs(real(z0)-50) > 0.5 {
+		t.Errorf("low-frequency R = %v, want ~50", z0)
+	}
+	// At microwave frequencies the impedance departs from nominal.
+	z := r.Impedance(10e9)
+	if cmplx.Abs(z-50) < 1 {
+		t.Error("expected visible parasitic effect at 10 GHz")
+	}
+}
+
+func TestElementOrientations(t *testing.T) {
+	f := 1.575e9
+	ls := NewChipInductor(5.6e-9, Series)
+	lsh := NewChipInductor(5.6e-9, Shunt)
+	as := ls.ABCD(f)
+	ash := lsh.ABCD(f)
+	// Series: A[1][0] == 0; shunt: A[0][1] == 0.
+	if as[1][0] != 0 || as[0][1] == 0 {
+		t.Error("series inductor chain matrix malformed")
+	}
+	if ash[0][1] != 0 || ash[1][0] == 0 {
+		t.Error("shunt inductor chain matrix malformed")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	f := 1.4e9
+	l := NewChipInductor(6.8e-9, Series)
+	c := NewChipCapacitor(2.2e-12, Shunt)
+	ch := Chain{l, c}
+	got := ch.ABCD(f)
+	want := l.ABCD(f).Mul(c.ABCD(f))
+	if d := twoport.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("chain ABCD differs from manual product by %g", d)
+	}
+	// Noisy version should carry positive noise (lossy elements).
+	n := ch.Noisy(f)
+	nf := n.FigureY(complex(1.0/50, 0))
+	if nf <= 1 {
+		t.Errorf("lossy chain NF = %g, want > 1", nf)
+	}
+	if s := ch.String(); s == "" {
+		t.Error("chain description empty")
+	}
+}
+
+func TestMatchingLOnFR4HasLowLoss(t *testing.T) {
+	// A realistic L-match at 1.575 GHz built from chip parts should lose
+	// well under 1 dB: guards against wildly pessimistic parasitics.
+	f := 1.575e9
+	ch := Chain{
+		NewChipInductor(5.6e-9, Series),
+		NewChipCapacitor(1.5e-12, Shunt),
+	}
+	n := ch.Noisy(f)
+	nfDB := mathx.DB10(n.FigureY(complex(1.0/50, 0)))
+	if nfDB > 1.0 {
+		t.Errorf("L-match NF = %g dB, model too lossy", nfDB)
+	}
+	if nfDB <= 0 {
+		t.Errorf("L-match NF = %g dB, must be positive", nfDB)
+	}
+}

@@ -1,0 +1,127 @@
+package rfpassive
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+// randomChain builds a random passive chain of 1-6 elements.
+func randomChain(rng *rand.Rand) Chain {
+	sub := RogersRO4350()
+	n := 1 + rng.Intn(6)
+	ch := make(Chain, 0, n)
+	for i := 0; i < n; i++ {
+		orient := Series
+		if rng.Intn(2) == 0 {
+			orient = Shunt
+		}
+		switch rng.Intn(5) {
+		case 0:
+			ch = append(ch, NewChipInductor(1e-9+rng.Float64()*20e-9, orient))
+		case 1:
+			ch = append(ch, NewChipCapacitor(0.3e-12+rng.Float64()*50e-12, orient))
+		case 2:
+			ch = append(ch, NewChipResistor(5+rng.Float64()*500, orient))
+		case 3:
+			w, err := sub.WidthForZ0(40 + rng.Float64()*50)
+			if err != nil {
+				continue
+			}
+			ch = append(ch, Line{Sub: sub, W: w, Len: 1e-3 + rng.Float64()*25e-3, Dispersion: true})
+		default:
+			ch = append(ch, StabilizerRL(20+rng.Float64()*150, 2e-9+rng.Float64()*20e-9))
+		}
+	}
+	return ch
+}
+
+func TestRandomPassiveChainsArePassive(t *testing.T) {
+	// Property: any chain of passive elements has no power gain and is
+	// reciprocal at any in-band frequency.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ch := randomChain(rng)
+		freq := 0.5e9 + rng.Float64()*3e9
+		s, err := twoport.ABCDToS(ch.ABCD(freq), 50)
+		if err != nil {
+			return true // degenerate composition (e.g. ideal series open)
+		}
+		// Reciprocity.
+		if cmplx.Abs(s[0][1]-s[1][0]) > 1e-9 {
+			return false
+		}
+		// Passivity: both column power sums <= 1.
+		p1 := abs2(s[0][0]) + abs2(s[1][0])
+		p2 := abs2(s[0][1]) + abs2(s[1][1])
+		return p1 <= 1+1e-9 && p2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPassiveChainsPhysicalNoise(t *testing.T) {
+	// Property: the noise figure of any passive chain at T0 from a matched
+	// source equals at least its insertion loss-ish bound: F >= 1, and the
+	// extracted noise parameters are physical (Fmin >= 1, Rn >= 0,
+	// |GammaOpt| <= 1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ch := randomChain(rng)
+		freq := 0.8e9 + rng.Float64()*2e9
+		n := ch.Noisy(freq)
+		nf := n.FigureY(complex(1.0/50, 0))
+		if nf < 1-1e-9 {
+			return false
+		}
+		p, err := n.NoiseParams(50)
+		if err != nil {
+			return true // degenerate chain
+		}
+		if p.Fmin < 1-1e-6 || p.Rn < -1e-12 {
+			return false
+		}
+		return cmplx.Abs(p.GammaOpt) <= 1+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPassiveNoiseFigureBoundedByLoss(t *testing.T) {
+	// Property: for a passive chain at T0, the matched-source noise figure
+	// never exceeds 1/(GT) by more than numerical tolerance... in fact for
+	// passive networks F <= 1/GT with equality when matched; verify the
+	// inequality F <= 1/GT * (mismatch bound) loosely: F - 1 <= (1/GT - 1)
+	// within tolerance does NOT hold in general for mismatched networks,
+	// but F <= 1/GA always holds at T0. Use GA with a matched source.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ch := randomChain(rng)
+		freq := 0.8e9 + rng.Float64()*2e9
+		n := ch.Noisy(freq)
+		s, err := n.S(50)
+		if err != nil {
+			return true
+		}
+		ga := twoport.AvailableGain(s, 0)
+		if ga <= 0 || ga > 1+1e-9 {
+			// Passive: available gain cannot exceed 1; numerical edge cases
+			// with near-singular output match are skipped.
+			return ga <= 1+1e-9
+		}
+		nf := n.FigureY(complex(1.0/50, 0))
+		// Thermodynamic identity for passive at T0: F = 1/GA exactly.
+		return mathx.CloseRel(nf, 1/ga, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs2(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }

@@ -1,0 +1,110 @@
+package rfpassive
+
+import (
+	"fmt"
+	"math"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+)
+
+// Tee models a microstrip T-junction used as a splitter for the bias feed:
+// a branch hangs off the main line, and the junction itself contributes a
+// parasitic shunt susceptance (excess junction capacitance after
+// Hammerstad) seen by the through path. As a two-port along the main line,
+// the Tee presents the branch's input admittance (plus the junction
+// capacitance) in shunt.
+type Tee struct {
+	// Sub is the substrate the junction is printed on.
+	Sub Substrate
+	// WMain is the main line width in meters.
+	WMain float64
+	// WBranch is the branch line width in meters.
+	WBranch float64
+	// Branch is the element hanging off the junction, evaluated as a
+	// two-port terminated by BranchLoad.
+	Branch Element
+	// BranchLoad terminates the far end of the branch (ohms); use a large
+	// value for an open and a small one for a short/decoupled rail.
+	BranchLoad complex128
+}
+
+var _ Element = Tee{}
+
+// JunctionCapacitance returns the Hammerstad excess capacitance of the
+// T-junction in farads, an empirical function of geometry and permittivity.
+func (t Tee) JunctionCapacitance() float64 {
+	_, z0m := t.Sub.StaticParams(t.WMain)
+	// Hammerstad's empirical shunt capacitance for a tee: C/W [pF/m] =
+	// sqrt(er)*(100/tan(...)) style fits reduce, for our purposes, to an
+	// order-of-magnitude-correct closed form proportional to branch width
+	// and permittivity.
+	eEff, _ := t.Sub.StaticParams(t.WBranch)
+	// ~0.5 fF per (mm width) * sqrt(eps) scaled by 50/Z0main.
+	return 0.5e-15 * (t.WBranch * 1e3) * math.Sqrt(eEff) * (50 / z0m) * 2
+}
+
+// BranchAdmittance returns the input admittance of the loaded branch at f.
+func (t Tee) BranchAdmittance(f float64) complex128 {
+	a := twoport.Identity2()
+	if t.Branch != nil {
+		a = t.Branch.ABCD(f)
+	}
+	// Zin = (A Zl + B)/(C Zl + D).
+	zl := t.BranchLoad
+	zin := (a[0][0]*zl + a[0][1]) / (a[1][0]*zl + a[1][1])
+	if zin == 0 {
+		return complex(math.Inf(1), 0)
+	}
+	return 1 / zin
+}
+
+// TotalShuntY returns the shunt admittance loading the main line at f:
+// branch input admittance plus the junction parasitic susceptance.
+func (t Tee) TotalShuntY(f float64) complex128 {
+	w := 2 * math.Pi * f
+	return t.BranchAdmittance(f) + complex(0, w*t.JunctionCapacitance())
+}
+
+// ABCD returns the main-line chain matrix at f.
+func (t Tee) ABCD(f float64) twoport.Mat2 {
+	return twoport.ShuntY(t.TotalShuntY(f))
+}
+
+// Noisy returns the junction with the branch's thermal noise at f. The
+// branch conductance is assumed to sit at the substrate temperature.
+func (t Tee) Noisy(f float64) noise.TwoPort {
+	return noise.ShuntY(t.TotalShuntY(f), t.Sub.temp())
+}
+
+// String describes the junction.
+func (t Tee) String() string {
+	return fmt.Sprintf("TEE wm=%.3gmm wb=%.3gmm", t.WMain*1e3, t.WBranch*1e3)
+}
+
+// BiasFeed builds the classical bias-injection branch used by the
+// preamplifier: a high-impedance quarter-wave-ish feed inductor from the
+// rail, decoupled at the rail by a bypass capacitor, attached to the main
+// line through a Tee. The branch looks like a high impedance in-band so the
+// RF path is minimally disturbed, while DC flows to the drain/gate.
+func BiasFeed(sub Substrate, wMain float64, feed Inductor, bypass Capacitor, railResistance float64) Tee {
+	feed.Orient = Series
+	bypass.Orient = Shunt
+	branch := Chain{feed, bypass}
+	return Tee{
+		Sub:        sub,
+		WMain:      wMain,
+		WBranch:    wMain / 3,
+		Branch:     branch,
+		BranchLoad: complex(railResistance, 0),
+	}
+}
+
+// DCBlock returns a series chip capacitor sized for negligible in-band
+// reactance, as used at the amplifier ports.
+func DCBlock(c float64) Capacitor {
+	blk := NewChipCapacitor(c, Series)
+	blk.Temp = mathx.T0
+	return blk
+}

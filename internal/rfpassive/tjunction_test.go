@@ -1,0 +1,93 @@
+package rfpassive
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+func TestTeeJunctionCapacitancePositive(t *testing.T) {
+	sub := FR4()
+	w, _ := sub.WidthForZ0(50)
+	tee := Tee{Sub: sub, WMain: w, WBranch: w / 3, BranchLoad: complex(1e9, 0)}
+	cj := tee.JunctionCapacitance()
+	if cj <= 0 || cj > 1e-12 {
+		t.Errorf("junction capacitance = %g F, want small positive (fF range)", cj)
+	}
+}
+
+func TestBiasFeedIsTransparentInBand(t *testing.T) {
+	// A well-designed bias feed perturbs the through path by well under
+	// half a dB across the GNSS band.
+	sub := RogersRO4350()
+	w, _ := sub.WidthForZ0(50)
+	feed := NewChipInductor(68e-9, Series) // high impedance at 1.1-1.7 GHz
+	bypass := NewChipCapacitor(100e-12, Shunt)
+	tee := BiasFeed(sub, w, feed, bypass, 5)
+	for _, f := range []float64{1.1e9, 1.4e9, 1.7e9} {
+		s, err := twoport.ABCDToS(tee.ABCD(f), 50)
+		if err != nil {
+			t.Fatalf("f=%g: %v", f, err)
+		}
+		il := -mathx.DB20(cmplx.Abs(s[1][0]))
+		if il > 0.5 {
+			t.Errorf("f=%g: bias feed insertion loss %.3f dB too high", f, il)
+		}
+		if il < 0 {
+			t.Errorf("f=%g: negative insertion loss %.3f dB from passive tee", f, il)
+		}
+	}
+}
+
+func TestTeeBranchAdmittanceShortVsOpen(t *testing.T) {
+	sub := FR4()
+	w, _ := sub.WidthForZ0(50)
+	f := 1.575e9
+	// Open branch: tiny admittance; shorted branch through nothing: huge.
+	open := Tee{Sub: sub, WMain: w, WBranch: w / 3, BranchLoad: complex(1e12, 0)}
+	short := Tee{Sub: sub, WMain: w, WBranch: w / 3, BranchLoad: complex(1e-9, 0)}
+	if cmplx.Abs(open.BranchAdmittance(f)) > 1e-9 {
+		t.Errorf("open branch admittance = %v, want ~0", open.BranchAdmittance(f))
+	}
+	if cmplx.Abs(short.BranchAdmittance(f)) < 1e6 {
+		t.Errorf("short branch admittance = %v, want huge", short.BranchAdmittance(f))
+	}
+}
+
+func TestBiasFeedNoiseSmall(t *testing.T) {
+	// The bias feed's noise contribution in-band must be small (< 0.2 dB)
+	// when the feed inductor presents a high impedance.
+	sub := RogersRO4350()
+	w, _ := sub.WidthForZ0(50)
+	feed := NewChipInductor(68e-9, Series)
+	bypass := NewChipCapacitor(100e-12, Shunt)
+	tee := BiasFeed(sub, w, feed, bypass, 5)
+	n := tee.Noisy(1.575e9)
+	nf := mathx.DB10(n.FigureY(complex(1.0/50, 0)))
+	if nf > 0.2 {
+		t.Errorf("bias feed NF = %g dB, want < 0.2", nf)
+	}
+	if nf < 0 {
+		t.Errorf("bias feed NF = %g dB, must be non-negative", nf)
+	}
+}
+
+func TestDCBlockTransparent(t *testing.T) {
+	blk := DCBlock(100e-12)
+	s, err := twoport.ABCDToS(blk.ABCD(1.575e9), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := -mathx.DB20(cmplx.Abs(s[1][0]))
+	if il > 0.1 {
+		t.Errorf("DC block insertion loss = %g dB, want < 0.1", il)
+	}
+	// At DC it must block: series impedance infinite.
+	z := blk.Impedance(0)
+	if !math.IsInf(real(z), 1) {
+		t.Errorf("DC impedance = %v, want infinite", z)
+	}
+}

@@ -1,0 +1,195 @@
+// Package touchstone reads and writes two-port Touchstone v1 (.s2p) files,
+// the industry interchange format for measured S-parameters. The synthetic
+// VNA writes them and the extraction CLI reads them, mirroring how the
+// paper's measured data would flow between instruments and tools.
+package touchstone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"strconv"
+	"strings"
+
+	"gnsslna/internal/twoport"
+)
+
+// Format enumerates the Touchstone number formats.
+type Format int
+
+// Touchstone number formats.
+const (
+	FormatMA Format = iota + 1 // magnitude / angle(deg)
+	FormatDB                   // dB(magnitude) / angle(deg)
+	FormatRI                   // real / imaginary
+)
+
+// String returns the Touchstone token for the format.
+func (f Format) String() string {
+	switch f {
+	case FormatMA:
+		return "MA"
+	case FormatDB:
+		return "DB"
+	case FormatRI:
+		return "RI"
+	default:
+		return "??"
+	}
+}
+
+// freqUnits maps Touchstone frequency-unit tokens to Hz multipliers.
+var freqUnits = map[string]float64{
+	"HZ": 1, "KHZ": 1e3, "MHZ": 1e6, "GHZ": 1e9,
+}
+
+// Read parses a two-port Touchstone v1 stream into a Network.
+func Read(r io.Reader) (*twoport.Network, error) {
+	sc := bufio.NewScanner(r)
+	unit := 1e9 // Touchstone default is GHz
+	format := FormatMA
+	z0 := twoport.Z0Default
+	sawOption := false
+	var freqs []float64
+	var mats []twoport.Mat2
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "!"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if sawOption {
+				return nil, fmt.Errorf("touchstone: line %d: duplicate option line", lineNo)
+			}
+			sawOption = true
+			var err error
+			unit, format, z0, err = parseOption(line)
+			if err != nil {
+				return nil, fmt.Errorf("touchstone: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 9 {
+			return nil, fmt.Errorf("touchstone: line %d: want 9 fields for a 2-port record, got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 9)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("touchstone: line %d: field %d: %w", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		freqs = append(freqs, vals[0]*unit)
+		// Touchstone 2-port ordering: S11 S21 S12 S22.
+		s11 := decode(vals[1], vals[2], format)
+		s21 := decode(vals[3], vals[4], format)
+		s12 := decode(vals[5], vals[6], format)
+		s22 := decode(vals[7], vals[8], format)
+		mats = append(mats, twoport.Mat2{{s11, s12}, {s21, s22}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("touchstone: %w", err)
+	}
+	return twoport.NewNetwork(z0, freqs, mats)
+}
+
+func parseOption(line string) (unit float64, format Format, z0 float64, err error) {
+	unit, format, z0 = 1e9, FormatMA, twoport.Z0Default
+	tokens := strings.Fields(strings.ToUpper(line[1:]))
+	for i := 0; i < len(tokens); i++ {
+		tok := tokens[i]
+		switch {
+		case tok == "S":
+			// parameter type: only S supported
+		case tok == "Y" || tok == "Z" || tok == "H" || tok == "G":
+			return 0, 0, 0, fmt.Errorf("unsupported parameter type %q (only S)", tok)
+		case tok == "MA":
+			format = FormatMA
+		case tok == "DB":
+			format = FormatDB
+		case tok == "RI":
+			format = FormatRI
+		case tok == "R":
+			if i+1 >= len(tokens) {
+				return 0, 0, 0, fmt.Errorf("option R missing impedance value")
+			}
+			i++
+			z0, err = strconv.ParseFloat(tokens[i], 64)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("option R: %w", err)
+			}
+		default:
+			if u, ok := freqUnits[tok]; ok {
+				unit = u
+			} else {
+				return 0, 0, 0, fmt.Errorf("unknown option token %q", tok)
+			}
+		}
+	}
+	return unit, format, z0, nil
+}
+
+func decode(a, b float64, f Format) complex128 {
+	switch f {
+	case FormatRI:
+		return complex(a, b)
+	case FormatDB:
+		return cmplx.Rect(math.Pow(10, a/20), b*math.Pi/180)
+	default: // MA
+		return cmplx.Rect(a, b*math.Pi/180)
+	}
+}
+
+func encode(v complex128, f Format) (a, b float64) {
+	switch f {
+	case FormatRI:
+		return real(v), imag(v)
+	case FormatDB:
+		return 20 * math.Log10(cmplx.Abs(v)), cmplx.Phase(v) * 180 / math.Pi
+	default:
+		return cmplx.Abs(v), cmplx.Phase(v) * 180 / math.Pi
+	}
+}
+
+// Write serializes a Network as a two-port Touchstone v1 file in the given
+// format with frequencies in GHz.
+func Write(w io.Writer, n *twoport.Network, format Format, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, l := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "! %s\n", l); err != nil {
+				return fmt.Errorf("touchstone: write comment: %w", err)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "# GHZ S %s R %g\n", format, n.Z0); err != nil {
+		return fmt.Errorf("touchstone: write header: %w", err)
+	}
+	for i, f := range n.Freqs {
+		s := n.S[i]
+		a11, b11 := encode(s[0][0], format)
+		a21, b21 := encode(s[1][0], format)
+		a12, b12 := encode(s[0][1], format)
+		a22, b22 := encode(s[1][1], format)
+		_, err := fmt.Fprintf(bw,
+			"%.9g %.9g %.9g %.9g %.9g %.9g %.9g %.9g %.9g\n",
+			f/1e9, a11, b11, a21, b21, a12, b12, a22, b22)
+		if err != nil {
+			return fmt.Errorf("touchstone: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("touchstone: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package touchstone
+
+import (
+	"bytes"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/twoport"
+)
+
+func sampleNetwork(t *testing.T) *twoport.Network {
+	t.Helper()
+	freqs := []float64{1.1e9, 1.4e9, 1.7e9}
+	s := []twoport.Mat2{
+		{{cmplx.Rect(0.7, 2.1), cmplx.Rect(0.05, 1.0)}, {cmplx.Rect(5.0, 1.4), cmplx.Rect(0.3, -0.7)}},
+		{{cmplx.Rect(0.6, 1.9), cmplx.Rect(0.06, 0.9)}, {cmplx.Rect(4.5, 1.2), cmplx.Rect(0.28, -0.8)}},
+		{{cmplx.Rect(0.5, 1.7), cmplx.Rect(0.07, 0.8)}, {cmplx.Rect(4.0, 1.0), cmplx.Rect(0.26, -0.9)}},
+	}
+	n, err := twoport.NewNetwork(50, freqs, s)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return n
+}
+
+func TestWriteReadRoundTripAllFormats(t *testing.T) {
+	n := sampleNetwork(t)
+	for _, f := range []Format{FormatMA, FormatDB, FormatRI} {
+		var buf bytes.Buffer
+		if err := Write(&buf, n, f, "round trip test"); err != nil {
+			t.Fatalf("Write(%v): %v", f, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", f, err)
+		}
+		if got.Len() != n.Len() {
+			t.Fatalf("format %v: length %d, want %d", f, got.Len(), n.Len())
+		}
+		for i := range n.Freqs {
+			if d := got.Freqs[i] - n.Freqs[i]; d > 1 || d < -1 {
+				t.Errorf("format %v: freq[%d] = %g, want %g", f, i, got.Freqs[i], n.Freqs[i])
+			}
+			if d := twoport.MaxAbsDiff(got.S[i], n.S[i]); d > 1e-6 {
+				t.Errorf("format %v: S[%d] differs by %g", f, i, d)
+			}
+		}
+		if got.Z0 != 50 {
+			t.Errorf("format %v: Z0 = %g, want 50", f, got.Z0)
+		}
+	}
+}
+
+func TestReadHandCraftedMA(t *testing.T) {
+	src := `! demo file
+# MHz S MA R 50
+1100  0.9 -60   4.8 120   0.05 30   0.5 -40
+1500  0.8 -70   4.5 110   0.06 25   0.45 -45
+`
+	n, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if n.Len() != 2 {
+		t.Fatalf("points = %d, want 2", n.Len())
+	}
+	if n.Freqs[0] != 1100e6 {
+		t.Errorf("freq[0] = %g, want 1.1e9", n.Freqs[0])
+	}
+	wantS21 := cmplx.Rect(4.8, 120*3.14159265358979/180)
+	if cmplx.Abs(n.S[0][1][0]-wantS21) > 1e-6 {
+		t.Errorf("S21 = %v, want %v", n.S[0][1][0], wantS21)
+	}
+	// Column ordering check: S12 must be the small entry.
+	if cmplx.Abs(n.S[0][0][1]) > 0.06 {
+		t.Errorf("S12 magnitude = %g, want 0.05", cmplx.Abs(n.S[0][0][1]))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad field count": "# GHz S MA R 50\n1.0 0.5 0\n",
+		"bad number":      "# GHz S MA R 50\n1.0 a 0 0 0 0 0 0 0\n",
+		"bad param type":  "# GHz Y MA R 50\n",
+		"unknown token":   "# GHz S XX R 50\n",
+		"missing R value": "# GHz S MA R\n",
+		"duplicate opts":  "# GHz S MA R 50\n# GHz S MA R 50\n",
+		"empty":           "",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadDefaultsToGHzMA(t *testing.T) {
+	// Without an option line Touchstone defaults apply; we still require a
+	// record. (Strictly a missing option line is unusual but legal.)
+	src := "1.575 0.9 -60 4.8 120 0.05 30 0.5 -40\n"
+	n, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if n.Freqs[0] != 1.575e9 {
+		t.Errorf("freq = %g, want 1.575e9 (GHz default)", n.Freqs[0])
+	}
+}
+
+func TestCommentWriting(t *testing.T) {
+	n := sampleNetwork(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, n, FormatDB, "line one\nline two"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "! line one\n! line two\n") {
+		t.Errorf("comment block malformed:\n%s", out)
+	}
+}
+
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	// Robustness: arbitrary byte soup must produce an error or a valid
+	// network, never a panic.
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("0123456789.eE+- #!RSMADGHZz\n\t")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on %q: %v", trial, buf, r)
+				}
+			}()
+			net, err := Read(bytes.NewReader(buf))
+			if err == nil && net.Len() == 0 {
+				t.Fatalf("trial %d: nil error with empty network", trial)
+			}
+		}()
+	}
+}

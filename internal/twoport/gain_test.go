@@ -1,0 +1,205 @@
+package twoport
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// atf54143ish is a plausible LNA-transistor S-matrix at ~1.5 GHz, used as a
+// shared fixture (values are representative, not vendor data).
+var atf54143ish = Mat2{
+	{cmplx.Rect(0.75, 2.4), cmplx.Rect(0.06, 1.1)},
+	{cmplx.Rect(4.9, 1.3), cmplx.Rect(0.35, -0.8)},
+}
+
+func TestTransducerGainMatchedIsS21Squared(t *testing.T) {
+	// With gammaS = gammaL = 0, GT = |S21|^2 exactly.
+	got := TransducerGain(atf54143ish, 0, 0)
+	want := abs2(atf54143ish[1][0])
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("GT(0,0) = %g, want |S21|^2 = %g", got, want)
+	}
+}
+
+func TestGainHierarchy(t *testing.T) {
+	// For any terminations: GT <= GA(gammaS) and GT <= GP(gammaL).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		s := randomS(rng)
+		gs := cmplx.Rect(rng.Float64()*0.8, rng.Float64()*2*math.Pi)
+		gl := cmplx.Rect(rng.Float64()*0.8, rng.Float64()*2*math.Pi)
+		gt := TransducerGain(s, gs, gl)
+		ga := AvailableGain(s, gs)
+		gp := OperatingGain(s, gl)
+		if math.IsInf(ga, 1) || math.IsInf(gp, 1) || ga <= 0 || gp <= 0 {
+			continue // potentially unstable sample: hierarchy not defined
+		}
+		if gt > ga*(1+1e-9) {
+			t.Fatalf("trial %d: GT %g > GA %g", trial, gt, ga)
+		}
+		if gt > gp*(1+1e-9) {
+			t.Fatalf("trial %d: GT %g > GP %g", trial, gt, gp)
+		}
+	}
+}
+
+func TestGammaInMatchedLoad(t *testing.T) {
+	// With a matched load, GammaIn = S11.
+	if got := GammaIn(atf54143ish, 0); got != atf54143ish[0][0] {
+		t.Errorf("GammaIn(0) = %v, want S11", got)
+	}
+	if got := GammaOut(atf54143ish, 0); got != atf54143ish[1][1] {
+		t.Errorf("GammaOut(0) = %v, want S22", got)
+	}
+}
+
+func TestGammaZRoundTrip(t *testing.T) {
+	for _, z := range []complex128{50, 25 + 10i, 100 - 40i, 75} {
+		g := GammaFromZ(z, 50)
+		back := ZFromGamma(g, 50)
+		if cmplx.Abs(back-z) > 1e-9 {
+			t.Errorf("Z %v -> gamma %v -> %v", z, g, back)
+		}
+	}
+	if g := GammaFromZ(50, 50); g != 0 {
+		t.Errorf("matched gamma = %v, want 0", g)
+	}
+}
+
+func TestSimultaneousMatchMaximizesGT(t *testing.T) {
+	// Build an unconditionally stable device: resistively loaded version of
+	// the fixture.
+	s := atf54143ish
+	// Pad the output with 6 dB attenuation to force stability.
+	att := attenuatorS(6)
+	stable, err := CascadeS(50, s, att)
+	if err != nil {
+		t.Fatalf("CascadeS: %v", err)
+	}
+	if !Unconditional(stable) {
+		t.Skip("fixture did not stabilize; adjust attenuator")
+	}
+	gs, gl, err := SimultaneousMatch(stable)
+	if err != nil {
+		t.Fatalf("SimultaneousMatch: %v", err)
+	}
+	if cmplx.Abs(gs) >= 1 || cmplx.Abs(gl) >= 1 {
+		t.Fatalf("match coefficients outside unit disc: %v %v", gs, gl)
+	}
+	gtOpt := TransducerGain(stable, gs, gl)
+	mag := MAG(stable)
+	if math.Abs(mathLog10(gtOpt)-mathLog10(mag)) > 1e-6 {
+		t.Errorf("GT at simultaneous match = %g, MAG = %g (should agree)", gtOpt, mag)
+	}
+	// Perturbing the terminations must not increase GT.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		p1 := gs + cmplx.Rect(0.05, rng.Float64()*2*math.Pi)
+		p2 := gl + cmplx.Rect(0.05, rng.Float64()*2*math.Pi)
+		if cmplx.Abs(p1) >= 1 || cmplx.Abs(p2) >= 1 {
+			continue
+		}
+		if g := TransducerGain(stable, p1, p2); g > gtOpt*(1+1e-9) {
+			t.Fatalf("perturbed GT %g exceeds optimum %g", g, gtOpt)
+		}
+	}
+}
+
+// attenuatorS returns the S-matrix of a matched resistive attenuator with the
+// given loss in dB (tee topology).
+func attenuatorS(db float64) Mat2 {
+	a := math.Pow(10, db/20)
+	// Matched tee attenuator resistor values for Z0 = 50.
+	r1 := 50 * (a - 1) / (a + 1)
+	r2 := 50 * 2 * a / (a*a - 1)
+	abcd := SeriesZ(complex(r1, 0)).
+		Mul(ShuntY(complex(1/r2, 0))).
+		Mul(SeriesZ(complex(r1, 0)))
+	s, err := ABCDToS(abcd, 50)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestAttenuatorFixture(t *testing.T) {
+	// The tee attenuator must be matched and have exactly its design loss.
+	for _, db := range []float64{3, 6, 10, 20} {
+		s := attenuatorS(db)
+		if cmplx.Abs(s[0][0]) > 1e-10 {
+			t.Errorf("%g dB attenuator S11 = %v, want 0", db, s[0][0])
+		}
+		gotDB := -20 * math.Log10(cmplx.Abs(s[1][0]))
+		if math.Abs(gotDB-db) > 1e-9 {
+			t.Errorf("attenuator loss = %g dB, want %g", gotDB, db)
+		}
+	}
+}
+
+func TestVSWRAndMismatch(t *testing.T) {
+	if v := VSWR(0); v != 1 {
+		t.Errorf("VSWR(0) = %g, want 1", v)
+	}
+	if v := VSWR(complex(1.0/3, 0)); math.Abs(v-2) > 1e-12 {
+		t.Errorf("VSWR(1/3) = %g, want 2", v)
+	}
+	if !math.IsInf(VSWR(1), 1) {
+		t.Error("VSWR(1) must be +Inf")
+	}
+	if m := MismatchLoss(complex(0.5, 0)); math.Abs(m-0.75) > 1e-12 {
+		t.Errorf("MismatchLoss(0.5) = %g, want 0.75", m)
+	}
+}
+
+func TestMSGAndMAG(t *testing.T) {
+	s := atf54143ish
+	msg := MSG(s)
+	want := cmplx.Abs(s[1][0]) / cmplx.Abs(s[0][1])
+	if math.Abs(msg-want) > 1e-12 {
+		t.Errorf("MSG = %g, want %g", msg, want)
+	}
+	// Unilateral device: infinite MSG.
+	uni := s
+	uni[0][1] = 0
+	if !math.IsInf(MSG(uni), 1) {
+		t.Error("MSG of unilateral device must be +Inf")
+	}
+	// MAG of a stable device does not exceed MSG.
+	att := attenuatorS(8)
+	stable, err := CascadeS(50, s, att)
+	if err != nil {
+		t.Fatalf("CascadeS: %v", err)
+	}
+	if Unconditional(stable) && MAG(stable) > MSG(stable)+1e-9 {
+		t.Errorf("MAG %g exceeds MSG %g", MAG(stable), MSG(stable))
+	}
+}
+
+func TestMasonUInvariantUnderLosslessEmbedding(t *testing.T) {
+	// U is invariant when the device is embedded in lossless reciprocal
+	// networks; cascade with a lossless line and compare.
+	s := atf54143ish
+	u1, err := MasonU(s, 50)
+	if err != nil {
+		t.Fatalf("MasonU: %v", err)
+	}
+	line, err := ABCDToS(LineABCD(50, complex(0, 3.7), 0.31), 50)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	emb, err := CascadeS(50, line, s, line)
+	if err != nil {
+		t.Fatalf("CascadeS: %v", err)
+	}
+	u2, err := MasonU(emb, 50)
+	if err != nil {
+		t.Fatalf("MasonU: %v", err)
+	}
+	if math.Abs(u1-u2) > 1e-6*u1 {
+		t.Errorf("Mason U changed under lossless embedding: %g -> %g", u1, u2)
+	}
+}
+
+func mathLog10(x float64) float64 { return math.Log10(x) }

@@ -1,0 +1,107 @@
+// Package twoport implements two-port RF network algebra: conversions
+// between scattering (S), admittance (Y), impedance (Z), chain (ABCD) and
+// hybrid (h) parameters, cascading, power gains, and stability analysis.
+//
+// All S-parameters are referenced to a real characteristic impedance Z0
+// (50 ohm unless stated otherwise). The Mat2 type is the common currency:
+// a 2x2 complex matrix whose interpretation (S, Y, Z, ABCD...) is carried by
+// the function names operating on it, matching RF engineering practice.
+package twoport
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// Z0Default is the reference impedance used throughout the project.
+const Z0Default = 50.0
+
+// ErrSingularNetwork reports a parameter conversion that does not exist for
+// the given network (for example Y-parameters of a series element alone).
+var ErrSingularNetwork = errors.New("twoport: conversion is singular for this network")
+
+// Mat2 is a 2x2 complex matrix. M[i][j] follows the usual port ordering:
+// index 0 is port 1 (input), index 1 is port 2 (output).
+type Mat2 [2][2]complex128
+
+// Mul returns the matrix product m * n.
+func (m Mat2) Mul(n Mat2) Mat2 {
+	return Mat2{
+		{m[0][0]*n[0][0] + m[0][1]*n[1][0], m[0][0]*n[0][1] + m[0][1]*n[1][1]},
+		{m[1][0]*n[0][0] + m[1][1]*n[1][0], m[1][0]*n[0][1] + m[1][1]*n[1][1]},
+	}
+}
+
+// Add returns the elementwise sum m + n.
+func (m Mat2) Add(n Mat2) Mat2 {
+	return Mat2{
+		{m[0][0] + n[0][0], m[0][1] + n[0][1]},
+		{m[1][0] + n[1][0], m[1][1] + n[1][1]},
+	}
+}
+
+// Scale returns m with every element multiplied by a.
+func (m Mat2) Scale(a complex128) Mat2 {
+	return Mat2{
+		{a * m[0][0], a * m[0][1]},
+		{a * m[1][0], a * m[1][1]},
+	}
+}
+
+// Det returns the determinant of m.
+func (m Mat2) Det() complex128 {
+	return m[0][0]*m[1][1] - m[0][1]*m[1][0]
+}
+
+// Inv returns the matrix inverse of m.
+func (m Mat2) Inv() (Mat2, error) {
+	d := m.Det()
+	if d == 0 {
+		return Mat2{}, ErrSingularNetwork
+	}
+	return Mat2{
+		{m[1][1] / d, -m[0][1] / d},
+		{-m[1][0] / d, m[0][0] / d},
+	}, nil
+}
+
+// ConjTranspose returns the Hermitian transpose of m.
+func (m Mat2) ConjTranspose() Mat2 {
+	return Mat2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// Transpose returns the (plain) transpose of m.
+func (m Mat2) Transpose() Mat2 {
+	return Mat2{
+		{m[0][0], m[1][0]},
+		{m[0][1], m[1][1]},
+	}
+}
+
+// Congruence returns t * m * t^H, the congruence transform used for noise
+// correlation matrices.
+func (m Mat2) Congruence(t Mat2) Mat2 {
+	return t.Mul(m).Mul(t.ConjTranspose())
+}
+
+// Identity2 is the 2x2 identity matrix.
+func Identity2() Mat2 {
+	return Mat2{{1, 0}, {0, 1}}
+}
+
+// MaxAbsDiff returns the largest elementwise magnitude difference between
+// two matrices, for tests and verification harnesses.
+func MaxAbsDiff(a, b Mat2) float64 {
+	var m float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if d := cmplx.Abs(a[i][j] - b[i][j]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}

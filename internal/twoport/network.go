@@ -1,0 +1,84 @@
+package twoport
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is a frequency-sampled two-port described by S-parameters at each
+// frequency, the interchange format between the synthetic VNA, the
+// extraction code and the Touchstone reader/writer.
+type Network struct {
+	// Z0 is the reference impedance of the S-parameters.
+	Z0 float64
+	// Freqs holds the sample frequencies in Hz, strictly increasing.
+	Freqs []float64
+	// S holds one scattering matrix per entry of Freqs.
+	S []Mat2
+}
+
+// NewNetwork validates and constructs a Network. Frequencies must be
+// strictly increasing and match the number of S matrices.
+func NewNetwork(z0 float64, freqs []float64, s []Mat2) (*Network, error) {
+	if len(freqs) == 0 || len(freqs) != len(s) {
+		return nil, fmt.Errorf("twoport: network needs equal, non-empty freqs and S (got %d/%d)", len(freqs), len(s))
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i] <= freqs[i-1] {
+			return nil, fmt.Errorf("twoport: network frequencies must be strictly increasing (index %d)", i)
+		}
+	}
+	if z0 <= 0 {
+		return nil, fmt.Errorf("twoport: network Z0 must be positive, got %g", z0)
+	}
+	return &Network{
+		Z0:    z0,
+		Freqs: append([]float64(nil), freqs...),
+		S:     append([]Mat2(nil), s...),
+	}, nil
+}
+
+// Len returns the number of frequency points.
+func (n *Network) Len() int { return len(n.Freqs) }
+
+// At returns the S-matrix at frequency f, linearly interpolating between
+// samples (and extrapolating the boundary segments outside the range).
+func (n *Network) At(f float64) Mat2 {
+	k := len(n.Freqs)
+	if k == 1 {
+		return n.S[0]
+	}
+	i := sort.SearchFloat64s(n.Freqs, f)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= k:
+		i = k - 1
+	}
+	f0, f1 := n.Freqs[i-1], n.Freqs[i]
+	t := complex((f-f0)/(f1-f0), 0)
+	var out Mat2
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			out[r][c] = n.S[i-1][r][c] + t*(n.S[i][r][c]-n.S[i-1][r][c])
+		}
+	}
+	return out
+}
+
+// Cascade returns the cascade of n followed by m, evaluated on n's frequency
+// grid (m is interpolated). Both must share the same Z0.
+func (n *Network) Cascade(m *Network) (*Network, error) {
+	if n.Z0 != m.Z0 {
+		return nil, fmt.Errorf("twoport: cascade Z0 mismatch (%g vs %g)", n.Z0, m.Z0)
+	}
+	out := make([]Mat2, n.Len())
+	for i, f := range n.Freqs {
+		s, err := CascadeS(n.Z0, n.S[i], m.At(f))
+		if err != nil {
+			return nil, fmt.Errorf("twoport: cascade at %g Hz: %w", f, err)
+		}
+		out[i] = s
+	}
+	return NewNetwork(n.Z0, n.Freqs, out)
+}

@@ -1,0 +1,83 @@
+package twoport
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	s := []Mat2{{}, {}}
+	if _, err := NewNetwork(50, []float64{1e9, 2e9}, s); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+	if _, err := NewNetwork(50, []float64{2e9, 1e9}, s); err == nil {
+		t.Error("decreasing frequencies accepted")
+	}
+	if _, err := NewNetwork(50, []float64{1e9}, s); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewNetwork(-1, []float64{1e9, 2e9}, s); err == nil {
+		t.Error("negative Z0 accepted")
+	}
+	if _, err := NewNetwork(50, nil, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestNetworkAtInterpolates(t *testing.T) {
+	s := []Mat2{
+		{{0, 0}, {complex(1, 0), 0}},
+		{{0, 0}, {complex(3, 2), 0}},
+	}
+	n, err := NewNetwork(50, []float64{1e9, 2e9}, s)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	got := n.At(1.5e9)
+	want := complex(2, 1)
+	if cmplx.Abs(got[1][0]-want) > 1e-12 {
+		t.Errorf("interpolated S21 = %v, want %v", got[1][0], want)
+	}
+	// Exact at knots.
+	if g := n.At(1e9); g[1][0] != s[0][1][0] {
+		t.Errorf("knot value = %v, want %v", g[1][0], s[0][1][0])
+	}
+}
+
+func TestNetworkCascadeIdentity(t *testing.T) {
+	// Cascading with a through (S21 = S12 = 1) leaves the network unchanged.
+	thru := Mat2{{0, 1}, {1, 0}}
+	freqs := []float64{1e9, 1.5e9, 2e9}
+	dev := make([]Mat2, len(freqs))
+	th := make([]Mat2, len(freqs))
+	for i := range freqs {
+		dev[i] = atf54143ish
+		th[i] = thru
+	}
+	n1, err := NewNetwork(50, freqs, dev)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	n2, err := NewNetwork(50, freqs, th)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	casc, err := n1.Cascade(n2)
+	if err != nil {
+		t.Fatalf("Cascade: %v", err)
+	}
+	for i := range freqs {
+		if d := MaxAbsDiff(casc.S[i], dev[i]); d > 1e-10 {
+			t.Errorf("cascade with through changed S at %g Hz by %g", freqs[i], d)
+		}
+	}
+}
+
+func TestNetworkCascadeZ0Mismatch(t *testing.T) {
+	s := []Mat2{{{0, 1}, {1, 0}}}
+	a, _ := NewNetwork(50, []float64{1e9}, s)
+	b, _ := NewNetwork(75, []float64{1e9}, s)
+	if _, err := a.Cascade(b); err == nil {
+		t.Error("Z0 mismatch accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package units provides engineering-notation parsing and formatting for
+// component values (nH, pF, GHz, ...) and snapping of continuous component
+// values to standard E-series (E12/E24/E96) preferred values, as used when
+// turning an optimized design into a buildable bill of materials.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// siPrefixes maps metric prefixes to their multipliers.
+var siPrefixes = map[string]float64{
+	"f": 1e-15,
+	"p": 1e-12,
+	"n": 1e-9,
+	"u": 1e-6,
+	"µ": 1e-6,
+	"m": 1e-3,
+	"":  1,
+	"k": 1e3,
+	"M": 1e6,
+	"G": 1e9,
+	"T": 1e12,
+}
+
+// prefixLadder is ordered for formatting lookups.
+var prefixLadder = []struct {
+	mult float64
+	name string
+}{
+	{1e-15, "f"}, {1e-12, "p"}, {1e-9, "n"}, {1e-6, "u"}, {1e-3, "m"},
+	{1, ""}, {1e3, "k"}, {1e6, "M"}, {1e9, "G"}, {1e12, "T"},
+}
+
+// Parse interprets an engineering-notation value such as "2.2nH", "10 pF",
+// "1.575GHz" or "50". The unit suffix (H, F, Hz, Ohm...) is ignored; only the
+// SI prefix scales the number.
+func Parse(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty value")
+	}
+	// Split the leading numeric part from the suffix.
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			// Guard: 'e'/'E' only counts as part of the number if followed by
+			// a digit or sign (exponent), otherwise it starts the suffix.
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) {
+					break
+				}
+				n := s[i+1]
+				if !(n >= '0' && n <= '9') && n != '-' && n != '+' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	numPart := s[:i]
+	suffix := strings.TrimSpace(s[i:])
+	v, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse %q: %w", s, err)
+	}
+	if suffix == "" {
+		return v, nil
+	}
+	// Try longest known prefix first ("µ" is multi-byte).
+	for p, mult := range siPrefixes {
+		if p != "" && strings.HasPrefix(suffix, p) {
+			rest := suffix[len(p):]
+			if restIsUnit(rest) {
+				return v * mult, nil
+			}
+		}
+	}
+	if restIsUnit(suffix) {
+		return v, nil
+	}
+	return 0, fmt.Errorf("units: parse %q: unrecognized suffix %q", s, suffix)
+}
+
+// restIsUnit accepts an (optional) pure unit name after the prefix.
+func restIsUnit(s string) bool {
+	switch strings.ToLower(s) {
+	case "", "h", "f", "hz", "ohm", "ohms", "Ω", "v", "a", "w", "s", "m", "db", "dbm":
+		return true
+	}
+	return false
+}
+
+// Format renders v with an SI prefix and the given unit, e.g.
+// Format(2.2e-9, "H") == "2.2nH". Zero renders without a prefix.
+func Format(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	av := math.Abs(v)
+	best := prefixLadder[0]
+	for _, p := range prefixLadder {
+		if av >= p.mult*0.9995 {
+			best = p
+		}
+	}
+	scaled := v / best.mult
+	s := strconv.FormatFloat(scaled, 'g', 4, 64)
+	return s + best.name + unit
+}
+
+// eSeriesBase returns the canonical mantissas of an E-series.
+func eSeriesBase(series int) []float64 {
+	switch series {
+	case 3:
+		return []float64{1.0, 2.2, 4.7}
+	case 6:
+		return []float64{1.0, 1.5, 2.2, 3.3, 4.7, 6.8}
+	case 12:
+		return []float64{1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2}
+	case 24:
+		return []float64{
+			1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0,
+			3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+		}
+	case 96:
+		out := make([]float64, 96)
+		for i := range out {
+			v := math.Pow(10, float64(i)/96)
+			out[i] = math.Round(v*100) / 100
+		}
+		// Historical anomalies in the standardized E96 table.
+		out[21] = 1.65
+		return out
+	default:
+		return nil
+	}
+}
+
+// SnapE snaps a positive value to the nearest value in the E-series
+// (3, 6, 12, 24 or 96). It returns the input unchanged for non-positive
+// values or unknown series.
+func SnapE(v float64, series int) float64 {
+	base := eSeriesBase(series)
+	if base == nil || v <= 0 {
+		return v
+	}
+	exp := math.Floor(math.Log10(v))
+	best, bestErr := v, math.Inf(1)
+	// Examine the decade below, containing, and above to be safe at decade
+	// boundaries.
+	for d := exp - 1; d <= exp+1; d++ {
+		scale := math.Pow(10, d)
+		for _, m := range base {
+			c := m * scale
+			// Relative error keeps the snap symmetric in log space.
+			e := math.Abs(math.Log(c / v))
+			if e < bestErr {
+				best, bestErr = c, e
+			}
+		}
+	}
+	return best
+}
+
+// SnapE24 snaps to the E24 series, the default for chip inductors and
+// capacitors in this project.
+func SnapE24(v float64) float64 { return SnapE(v, 24) }

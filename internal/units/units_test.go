@@ -1,0 +1,135 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"2.2nH", 2.2e-9},
+		{"10 pF", 10e-12},
+		{"1.575GHz", 1.575e9},
+		{"50", 50},
+		{"50 Ohm", 50},
+		{"3.3V", 3.3},
+		{"-5mA", -5e-3},
+		{"1e3", 1000},
+		{"4.7uH", 4.7e-6},
+		{"120kHz", 120e3},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !close(got, tc.want, 1e-12) {
+			t.Errorf("Parse(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1.2qZ", "--3"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.2e-9, "H", "2.2nH"},
+		{10e-12, "F", "10pF"},
+		{1.575e9, "Hz", "1.575GHz"},
+		{0, "F", "0F"},
+		{50, "Ohm", "50Ohm"},
+	}
+	for _, tc := range cases {
+		if got := Format(tc.v, tc.unit); got != tc.want {
+			t.Errorf("Format(%g, %q) = %q, want %q", tc.v, tc.unit, got, tc.want)
+		}
+	}
+}
+
+func TestSnapE24Known(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{2.05e-9, 2.0e-9},
+		{2.15e-9, 2.2e-9},
+		{47.3e-12, 47e-12},
+		{9.8, 10}, // decade boundary upward
+		{0.97, 1.0},
+	}
+	for _, tc := range cases {
+		if got := SnapE24(tc.in); !close(got, tc.want, 1e-9) {
+			t.Errorf("SnapE24(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSnapEIdempotentProperty(t *testing.T) {
+	// Snapping an already snapped value changes nothing, for all series.
+	f := func(seedRaw int64) bool {
+		seed := seedRaw % 10000
+		if seed < 0 {
+			seed = -seed
+		}
+		v := 1e-12 * math.Pow(10, float64(seed%240)/10)
+		for _, series := range []int{3, 6, 12, 24, 96} {
+			s1 := SnapE(v, series)
+			s2 := SnapE(s1, series)
+			if !close(s1, s2, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapEBoundedError(t *testing.T) {
+	// The relative snap error for E24 must never exceed the half-step of the
+	// widest gap in the series (1.3 -> 1.5, ~ +/- 7.5%).
+	for v := 1e-9; v < 1e-6; v *= 1.013 {
+		s := SnapE24(v)
+		relErr := math.Abs(s-v) / v
+		if relErr > 0.075 {
+			t.Fatalf("SnapE24(%g) = %g, rel err %.3f too large", v, s, relErr)
+		}
+	}
+}
+
+func TestSnapEPassThrough(t *testing.T) {
+	if got := SnapE(-3, 24); got != -3 {
+		t.Errorf("negative values must pass through, got %g", got)
+	}
+	if got := SnapE(5, 17); got != 5 {
+		t.Errorf("unknown series must pass through, got %g", got)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, v := range []float64{2.2e-9, 47e-12, 1.17645e9, 33, 5.6e-6} {
+		s := Format(v, "H")
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(Format(%g)) = %q: %v", v, s, err)
+		}
+		if !close(got, v, 1e-3) {
+			t.Errorf("round trip %g -> %q -> %g", v, s, got)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package vna
+
+import (
+	"fmt"
+	"math"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+)
+
+// CompressionPoint is one gain-compression reading.
+type CompressionPoint struct {
+	// DriveVolts is the single-tone gate drive amplitude.
+	DriveVolts float64
+	// GainDB is the large-signal transconductance gain relative to the
+	// small-signal value, in dB (0 dB = uncompressed).
+	GainDB float64
+	// PoutDBm is the fundamental output power into the load.
+	PoutDBm float64
+}
+
+// MeasureP1dB drives the transistor with a growing single tone and locates
+// the 1 dB gain-compression point by interpolation. It returns the
+// compression sweep and the output power at 1 dB compression.
+func MeasureP1dB(d *device.PHEMT, b device.Bias, f0 float64, cfg TwoToneConfig) (p1dBm float64, sweep []CompressionPoint, err error) {
+	cfg = cfg.defaults()
+	if f0 <= 0 || cfg.Resolution <= 0 {
+		return 0, nil, fmt.Errorf("%w: need positive tone and resolution", ErrBadConfig)
+	}
+	if k := f0 / cfg.Resolution; math.Abs(k-math.Round(k)) > 1e-6 {
+		return 0, nil, fmt.Errorf("%w: tone %g not on the %g Hz grid", ErrBadConfig, f0, cfg.Resolution)
+	}
+	fs, n := mathx.CoherentSampling([]float64{f0}, cfg.Resolution, cfg.Oversample)
+
+	measure := func(a float64) float64 {
+		x := make([]float64, n)
+		w := 2 * math.Pi * f0
+		for i := range x {
+			t := float64(i) / fs
+			x[i] = d.DC.Ids(b.Vgs+a*math.Cos(w*t), b.Vds)
+		}
+		return mathx.ToneAmplitude(x, f0, fs)
+	}
+
+	// Small-signal reference gain.
+	const aRef = 1e-4
+	gRef := measure(aRef) / aRef
+	if gRef <= 0 {
+		return 0, nil, fmt.Errorf("vna: no small-signal gain at this bias")
+	}
+
+	prevGain := 0.0
+	prevPout := math.Inf(-1)
+	for a := 1e-3; a <= 2.0; a *= 1.122 { // ~1 dB steps in drive
+		iFund := measure(a)
+		gain := mathx.DB20(iFund / a / gRef)
+		pout := mathx.WattsToDBm(iFund * iFund * cfg.LoadOhms / 2)
+		sweep = append(sweep, CompressionPoint{DriveVolts: a, GainDB: gain, PoutDBm: pout})
+		if gain <= -1 {
+			// Interpolate the crossing between the previous and this point.
+			frac := (-1 - prevGain) / (gain - prevGain)
+			return prevPout + frac*(pout-prevPout), sweep, nil
+		}
+		prevGain, prevPout = gain, pout
+	}
+	return 0, sweep, fmt.Errorf("vna: no 1 dB compression found up to 2 V drive")
+}

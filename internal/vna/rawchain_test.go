@@ -1,0 +1,94 @@
+package vna
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+func TestRawChainDistortsThenCorrects(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.52, Vds: 3}
+	freqs := mathx.Linspace(1e9, 2e9, 5)
+	chain := NewRawChain(13)
+	chain.Inner.SigmaAbs = 0 // isolate the systematic error
+
+	raw, err := chain.MeasureRaw(freqs, func(f float64) (twoport.Mat2, error) {
+		return d.SAt(b, f, 50)
+	})
+	if err != nil {
+		t.Fatalf("MeasureRaw: %v", err)
+	}
+	corrected, err := chain.MeasureDeviceCalibrated(d, b, freqs)
+	if err != nil {
+		t.Fatalf("MeasureDeviceCalibrated: %v", err)
+	}
+	var worstRaw, worstCorr float64
+	for i, f := range freqs {
+		truth, err := d.SAt(b, f, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := twoport.MaxAbsDiff(raw.S[i], truth); e > worstRaw {
+			worstRaw = e
+		}
+		if e := twoport.MaxAbsDiff(corrected.S[i], truth); e > worstCorr {
+			worstCorr = e
+		}
+	}
+	if worstRaw < 0.02 {
+		t.Fatalf("raw chain too clean (%g); test set ineffective", worstRaw)
+	}
+	if worstCorr > 1e-8 {
+		t.Errorf("calibration left residual %g (raw error was %g)", worstCorr, worstRaw)
+	}
+}
+
+func TestRawChainWithTraceNoise(t *testing.T) {
+	// With trace noise the correction cannot be exact, but must reduce the
+	// error dramatically (well below the raw systematic level).
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.52, Vds: 3}
+	freqs := mathx.Linspace(1e9, 2e9, 5)
+	chain := NewRawChain(29)
+
+	corrected, err := chain.MeasureDeviceCalibrated(d, b, freqs)
+	if err != nil {
+		t.Fatalf("MeasureDeviceCalibrated: %v", err)
+	}
+	var worst float64
+	for i, f := range freqs {
+		truth, err := d.SAt(b, f, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := twoport.MaxAbsDiff(corrected.S[i], truth); e > worst {
+			worst = e
+		}
+	}
+	// Residual should be of the order of the trace noise scaled by the
+	// gain of the correction (|S21| ~ 5-15 amplifies absolute errors).
+	if worst > 0.35 {
+		t.Errorf("corrected residual %g too large", worst)
+	}
+}
+
+func TestRawChainDeterministic(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.5, Vds: 3}
+	freqs := []float64{1.4e9}
+	m1, err := NewRawChain(7).MeasureDeviceCalibrated(d, b, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewRawChain(7).MeasureDeviceCalibrated(d, b, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(m1.S[0][1][0]-m2.S[0][1][0]) != 0 {
+		t.Error("same seed, different calibrated measurements")
+	}
+}

@@ -1,0 +1,65 @@
+package vna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+)
+
+// SourcePullPoint is one noise-figure reading at a known source reflection.
+type SourcePullPoint struct {
+	// GammaS is the synthesized source reflection coefficient.
+	GammaS complex128
+	// FLinear is the measured noise figure as a linear ratio.
+	FLinear float64
+}
+
+// SourcePullBench measures the noise figure of a device over a set of
+// source impedances — the laboratory procedure behind noise-parameter
+// extraction (a noise source plus an impedance tuner).
+type SourcePullBench struct {
+	// SigmaDB is the per-point NF measurement repeatability in dB.
+	SigmaDB float64
+	// Seed drives the deterministic measurement noise.
+	Seed int64
+	// Z0 is the reference impedance (default 50).
+	Z0 float64
+}
+
+// DefaultTunerStates returns a well-conditioned set of source reflections:
+// the matched point plus rings of states around the chart.
+func DefaultTunerStates() []complex128 {
+	out := []complex128{0}
+	for _, mag := range []float64{0.3, 0.55, 0.75} {
+		for k := 0; k < 6; k++ {
+			out = append(out, cmplx.Rect(mag, 2*math.Pi*float64(k)/6))
+		}
+	}
+	return out
+}
+
+// Measure runs the source pull against a noisy two-port at one frequency.
+func (b *SourcePullBench) Measure(tp noise.TwoPort, states []complex128) ([]SourcePullPoint, error) {
+	if len(states) < 4 {
+		return nil, fmt.Errorf("%w: need >= 4 tuner states for 4 noise parameters", ErrBadConfig)
+	}
+	z0 := b.Z0
+	if z0 <= 0 {
+		z0 = 50
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	out := make([]SourcePullPoint, len(states))
+	for i, g := range states {
+		f := tp.Figure(g, z0)
+		if math.IsInf(f, 1) {
+			return nil, fmt.Errorf("vna: source pull state %v yields unusable F", g)
+		}
+		fdB := mathx.DB10(f) + rng.NormFloat64()*b.SigmaDB
+		out[i] = SourcePullPoint{GammaS: g, FLinear: mathx.FromDB10(fdB)}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package vna
+
+import (
+	"math"
+	"testing"
+
+	"gnsslna/internal/device"
+)
+
+var ttCfg = TwoToneConfig{
+	F1:         1.5748e9,
+	F2:         1.5752e9,
+	Resolution: 200e3,
+}
+
+func TestTwoToneSlopes(t *testing.T) {
+	// IM3 must grow 3 dB per dB of drive; fundamental 1 dB per dB.
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.56, Vds: 3}
+	res, err := MeasureOIP3(d, b, []float64{0.002, 0.004, 0.008}, ttCfg)
+	if err != nil {
+		t.Fatalf("MeasureOIP3: %v", err)
+	}
+	if math.Abs(res.SlopeFund-1) > 0.05 {
+		t.Errorf("fundamental slope = %g dB/dB, want ~1", res.SlopeFund)
+	}
+	if math.Abs(res.SlopeIM3-3) > 0.3 {
+		t.Errorf("IM3 slope = %g dB/dB, want ~3", res.SlopeIM3)
+	}
+	if res.OIP3DBm < 0 || res.OIP3DBm > 60 {
+		t.Errorf("OIP3 = %g dBm, outside plausible range", res.OIP3DBm)
+	}
+}
+
+func TestMeasuredOIP3MatchesAnalytic(t *testing.T) {
+	// The Goertzel measurement and the power-series closed form must agree
+	// within ~1 dB at small drives.
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.56, Vds: 3}
+	res, err := MeasureOIP3(d, b, []float64{0.001, 0.002}, ttCfg)
+	if err != nil {
+		t.Fatalf("MeasureOIP3: %v", err)
+	}
+	analytic := AnalyticOIP3(d, b, 50)
+	if math.Abs(res.OIP3DBm-analytic) > 1.5 {
+		t.Errorf("measured OIP3 %.2f dBm vs analytic %.2f dBm", res.OIP3DBm, analytic)
+	}
+}
+
+func TestIM3SymmetryOfProducts(t *testing.T) {
+	// 2f1-f2 and 2f2-f1 products have equal magnitude for a memoryless
+	// nonlinearity.
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.56, Vds: 3}
+	r1, err := RunTwoTone(d, b, 0.005, ttCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the tones: the "other" IM3 product becomes 2f1-f2 of the swapped
+	// configuration.
+	swapped := ttCfg
+	swapped.F1, swapped.F2 = ttCfg.F2, ttCfg.F1
+	r2, err := RunTwoTone(d, b, 0.005, swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.PIM3DBm-r2.PIM3DBm) > 0.2 {
+		t.Errorf("IM3 products asymmetric: %g vs %g dBm", r1.PIM3DBm, r2.PIM3DBm)
+	}
+}
+
+func TestIP3SweetSpotExists(t *testing.T) {
+	// Because gm3 changes sign with bias, OIP3 versus Vgs must exhibit a
+	// pronounced peak (the classic pHEMT linearity sweet spot).
+	d := device.Golden()
+	var best, worst float64 = math.Inf(-1), math.Inf(1)
+	for vgs := 0.35; vgs <= 0.75; vgs += 0.01 {
+		o := AnalyticOIP3(d, device.Bias{Vgs: vgs, Vds: 3}, 50)
+		if math.IsInf(o, 1) {
+			continue // exactly on the gm3 zero crossing
+		}
+		if o > best {
+			best = o
+		}
+		if o < worst {
+			worst = o
+		}
+	}
+	if best-worst < 8 {
+		t.Errorf("OIP3 bias variation only %g dB; expected a sweet spot", best-worst)
+	}
+}
+
+func TestTwoToneValidation(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.5, Vds: 3}
+	bad := ttCfg
+	bad.F2 = bad.F1
+	if _, err := RunTwoTone(d, b, 0.01, bad); err == nil {
+		t.Error("equal tones accepted")
+	}
+	bad = ttCfg
+	bad.Resolution = 333e3 // tones not on grid
+	if _, err := RunTwoTone(d, b, 0.01, bad); err == nil {
+		t.Error("off-grid tones accepted")
+	}
+	if _, err := MeasureOIP3(d, b, []float64{0.01}, ttCfg); err == nil {
+		t.Error("single drive level accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package vna
+
+import (
+	"math"
+	"testing"
+
+	"gnsslna/internal/device"
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/noise"
+)
+
+func TestYFactorRecoversTrueNF(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.52, Vds: 3}
+	freqs := []float64{1.2e9, 1.575e9}
+	build := func(f float64) (noise.TwoPort, error) { return d.NoisyAt(b, f) }
+
+	// Noiseless detector: exact recovery.
+	m := &YFactorMeter{ENRdB: 15, SigmaRel: 0, Seed: 1}
+	got, err := m.Measure(freqs, build)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	for i, f := range freqs {
+		tp, err := d.NoisyAt(b, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mathx.DB10(tp.FigureY(complex(1.0/50, 0)))
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("f=%g: y-factor NF %g, want %g", f, got[i], want)
+		}
+	}
+
+	// Realistic detector: within the meter's own predicted uncertainty.
+	m2 := NewYFactorMeter(7)
+	got2, err := m2.Measure(freqs, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range freqs {
+		tp, err := d.NoisyAt(b, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mathx.DB10(tp.FigureY(complex(1.0/50, 0)))
+		sigma := m2.UncertaintyDB(want)
+		if math.Abs(got2[i]-want) > 5*sigma {
+			t.Errorf("f=%g: NF %g vs true %g beyond 5 sigma (%g)", f, got2[i], want, sigma)
+		}
+	}
+}
+
+func TestYFactorLowENRHurts(t *testing.T) {
+	// With a small ENR the Y factor approaches 1 and the uncertainty must
+	// grow: the meter's own estimate reflects this.
+	hi := &YFactorMeter{ENRdB: 15, SigmaRel: 0.003}
+	lo := &YFactorMeter{ENRdB: 5, SigmaRel: 0.003}
+	if lo.UncertaintyDB(0.5) <= hi.UncertaintyDB(0.5) {
+		t.Error("lower ENR should mean higher uncertainty")
+	}
+	bad := &YFactorMeter{ENRdB: 0}
+	if _, err := bad.Measure([]float64{1e9}, nil); err == nil {
+		t.Error("zero ENR accepted")
+	}
+}
+
+func TestMeasureP1dB(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.50, Vds: 3}
+	cfg := TwoToneConfig{Resolution: 500e3}
+	p1, sweep, err := MeasureP1dB(d, b, 1.5755e9, cfg)
+	if err != nil {
+		t.Fatalf("MeasureP1dB: %v", err)
+	}
+	if len(sweep) < 5 {
+		t.Fatalf("sweep too short: %d points", len(sweep))
+	}
+	// The compression point of this class of device: roughly 0-20 dBm.
+	if p1 < -10 || p1 > 30 {
+		t.Errorf("P1dB = %g dBm, implausible", p1)
+	}
+	// Gain must be monotone non-increasing once compression starts.
+	started := false
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].GainDB < -0.2 {
+			started = true
+		}
+		if started && sweep[i].GainDB > sweep[i-1].GainDB+0.05 {
+			t.Errorf("gain expansion after compression onset at point %d", i)
+		}
+	}
+	// P1dB should sit sensibly below OIP3 (rule of thumb ~9-12 dB, allow
+	// a broad window because the sweet-spot bias distorts the rule).
+	oip3 := AnalyticOIP3(d, b, 50)
+	if p1 >= oip3 {
+		t.Errorf("P1dB %g dBm above OIP3 %g dBm", p1, oip3)
+	}
+}
+
+func TestMeasureP1dBValidation(t *testing.T) {
+	d := device.Golden()
+	b := device.Bias{Vgs: 0.5, Vds: 3}
+	if _, _, err := MeasureP1dB(d, b, 0, TwoToneConfig{Resolution: 1e6}); err == nil {
+		t.Error("zero tone accepted")
+	}
+	if _, _, err := MeasureP1dB(d, b, 1.0003e9, TwoToneConfig{Resolution: 1e6}); err == nil {
+		t.Error("off-grid tone accepted")
+	}
+}
