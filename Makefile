@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify fmt vet build test race bench
+
+# verify is the tier-1 gate: formatting, vet, build, the full test suite,
+# and a race pass over the concurrently-exercised packages.
+verify: fmt vet build test race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/obs ./internal/optim
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

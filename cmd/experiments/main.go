@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-e e1|e2|...|e9|all] [-seed N] [-quick]
+//	experiments [-e e1|e2|...|e12|all] [-seed N] [-quick]
+//	            [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"gnsslna"
 	"gnsslna/internal/experiments"
+	"gnsslna/internal/obscli"
 )
 
 func main() {
@@ -21,38 +24,67 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced optimization budgets")
 	figs := flag.Bool("figs", false, "also render the ASCII figures")
 	markdown := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *markdown {
-		s := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: *quick})
-		tables, err := s.All()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		for i := range tables {
-			fmt.Println(tables[i].Markdown())
-		}
-		return
-	}
-
-	out, err := gnsslna.RunExperiment(*exp, gnsslna.Options{Seed: *seed, Quick: *quick})
+	session, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Print(out)
+	runErr := run(*exp, *seed, *quick, *figs, *markdown, session)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		os.Exit(1)
+	}
+}
 
-	if *figs {
-		s := experiments.NewSuite(experiments.Config{Seed: *seed, Quick: *quick})
+func run(exp string, seed int64, quick, figs, markdown bool, session *obscli.Session) error {
+	s := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick, Observer: session.Observer()})
+
+	if markdown {
+		tables, err := s.All()
+		if err != nil {
+			return err
+		}
+		for i := range tables {
+			fmt.Println(tables[i].Markdown())
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		tables, err := s.All()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	} else {
+		t, err := s.Run(exp)
+		if err != nil {
+			if errors.Is(err, experiments.ErrUnknownExperiment) {
+				return fmt.Errorf("unknown experiment %q (want %s or all)",
+					exp, strings.Join(s.IDs(), ", "))
+			}
+			return err
+		}
+		fmt.Print(t.Render())
+	}
+
+	if figs {
 		figures, err := s.Figures()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: figures:", err)
-			os.Exit(1)
+			return fmt.Errorf("figures: %w", err)
 		}
 		for _, f := range figures {
 			fmt.Println()
 			fmt.Print(f)
 		}
 	}
+	return nil
 }

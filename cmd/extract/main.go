@@ -6,7 +6,8 @@
 // Usage:
 //
 //	extract [-model Angelov|Curtice-2|Curtice-3|Statz|TOM] [-seed N]
-//	        [-quick] [-out DIR]
+//	        [-quick] [-out DIR] [-journal run.jsonl] [-metrics]
+//	        [-pprof localhost:6060]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"gnsslna/internal/device"
 	"gnsslna/internal/extract"
+	"gnsslna/internal/obscli"
 	"gnsslna/internal/touchstone"
 	"gnsslna/internal/twoport"
 	"gnsslna/internal/vna"
@@ -28,15 +30,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	quick := flag.Bool("quick", false, "use reduced fitting budgets")
 	outDir := flag.String("out", "", "directory for measured/modeled .s2p exports")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*model, *seed, *quick, *outDir); err != nil {
+	session, err := obsFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "extract:", err)
+		os.Exit(1)
+	}
+	runErr := run(*model, *seed, *quick, *outDir, session)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "extract:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(model string, seed int64, quick bool, outDir string) error {
+func run(model string, seed int64, quick bool, outDir string, session *obscli.Session) error {
 	var dc device.DCModel
 	for _, m := range device.AllModels() {
 		if strings.EqualFold(m.Name(), model) {
@@ -49,13 +61,15 @@ func run(model string, seed int64, quick bool, outDir string) error {
 	}
 
 	fmt.Println("running synthetic measurement campaign (VNA + DC analyzer)...")
-	ds, err := vna.RunCampaign(device.Golden(), vna.DefaultCampaign(seed))
+	campaign := vna.DefaultCampaign(seed)
+	campaign.Observer = session.Observer()
+	ds, err := vna.RunCampaign(device.Golden(), campaign)
 	if err != nil {
 		return err
 	}
-	cfg := extract.Config{Seed: seed}
+	cfg := extract.Config{Seed: seed, Observer: session.Observer()}
 	if quick {
-		cfg = extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+		cfg = extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: session.Observer()}
 	}
 	fmt.Printf("extracting %s (three-step: cold-FET direct + DE + LM)...\n", dc.Name())
 	res, err := extract.ThreeStep(ds, dc, cfg)

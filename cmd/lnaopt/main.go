@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lnaopt [-seed N] [-quick] [-sens] [-yield N]
+//	       [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"gnsslna/internal/core"
 	"gnsslna/internal/experiments"
+	"gnsslna/internal/obscli"
 	"gnsslna/internal/units"
 )
 
@@ -26,16 +28,26 @@ func main() {
 	yieldN := flag.Int("yield", 0, "run an N-trial Monte Carlo tolerance yield analysis")
 	bom := flag.Bool("bom", false, "design the DC bias network and print the bill of materials")
 	vcc := flag.Float64("vcc", 5, "supply voltage for the bias network")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*seed, *quick, *sens, *yieldN, *bom, *vcc); err != nil {
+	session, err := obsFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lnaopt:", err)
+		os.Exit(1)
+	}
+	runErr := run(*seed, *quick, *sens, *yieldN, *bom, *vcc, session)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "lnaopt:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64) error {
-	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick})
+func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64, session *obscli.Session) error {
+	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick, Observer: session.Observer()})
 	fmt.Println("extracting pHEMT model from the synthetic measurement campaign...")
 	ex, err := suite.Extracted()
 	if err != nil {

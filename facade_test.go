@@ -1,6 +1,7 @@
 package gnsslna
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -28,12 +29,32 @@ func TestDesignLNAQuick(t *testing.T) {
 }
 
 func TestExtractModelFacade(t *testing.T) {
-	rep, err := ExtractModel("Angelov", Options{Seed: 1, Quick: true})
+	var generations, dones int
+	spanScopes := map[string]bool{}
+	observer := func(e ProgressEvent) {
+		switch e.Event {
+		case "generation":
+			generations++
+		case "done":
+			dones++
+		case "span-end":
+			spanScopes[e.Scope] = true
+		}
+	}
+	rep, err := ExtractModel("Angelov", Options{Seed: 1, Quick: true, Observer: observer})
 	if err != nil {
 		t.Fatalf("ExtractModel: %v", err)
 	}
 	if rep.ModelName != "Angelov" || rep.Device == nil {
 		t.Error("report incomplete")
+	}
+	if generations == 0 || dones == 0 {
+		t.Errorf("observer saw %d generation and %d done events, want both > 0", generations, dones)
+	}
+	for _, scope := range []string{"vna.campaign", "extract.step1.coldfet", "extract.step2.dcfit", "extract.step3"} {
+		if !spanScopes[scope] {
+			t.Errorf("observer missed span %q (saw %v)", scope, spanScopes)
+		}
 	}
 	if rep.SRMSE > 0.06 {
 		t.Errorf("SRMSE = %g, want < 0.06", rep.SRMSE)
@@ -56,5 +77,65 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("e42", Options{}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestSeedZeroMatchesSeedOne pins the documented Options.Seed contract: the
+// zero value selects the default seed 1, so both settings must produce
+// byte-identical extractions.
+func TestSeedZeroMatchesSeedOne(t *testing.T) {
+	if got := (Options{Seed: 0}).seed(); got != 1 {
+		t.Fatalf("Options{Seed: 0}.seed() = %d, want 1", got)
+	}
+	if got := (Options{Seed: 42}).seed(); got != 42 {
+		t.Fatalf("Options{Seed: 42}.seed() = %d, want 42", got)
+	}
+	rep0, err := ExtractModel("Curtice-2", Options{Seed: 0, Quick: true})
+	if err != nil {
+		t.Fatalf("ExtractModel(Seed: 0): %v", err)
+	}
+	rep1, err := ExtractModel("Curtice-2", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("ExtractModel(Seed: 1): %v", err)
+	}
+	if rep0.DCRelRMSE != rep1.DCRelRMSE || rep0.SRMSE != rep1.SRMSE {
+		t.Errorf("Seed 0 and Seed 1 diverge: DC %g vs %g, S %g vs %g",
+			rep0.DCRelRMSE, rep1.DCRelRMSE, rep0.SRMSE, rep1.SRMSE)
+	}
+	if !reflect.DeepEqual(rep0.Device, rep1.Device) {
+		t.Error("Seed 0 and Seed 1 extract different devices")
+	}
+}
+
+// TestExperimentIDs pins the dynamic experiment enumeration: the exported
+// list covers e1..e12 plus the e4b ablation, and the unknown-experiment
+// error names every valid id instead of a stale hand-written range.
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"e1", "e2", "e3", "e4", "e4b", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	if len(ids) != len(want) {
+		t.Fatalf("ExperimentIDs() = %v, want %v", ids, want)
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("ExperimentIDs() missing %q", id)
+		}
+	}
+	_, err := RunExperiment("e42", Options{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "unknown experiment") {
+		t.Errorf("error %q missing 'unknown experiment'", msg)
+	}
+	for _, id := range ids {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error %q does not enumerate id %q", msg, id)
+		}
 	}
 }

@@ -13,22 +13,58 @@
 package gnsslna
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"gnsslna/internal/core"
 	"gnsslna/internal/device"
 	"gnsslna/internal/experiments"
 	"gnsslna/internal/extract"
+	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
 	"gnsslna/internal/vna"
 )
 
+// ProgressEvent is one observation from the running pipelines: an optimizer
+// convergence record, the start or end of a pipeline stage, or a completed
+// search. Events carry no pointers and are safe to retain.
+type ProgressEvent struct {
+	// Event names the record kind: "generation" (one optimizer iteration),
+	// "span-begin"/"span-end" (a pipeline stage), "done" (a finished
+	// search), or "sample" (a scalar probe).
+	Event string
+	// Scope identifies the emitting stage, e.g. "design.attain.de",
+	// "extract.step2.dcfit", "experiment.e4".
+	Scope string
+	// Gen is the iteration index for "generation" events.
+	Gen int
+	// Evals counts objective evaluations (cumulative for "generation" and
+	// "done", per-stage for "span-end").
+	Evals int64
+	// Best is the best objective value so far where meaningful.
+	Best float64
+	// Value carries stage wall time in milliseconds for "span-end" events
+	// and the probed scalar for "sample" events.
+	Value float64
+}
+
+// Observer receives progress events from the facade workflows. Callbacks
+// run synchronously on the optimization goroutine and must be fast; they
+// may be invoked from the innermost loops.
+type Observer func(ProgressEvent)
+
 // Options configures the facade workflows.
 type Options struct {
-	// Seed drives every random process deterministically (default 1).
+	// Seed drives every random process deterministically. The zero value
+	// selects the default seed 1, so Seed: 0 and Seed: 1 produce identical
+	// runs.
 	Seed int64
 	// Quick trims optimization budgets (for demos and tests).
 	Quick bool
+	// Observer, when set, receives progress events from every pipeline the
+	// workflow runs (nil: disabled, with no overhead in the hot loops).
+	Observer Observer
 }
 
 func (o Options) seed() int64 {
@@ -36,6 +72,24 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// observer adapts the public callback to the internal observer interface.
+func (o Options) observer() obs.Observer {
+	if o.Observer == nil {
+		return nil
+	}
+	fn := o.Observer
+	return obs.Func(func(e obs.Event) {
+		fn(ProgressEvent{
+			Event: e.Kind.String(),
+			Scope: e.Scope,
+			Gen:   e.Gen,
+			Evals: e.Evals,
+			Best:  e.Best,
+			Value: e.Value,
+		})
+	})
 }
 
 // DesignReport flattens the outcome of the complete design flow.
@@ -57,7 +111,7 @@ type DesignReport struct {
 // selection of the operating point and passive elements — and reports the
 // finished multi-constellation preamplifier.
 func DesignLNA(opts Options) (DesignReport, error) {
-	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick})
+	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer()})
 	res, err := s.Design()
 	if err != nil {
 		return DesignReport{}, fmt.Errorf("gnsslna: design: %w", err)
@@ -100,13 +154,15 @@ func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
 	if dc == nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: unknown model %q", modelName)
 	}
-	ds, err := vna.RunCampaign(device.Golden(), vna.DefaultCampaign(opts.seed()))
+	campaign := vna.DefaultCampaign(opts.seed())
+	campaign.Observer = opts.observer()
+	ds, err := vna.RunCampaign(device.Golden(), campaign)
 	if err != nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: campaign: %w", err)
 	}
-	cfg := extract.Config{Seed: opts.seed()}
+	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer()}
 	if opts.Quick {
-		cfg = extract.Config{Seed: opts.seed(), DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+		cfg = extract.Config{Seed: opts.seed(), DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: opts.observer()}
 	}
 	res, err := extract.ThreeStep(ds, dc, cfg)
 	if err != nil {
@@ -120,25 +176,16 @@ func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
 	}, nil
 }
 
-// RunExperiment renders one reconstructed experiment ("e1".."e9") or all of
-// them ("all") as paper-style text tables.
+// ExperimentIDs returns the valid experiment identifiers in canonical run
+// order (currently e1..e12 plus the e4b ablation).
+func ExperimentIDs() []string {
+	return experiments.NewSuite(experiments.Config{}).IDs()
+}
+
+// RunExperiment renders one reconstructed experiment (see ExperimentIDs) or
+// all of them ("all") as paper-style text tables.
 func RunExperiment(id string, opts Options) (string, error) {
-	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick})
-	runs := map[string]func() (experiments.Table, error){
-		"e1":  s.E1ModelComparison,
-		"e2":  s.E2ExtractionMethods,
-		"e3":  s.E3ModelFit,
-		"e4":  s.E4GoalAttainment,
-		"e4b": s.E4bAblation,
-		"e5":  s.E5DesignFlow,
-		"e6":  s.E6Verification,
-		"e7":  s.E7Dispersion,
-		"e8":  s.E8Intermodulation,
-		"e9":  s.E9Constellations,
-		"e10": s.E10Calibration,
-		"e11": s.E11TwoStage,
-		"e12": s.E12LinkBudget,
-	}
+	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer()})
 	if id == "all" {
 		tables, err := s.All()
 		if err != nil {
@@ -150,12 +197,12 @@ func RunExperiment(id string, opts Options) (string, error) {
 		}
 		return out, nil
 	}
-	run, ok := runs[id]
-	if !ok {
-		return "", fmt.Errorf("gnsslna: unknown experiment %q (want e1..e9 or all)", id)
-	}
-	t, err := run()
+	t, err := s.Run(id)
 	if err != nil {
+		if errors.Is(err, experiments.ErrUnknownExperiment) {
+			return "", fmt.Errorf("gnsslna: unknown experiment %q (want %s or all)",
+				id, strings.Join(s.IDs(), ", "))
+		}
 		return "", err
 	}
 	return t.Render(), nil

@@ -39,9 +39,9 @@ func (s *Suite) paretoObjective() (optim.VectorObjective, error) {
 // e4Budget returns the per-ray optimizer budget.
 func (s *Suite) e4Budget() *optim.AttainOptions {
 	if s.cfg.Quick {
-		return &optim.AttainOptions{Seed: s.cfg.seed(), GlobalEvals: 700, PolishEvals: 400}
+		return &optim.AttainOptions{Seed: s.cfg.seed(), GlobalEvals: 700, PolishEvals: 400, Observer: s.obs(), Scope: "e4.attain"}
 	}
-	return &optim.AttainOptions{Seed: s.cfg.seed(), GlobalEvals: 2000, PolishEvals: 1200}
+	return &optim.AttainOptions{Seed: s.cfg.seed(), GlobalEvals: 2000, PolishEvals: 1200, Observer: s.obs(), Scope: "e4.attain"}
 }
 
 // E4GoalAttainment reproduces the Pareto-front figure: the improved
@@ -161,6 +161,7 @@ func (s *Suite) E4GoalAttainment() (Table, error) {
 		}
 		res, err := optim.NSGA2(obj, lo, hi, &optim.NSGA2Options{
 			Pop: pop, Generations: gens, Seed: s.cfg.seed(),
+			Observer: s.obs(), Scope: "e4.nsga2",
 		})
 		if err != nil {
 			return Table{}, fmt.Errorf("E4 NSGA-II: %w", err)

@@ -6,6 +6,7 @@ import (
 	"gnsslna/internal/core"
 	"gnsslna/internal/device"
 	"gnsslna/internal/extract"
+	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
 	"gnsslna/internal/vna"
 )
@@ -16,6 +17,12 @@ type Config struct {
 	Seed int64
 	// Quick trims optimization budgets for tests and benchmarks.
 	Quick bool
+	// Observer receives progress events from every pipeline the suite runs:
+	// optimizer convergence records, extraction step spans, the measurement
+	// campaign, and one "experiment.<id>" span per experiment whose eval
+	// count aggregates the objective evaluations that experiment consumed
+	// (nil: disabled).
+	Observer obs.Observer
 }
 
 func (c Config) seed() int64 {
@@ -30,6 +37,7 @@ func (c Config) seed() int64 {
 type Suite struct {
 	cfg    Config
 	golden *device.PHEMT
+	tally  *obs.Tally
 
 	dataset   *vna.Dataset
 	extracted *extract.Result
@@ -39,7 +47,21 @@ type Suite struct {
 
 // NewSuite builds a suite around the golden device.
 func NewSuite(cfg Config) *Suite {
-	return &Suite{cfg: cfg, golden: device.Golden()}
+	s := &Suite{cfg: cfg, golden: device.Golden()}
+	if cfg.Observer != nil {
+		s.tally = obs.NewTally(cfg.Observer)
+	}
+	return s
+}
+
+// obs returns the suite's forwarding observer, or nil when observation is
+// disabled. All inner pipelines receive the tally so per-experiment eval
+// deltas can be accounted.
+func (s *Suite) obs() obs.Observer {
+	if s.tally == nil {
+		return nil
+	}
+	return s.tally
 }
 
 // Golden exposes the reference device.
@@ -50,7 +72,9 @@ func (s *Suite) Dataset() (*vna.Dataset, error) {
 	if s.dataset != nil {
 		return s.dataset, nil
 	}
-	ds, err := vna.RunCampaign(s.golden, vna.DefaultCampaign(s.cfg.seed()))
+	campaign := vna.DefaultCampaign(s.cfg.seed())
+	campaign.Observer = s.obs()
+	ds, err := vna.RunCampaign(s.golden, campaign)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign: %w", err)
 	}
@@ -61,17 +85,17 @@ func (s *Suite) Dataset() (*vna.Dataset, error) {
 // extractCfg returns the extraction budget for the suite mode.
 func (s *Suite) extractCfg(seed int64) extract.Config {
 	if s.cfg.Quick {
-		return extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20}
+		return extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: s.obs()}
 	}
-	return extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60}
+	return extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60, Observer: s.obs()}
 }
 
 // attainOpts returns the design-optimization budget for the suite mode.
 func (s *Suite) attainOpts(seed int64) *optim.AttainOptions {
 	if s.cfg.Quick {
-		return &optim.AttainOptions{Seed: seed, GlobalEvals: 1500, PolishEvals: 900}
+		return &optim.AttainOptions{Seed: seed, GlobalEvals: 1500, PolishEvals: 900, Observer: s.obs(), Scope: "design.attain"}
 	}
-	return &optim.AttainOptions{Seed: seed, GlobalEvals: 5000, PolishEvals: 3000}
+	return &optim.AttainOptions{Seed: seed, GlobalEvals: 5000, PolishEvals: 3000, Observer: s.obs(), Scope: "design.attain"}
 }
 
 // Extracted lazily extracts (and caches) the Angelov-class device.
@@ -127,26 +151,83 @@ func (s *Suite) Design() (*core.DesignResult, error) {
 	return s.design, nil
 }
 
+// experimentEntry pairs an experiment identifier with its runner.
+type experimentEntry struct {
+	ID  string
+	Run func() (Table, error)
+}
+
+// registry lists every experiment in canonical run order. It is the single
+// source of truth for the valid experiment identifiers.
+func (s *Suite) registry() []experimentEntry {
+	return []experimentEntry{
+		{"e1", s.E1ModelComparison},
+		{"e2", s.E2ExtractionMethods},
+		{"e3", s.E3ModelFit},
+		{"e4", s.E4GoalAttainment},
+		{"e4b", s.E4bAblation},
+		{"e5", s.E5DesignFlow},
+		{"e6", s.E6Verification},
+		{"e7", s.E7Dispersion},
+		{"e8", s.E8Intermodulation},
+		{"e9", s.E9Constellations},
+		{"e10", s.E10Calibration},
+		{"e11", s.E11TwoStage},
+		{"e12", s.E12LinkBudget},
+	}
+}
+
+// IDs returns the experiment identifiers in canonical run order.
+func (s *Suite) IDs() []string {
+	entries := s.registry()
+	ids := make([]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ErrUnknownExperiment reports an experiment id outside IDs().
+var ErrUnknownExperiment = fmt.Errorf("experiments: unknown experiment")
+
+// Run executes one experiment by id, wrapped in an "experiment.<id>" span
+// whose eval count aggregates every objective evaluation the experiment
+// consumed. Shared stages (campaign, extraction, design) are computed lazily
+// and cached, so their cost is attributed to the first experiment that
+// needs them.
+func (s *Suite) Run(id string) (Table, error) {
+	for _, e := range s.registry() {
+		if e.ID == id {
+			return s.runEntry(e)
+		}
+	}
+	return Table{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+}
+
+func (s *Suite) runEntry(e experimentEntry) (Table, error) {
+	var before int64
+	if s.tally != nil {
+		before = s.tally.Evals()
+	}
+	end := obs.StartSpan(s.obs(), "experiment."+e.ID)
+	t, err := e.Run()
+	if err != nil {
+		return Table{}, err
+	}
+	var delta int64
+	if s.tally != nil {
+		delta = s.tally.Evals() - before
+	}
+	end(delta)
+	return t, nil
+}
+
 // All runs every experiment in order.
 func (s *Suite) All() ([]Table, error) {
-	runs := []func() (Table, error){
-		s.E1ModelComparison,
-		s.E2ExtractionMethods,
-		s.E3ModelFit,
-		s.E4GoalAttainment,
-		s.E4bAblation,
-		s.E5DesignFlow,
-		s.E6Verification,
-		s.E7Dispersion,
-		s.E8Intermodulation,
-		s.E9Constellations,
-		s.E10Calibration,
-		s.E11TwoStage,
-		s.E12LinkBudget,
-	}
-	out := make([]Table, 0, len(runs))
-	for _, run := range runs {
-		t, err := run()
+	entries := s.registry()
+	out := make([]Table, 0, len(entries))
+	for _, e := range entries {
+		t, err := s.runEntry(e)
 		if err != nil {
 			return nil, err
 		}

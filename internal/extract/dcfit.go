@@ -5,6 +5,7 @@ import (
 
 	"gnsslna/internal/device"
 	"gnsslna/internal/mathx"
+	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
 	"gnsslna/internal/vna"
 )
@@ -52,6 +53,13 @@ func maxCurrent(ds *vna.Dataset) float64 {
 // over the model's parameter bounds followed by a Levenberg-Marquardt
 // polish. The model instance is mutated to the fitted parameters.
 func FitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int) (DCFitResult, error) {
+	return FitDCObserved(m, ds, seed, budget, nil)
+}
+
+// FitDCObserved is FitDC with progress events: the global and refinement
+// stages emit convergence records under "extract.step2.dcfit.de" and
+// "extract.step2.dcfit.lm".
+func FitDCObserved(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o obs.Observer) (DCFitResult, error) {
 	if ds == nil || len(ds.IV) == 0 {
 		return DCFitResult{}, fmt.Errorf("%w: no I-V grid", ErrInsufficientData)
 	}
@@ -79,6 +87,7 @@ func FitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int) (DCFitResu
 	}
 	de, err := optim.DifferentialEvolution(obj, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: seed,
+		Observer: o, Scope: "extract.step2.dcfit.de",
 	})
 	if err != nil {
 		return DCFitResult{}, fmt.Errorf("extract: DC global fit: %w", err)
@@ -96,6 +105,7 @@ func FitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int) (DCFitResu
 	}
 	lm, err := optim.LevenbergMarquardt(resid, de.X, &optim.LMOptions{
 		MaxIter: 100, Lower: lo, Upper: hi,
+		Observer: o, Scope: "extract.step2.dcfit.lm",
 	})
 	if err != nil {
 		return DCFitResult{}, fmt.Errorf("extract: DC refinement: %w", err)

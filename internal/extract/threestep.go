@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gnsslna/internal/device"
+	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
 	"gnsslna/internal/vna"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	// I-V data do not constrain it; callers supply datasheet-style noise
 	// temperatures).
 	NoiseModel device.NoiseModel
+	// Observer receives per-step spans ("extract.step1.coldfet",
+	// "extract.step2.dcfit", "extract.step2.sfit", "extract.step3") and
+	// the nested optimizers' convergence events under sub-scopes such as
+	// "extract.step2.dcfit.de" and "extract.step3.lm" (nil: disabled).
+	Observer obs.Observer
 }
 
 func (c Config) defaults() Config {
@@ -69,20 +75,25 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	var res Result
 
 	// Step 1: direct parasitic extraction from the cold sweeps.
+	endCold := obs.StartSpan(cfg.Observer, "extract.step1.coldfet")
 	cold, err := ColdFET(ds.ColdPinched, ds.ColdOpen)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 1: %w", err)
 	}
 	res.Cold = cold
+	endCold(0)
 
 	// Step 2a: global DC-model fit.
-	dcRes, err := FitDC(dc, ds, cfg.Seed, cfg.DCEvals)
+	endDC := obs.StartSpan(cfg.Observer, "extract.step2.dcfit")
+	dcRes, err := FitDCObserved(dc, ds, cfg.Seed, cfg.DCEvals, cfg.Observer)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (DC): %w", err)
 	}
 	res.DC = dcRes
+	endDC(int64(dcRes.Evals))
 
 	// Step 2b: global RF fit with parasitics frozen.
+	endS := obs.StartSpan(cfg.Observer, "extract.step2.sfit")
 	sres, err := NewSResidual(ds, dc, cold.Ext, false)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (RF): %w", err)
@@ -95,16 +106,19 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	}
 	de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: cfg.Seed,
+		Observer: cfg.Observer, Scope: "extract.step2.sfit.de",
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (RF DE): %w", err)
 	}
 	res.SRMSEAfterDE = de.F
+	endS(int64(sres.Evals()))
 
 	// Step 3: Levenberg-Marquardt joint refinement of the RF vector AND
 	// the parasitics, warm-started from the DE solution and the step-1
 	// estimates. The step-1 values carry small structural biases (Ri
 	// dilution, pad loading) that the joint refinement absorbs.
+	endLM := obs.StartSpan(cfg.Observer, "extract.step3")
 	sresJoint, err := NewSResidual(ds, dc, cold.Ext, true)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 3: %w", err)
@@ -116,10 +130,12 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 		cold.Ext.Lg, cold.Ext.Ls, cold.Ext.Ld)
 	lm, err := optim.LevenbergMarquardt(sresJoint.Residuals, x0, &optim.LMOptions{
 		MaxIter: cfg.RefineIters, Lower: loJ, Upper: hiJ,
+		Observer: cfg.Observer, Scope: "extract.step3.lm",
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 3: %w", err)
 	}
+	endLM(int64(sresJoint.Evals() - sres.Evals()))
 
 	d := sresJoint.device(lm.X)
 	d.Name = "extracted-" + dc.Name()
@@ -179,6 +195,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		}
 		de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 			Pop: pop, Generations: gens, Seed: cfg.Seed,
+			Observer: cfg.Observer, Scope: "extract.method.de",
 		})
 		if err != nil {
 			return MethodResult{}, err
@@ -201,6 +218,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		if m == MethodLMOnly {
 			lm, err := optim.LevenbergMarquardt(sres.Residuals, x0, &optim.LMOptions{
 				MaxIter: cfg.RefineIters * 4, Lower: lo, Upper: hi,
+				Observer: cfg.Observer, Scope: "extract.method.lm",
 			})
 			if err != nil {
 				return MethodResult{}, err
@@ -209,6 +227,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		}
 		nm, err := optim.NelderMead(sres.RMSE, x0, &optim.NMOptions{
 			MaxEvals: cfg.GlobalEvals,
+			Observer: cfg.Observer, Scope: "extract.method.nm",
 		})
 		if err != nil {
 			return MethodResult{}, err

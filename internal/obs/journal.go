@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one line of the JSONL run journal. Seq is strictly increasing
+// within a journal and TMs is the emission time in milliseconds since the
+// journal was opened, so a journal is replayable and sortable on its own.
+type Record struct {
+	// Seq is the 1-based sequence number stamped by the journal.
+	Seq int64 `json:"seq"`
+	// TMs is the emission time, milliseconds since the journal opened.
+	TMs float64 `json:"t_ms"`
+	// Event names the record kind: "generation", "span-begin", "span-end",
+	// "done", "sample", "metrics" or a caller-defined label.
+	Event string `json:"event"`
+	// Scope names the emitting loop or phase.
+	Scope string `json:"scope,omitempty"`
+	// Gen is the generation / iteration ordinal (generation records).
+	Gen int `json:"gen"`
+	// Evals is the cumulative evaluation count at emission time.
+	Evals int64 `json:"evals"`
+	// Best is the best objective value so far (generation/done records).
+	Best float64 `json:"best"`
+	// WallMs is the wall time attributed to the record, milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Fields carries free-form numeric payloads (the metrics record).
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Journal is a goroutine-safe JSONL event log. Every Append stamps the
+// sequence number and relative timestamp and flushes the line, so a journal
+// is valid up to its last record even after a crash.
+type Journal struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	close io.Closer
+	seq   int64
+	start time.Time
+	err   error
+}
+
+// NewJournal writes records to w (the caller keeps ownership of w).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// OpenJournal creates (or truncates) a JSONL journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	j := NewJournal(f)
+	j.close = f
+	return j, nil
+}
+
+// Append stamps rec's Seq and TMs and writes it as one JSON line. The first
+// write error sticks and is returned by every later call and by Close.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.seq++
+	rec.Seq = j.seq
+	rec.TMs = float64(time.Since(j.start)) / float64(time.Millisecond)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// AppendSnapshot appends the registry's flattened metrics as a final
+// "metrics" record.
+func (j *Journal) AppendSnapshot(r *Registry) error {
+	return j.Append(Record{Event: "metrics", Fields: r.Snapshot().Flatten()})
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and, for file-backed journals, closes the file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ferr := j.w.Flush()
+	if j.err == nil {
+		j.err = ferr
+	}
+	if j.close != nil {
+		cerr := j.close.Close()
+		j.close = nil
+		if j.err == nil {
+			j.err = cerr
+		}
+	}
+	return j.err
+}
+
+// ReadJournal parses a JSONL journal stream back into records.
+func ReadJournal(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// ReadJournalFile parses the JSONL journal at path.
+func ReadJournalFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the number of base-2 logarithmic histogram buckets;
+// bucket i covers [2^(i-histShift), 2^(i-histShift+1)), which spans
+// roughly 1 microsecond to 12 days when observing milliseconds.
+const (
+	histBuckets = 40
+	histShift   = 10
+)
+
+// Histogram accumulates scalar observations (span durations in
+// milliseconds, typically) into logarithmic buckets plus running
+// count/sum/min/max. It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Floor(math.Log2(v))) + histShift
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	// Count, Sum, Min, Max and Mean summarize the raw samples.
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// P50, P90 and P99 are quantiles estimated from the log buckets
+	// (geometric bucket midpoints; exact at the recorded min/max).
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			// Geometric midpoint of bucket i, clamped into [min, max].
+			mid := math.Exp2(float64(i-histShift) + 0.5)
+			return math.Min(math.Max(mid, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// Registry is a goroutine-safe, get-or-create store of named metrics. It
+// implements expvar.Var, so a process can expose it on /debug/vars with
+// expvar.Publish(name, registry).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric: counters as int64, gauges as float64 and
+// histograms as HistogramSnapshot, keyed by kind.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Flatten lowers the snapshot to a flat numeric map — counters under
+// "counter.", gauges under "gauge." and histogram count/mean/max under
+// "hist." — the form embedded in the journal's final metrics record.
+func (s Snapshot) Flatten() map[string]float64 {
+	out := make(map[string]float64, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms))
+	for name, v := range s.Counters {
+		out["counter."+name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		out["gauge."+name] = v
+	}
+	for name, h := range s.Histograms {
+		out["hist."+name+".count"] = float64(h.Count)
+		out["hist."+name+".mean"] = h.Mean
+		out["hist."+name+".max"] = h.Max
+	}
+	return out
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// WriteText dumps the snapshot as sorted "kind name value" lines, the
+// human-readable form behind the -metrics CLI flag.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %-42s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge   %-42s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf(
+			"hist    %-42s count=%d mean=%.3f p50=%.3f p90=%.3f max=%.3f",
+			name, h.Count, h.Mean, h.P50, h.P90, h.Max))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

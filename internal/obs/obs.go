@@ -1,0 +1,147 @@
+// Package obs is the observability layer of the repository: lightweight
+// counters, gauges and histograms in a goroutine-safe Registry, a
+// structured JSONL run Journal, and a span/event Observer protocol that the
+// optimization, extraction, measurement and experiment pipelines emit into.
+//
+// The design constraint is that instrumentation must be safe to leave in
+// the hot loops permanently: Event is a flat value type, observers are
+// nil-able (nil means disabled, checked with a single branch), and the
+// provided no-op observer performs zero allocations per event — proven by
+// the benchmarks in this package and internal/optim.
+package obs
+
+import "time"
+
+// EventKind classifies an Event.
+type EventKind uint8
+
+// Event kinds emitted by the instrumented pipelines.
+const (
+	// KindGeneration is a per-generation (or per-iteration) convergence
+	// record from an optimizer loop: Gen, Evals, Best and the wall time
+	// since the loop started (Value, milliseconds).
+	KindGeneration EventKind = iota + 1
+	// KindSpanBegin marks the start of a named phase (Scope).
+	KindSpanBegin
+	// KindSpanEnd closes a phase: Value carries the elapsed milliseconds
+	// and Evals the objective/measurement evaluations attributed to it.
+	KindSpanEnd
+	// KindDone closes an instrumented run: Evals is the total evaluation
+	// count, Best the final objective, Value the wall milliseconds.
+	KindDone
+	// KindSample is a generic scalar observation (Value) under Scope.
+	KindSample
+)
+
+// String names the kind as it appears in journal records.
+func (k EventKind) String() string {
+	switch k {
+	case KindGeneration:
+		return "generation"
+	case KindSpanBegin:
+		return "span-begin"
+	case KindSpanEnd:
+		return "span-end"
+	case KindDone:
+		return "done"
+	case KindSample:
+		return "sample"
+	}
+	return "unknown"
+}
+
+// Event is a single observation from an instrumented loop. It is a flat
+// value type on purpose: emitting one through a nil or no-op Observer must
+// not allocate.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Scope names the instrumented loop or phase, e.g. "optim.cmaes" or
+	// "extract.step1.coldfet".
+	Scope string
+	// Gen is the generation / iteration ordinal (KindGeneration).
+	Gen int
+	// Evals is the cumulative evaluation count at emission time.
+	Evals int64
+	// Best is the best (lowest) objective value so far.
+	Best float64
+	// Value is the kind-specific payload: wall milliseconds for
+	// generation/span/done events, the sample for KindSample.
+	Value float64
+}
+
+// Observer receives events from instrumented loops. Implementations must be
+// safe for concurrent use; the pipelines may emit from parallel workers.
+type Observer interface {
+	Observe(Event)
+}
+
+type nopObserver struct{}
+
+func (nopObserver) Observe(Event) {}
+
+// Nop is an Observer that discards every event without allocating.
+var Nop Observer = nopObserver{}
+
+// OrNop returns o, or Nop when o is nil, so callers can emit
+// unconditionally.
+func OrNop(o Observer) Observer {
+	if o == nil {
+		return Nop
+	}
+	return o
+}
+
+// Func adapts a plain function to the Observer interface.
+type Func func(Event)
+
+// Observe implements Observer.
+func (f Func) Observe(e Event) { f(e) }
+
+type multi []Observer
+
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Multi fans events out to every non-nil observer. Nil entries are dropped;
+// zero or one survivor collapses to the survivor (or nil).
+func Multi(os ...Observer) Observer {
+	kept := make(multi, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// StartSpan emits KindSpanBegin under scope and returns the closer; calling
+// it emits KindSpanEnd with the elapsed milliseconds and the evaluation
+// count the caller attributes to the phase. A nil observer costs one branch
+// and no allocation.
+func StartSpan(o Observer, scope string) func(evals int64) {
+	if o == nil {
+		return endNothing
+	}
+	o.Observe(Event{Kind: KindSpanBegin, Scope: scope})
+	start := time.Now()
+	return func(evals int64) {
+		o.Observe(Event{
+			Kind:  KindSpanEnd,
+			Scope: scope,
+			Evals: evals,
+			Value: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+}
+
+func endNothing(int64) {}

@@ -1,0 +1,116 @@
+// Package obscli wires the observability layer into the command-line tools:
+// it registers the shared -journal, -metrics and -pprof flags, assembles the
+// metrics registry / run journal behind them, publishes the registry through
+// expvar, and handles teardown. Commands call Register before flag.Parse,
+// Start after it, thread Session.Observer() into the pipelines, and defer
+// Session.Close.
+package obscli
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"gnsslna/internal/obs"
+)
+
+// expvarName is the key the metrics registry is published under; expvar's
+// /debug/vars endpoint then exposes the snapshot alongside the runtime vars.
+const expvarName = "gnsslna"
+
+// Flags holds the observability command-line flags.
+type Flags struct {
+	// Journal is the JSONL run-journal path ("" disables).
+	Journal string
+	// Metrics requests a metrics snapshot dump on exit.
+	Metrics bool
+	// Pprof is the listen address for net/http/pprof and expvar
+	// ("" disables).
+	Pprof string
+}
+
+// Register installs -journal, -metrics and -pprof on the flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Journal, "journal", "", "write a JSONL run journal to this `path`")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot when the run finishes")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar on this `address` (e.g. localhost:6060)")
+	return f
+}
+
+// Session is the live observability context of one command run.
+type Session struct {
+	flags Flags
+	reg   *obs.Registry
+	j     *obs.Journal
+	hub   *obs.Hub
+}
+
+// Start opens the journal (when requested), assembles the hub, publishes the
+// registry under expvar, and serves pprof when an address is given. When no
+// observability flag is set it returns an inert session whose Observer is
+// nil, keeping the pipelines' hot loops free of instrumentation.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: *f}
+	if f.Journal == "" && !f.Metrics && f.Pprof == "" {
+		return s, nil
+	}
+	if f.Journal != "" {
+		j, err := obs.OpenJournal(f.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("obscli: %w", err)
+		}
+		s.j = j
+	}
+	s.reg = obs.NewRegistry()
+	s.hub = obs.NewHub(s.reg, s.j)
+	// Publish is idempotent across sessions in one process (tests): expvar
+	// panics on duplicate names, so only the first session owns the name.
+	if expvar.Get(expvarName) == nil {
+		expvar.Publish(expvarName, s.reg)
+	}
+	if f.Pprof != "" {
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obscli: pprof server:", err)
+			}
+		}(f.Pprof)
+	}
+	return s, nil
+}
+
+// Observer returns the session's observer, or nil when observation is
+// disabled (callers can pass the result straight into the pipelines).
+func (s *Session) Observer() obs.Observer {
+	if s.hub == nil {
+		return nil
+	}
+	return s.hub
+}
+
+// Registry exposes the metrics registry (nil when observation is disabled).
+func (s *Session) Registry() *obs.Registry { return s.reg }
+
+// Close appends the final metrics snapshot to the journal, flushes and
+// closes it, and prints the snapshot to stdout when -metrics was given.
+func (s *Session) Close() error {
+	var firstErr error
+	if s.j != nil {
+		if err := s.j.AppendSnapshot(s.reg); err != nil {
+			firstErr = err
+		}
+		if err := s.j.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.flags.Metrics && s.reg != nil {
+		fmt.Println("\nmetrics snapshot:")
+		if err := s.reg.WriteText(os.Stdout); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

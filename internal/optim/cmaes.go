@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gnsslna/internal/mathx"
+	"gnsslna/internal/obs"
 )
 
 // CMAESOptions configures the covariance-matrix-adaptation evolution
@@ -19,6 +20,10 @@ type CMAESOptions struct {
 	Sigma0 float64
 	// Seed seeds the deterministic RNG (default 1).
 	Seed int64
+	// Observer receives per-generation convergence events (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.cmaes").
+	Scope string
 }
 
 // CMAES minimizes f over the box [lo, hi] with a (mu/mu_w, lambda)-CMA-ES
@@ -37,6 +42,8 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 	}
 	lambda := 4 + int(3*math.Log(float64(n)))
 	gens, sigmaRel, seed := 300, 0.3, int64(1)
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
 		if opts.Lambda > 3 {
 			lambda = opts.Lambda
@@ -50,7 +57,9 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 		if opts.Seed != 0 {
 			seed = opts.Seed
 		}
+		observer, scope = opts.Observer, opts.Scope
 	}
+	em := newEmitter(observer, scope, scopeCMAES)
 	rng := newRand(seed)
 	c := &counter{f: f}
 
@@ -219,10 +228,12 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 			}
 		}
 		sigma *= math.Exp((cs / damps) * (psNorm/chiN - 1))
+		em.gen(g, c.n, bestF)
 		if sigma < 1e-12 {
 			break
 		}
 	}
+	em.done(c.n, bestF)
 	return Result{X: bestX, F: bestF, Evals: c.n, Converged: false}, nil
 }
 

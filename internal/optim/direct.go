@@ -11,6 +11,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"gnsslna/internal/obs"
 )
 
 // Objective is a scalar function to minimize.
@@ -53,6 +55,12 @@ type NMOptions struct {
 	// Scale is the initial simplex edge length (default 0.1 per coordinate,
 	// scale-aware).
 	Scale float64
+	// Observer receives a KindDone event when the search finishes — the
+	// polish stages run too many simplex iterations to journal each one
+	// (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.nm").
+	Scope string
 }
 
 func (o *NMOptions) defaults(dim int) NMOptions {
@@ -67,6 +75,7 @@ func (o *NMOptions) defaults(dim int) NMOptions {
 		if o.Scale > 0 {
 			out.Scale = o.Scale
 		}
+		out.Observer, out.Scope = o.Observer, o.Scope
 	}
 	return out
 }
@@ -79,6 +88,7 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 		return Result{}, ErrBadInput
 	}
 	o := opts.defaults(n)
+	em := newEmitter(o.Observer, o.Scope, scopeNM)
 	c := &counter{f: f}
 
 	// Adaptive coefficients improve high-dimensional behaviour.
@@ -126,6 +136,7 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 		order()
 		// Convergence: simplex function spread.
 		if math.Abs(fv[n]-fv[0]) <= o.Tol*(1+math.Abs(fv[0])) {
+			em.done(c.n, fv[0])
 			return Result{X: simplex[0], F: fv[0], Evals: c.n, Converged: true}, nil
 		}
 		for i := range centroid {
@@ -170,6 +181,7 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 		}
 	}
 	order()
+	em.done(c.n, fv[0])
 	return Result{X: simplex[0], F: fv[0], Evals: c.n, Converged: false}, nil
 }
 

@@ -3,6 +3,8 @@ package optim
 import (
 	"fmt"
 	"math"
+
+	"gnsslna/internal/obs"
 )
 
 // VectorObjective maps a design vector to multiple objective values, all to
@@ -41,6 +43,17 @@ type AttainOptions struct {
 	GlobalEvals int
 	// PolishEvals budgets each local polish (default 4000).
 	PolishEvals int
+	// Observer receives per-generation convergence events from the nested
+	// global/polish stages (under Scope+".de" / Scope+".nm") and a final
+	// done event whose Best is the attainment factor gamma. The solver's
+	// own done event reports only the evaluations it performed directly
+	// (scale probing, final evaluation); the nested stages report their
+	// own totals, so summing done-event evals never double-counts
+	// (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.attain"); the global and
+	// polish stages emit under Scope+".de" and Scope+".nm".
+	Scope string
 }
 
 func (o *AttainOptions) defaults() AttainOptions {
@@ -55,8 +68,17 @@ func (o *AttainOptions) defaults() AttainOptions {
 		if o.PolishEvals > 0 {
 			out.PolishEvals = o.PolishEvals
 		}
+		out.Observer, out.Scope = o.Observer, o.Scope
 	}
 	return out
+}
+
+// scopeOr resolves the event scope, falling back to def.
+func (o AttainOptions) scopeOr(def string) string {
+	if o.Scope != "" {
+		return o.Scope
+	}
+	return def
 }
 
 func validateGoals(obj VectorObjective, goals []Goal, lo, hi []float64) error {
@@ -93,6 +115,7 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 		return AttainResult{}, err
 	}
 	o := opts.defaults()
+	em := newEmitter(o.Observer, o.Scope, scopeAttain)
 	evals := 0
 	scalar := func(x []float64) float64 {
 		evals++
@@ -108,17 +131,23 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	}
 	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
 		Pop: pop, Generations: gens, Seed: o.Seed,
+		Observer: o.Observer, Scope: em.scope + ".de",
 	})
 	if err != nil {
 		return AttainResult{}, err
 	}
-	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	nm, err := NelderMead(scalar, de.X, &NMOptions{
+		MaxEvals: o.PolishEvals, Scale: 0.02,
+		Observer: o.Observer, Scope: em.scope + ".nm",
+	})
 	if err != nil {
 		return AttainResult{}, err
 	}
 	x := clampBox(nm.X, lo, hi)
 	f := obj(x)
-	return AttainResult{X: x, Gamma: gammaOf(f, goals), F: f, Evals: evals + 1}, nil
+	gamma := gammaOf(f, goals)
+	em.done(evals+1-de.Evals-nm.Evals, gamma)
+	return AttainResult{X: x, Gamma: gamma, F: f, Evals: evals + 1}, nil
 }
 
 // ImprovedVariant switches off individual ingredients of the improved
@@ -159,11 +188,13 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 		return AttainResult{}, err
 	}
 	o := opts.defaults()
+	em := newEmitter(o.Observer, o.Scope, scopeAttain)
 	evals := 0
 	eval := func(x []float64) []float64 {
 		evals++
 		return obj(x)
 	}
+	nested := 0 // evals reported by nested stages' own done events
 
 	// Stage 0: probe the box to learn objective scales.
 	scaled := make([]Goal, len(goals))
@@ -245,10 +276,12 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 		}
 		de, err := DifferentialEvolution(ks(5), lo, hi, &DEOptions{
 			Pop: pop, Generations: gens, Seed: o.Seed,
+			Observer: o.Observer, Scope: em.scope + ".de",
 		})
 		if err != nil {
 			return AttainResult{}, err
 		}
+		nested += de.Evals
 		x = de.X
 	}
 
@@ -258,14 +291,20 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 		budget = 200
 	}
 	for _, rho := range []float64{20, 100, 500} {
-		nm, err := NelderMead(ks(rho), x, &NMOptions{MaxEvals: budget, Scale: 0.02})
+		nm, err := NelderMead(ks(rho), x, &NMOptions{
+			MaxEvals: budget, Scale: 0.02,
+			Observer: o.Observer, Scope: em.scope + ".nm",
+		})
 		if err != nil {
 			return AttainResult{}, err
 		}
+		nested += nm.Evals
 		x = clampBox(nm.X, lo, hi)
 	}
 	f := obj(x)
-	return AttainResult{X: x, Gamma: gammaOf(f, goals), F: f, Evals: evals + 1}, nil
+	gamma := gammaOf(f, goals)
+	em.done(evals+1-nested, gamma)
+	return AttainResult{X: x, Gamma: gamma, F: f, Evals: evals + 1}, nil
 }
 
 // WeightedSum minimizes the scalarization sum_i w_i f_i(x) — the classical
@@ -293,11 +332,17 @@ func WeightedSum(obj VectorObjective, weights []float64, lo, hi []float64, opts 
 	if gens < 1 {
 		gens = 1
 	}
-	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{Pop: pop, Generations: gens, Seed: o.Seed})
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
+		Pop: pop, Generations: gens, Seed: o.Seed,
+		Observer: o.Observer, Scope: o.scopeOr("optim.wsum") + ".de",
+	})
 	if err != nil {
 		return AttainResult{}, err
 	}
-	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	nm, err := NelderMead(scalar, de.X, &NMOptions{
+		MaxEvals: o.PolishEvals, Scale: 0.02,
+		Observer: o.Observer, Scope: o.scopeOr("optim.wsum") + ".nm",
+	})
 	if err != nil {
 		return AttainResult{}, err
 	}
@@ -337,11 +382,17 @@ func EpsilonConstraint(obj VectorObjective, primary int, eps []float64, lo, hi [
 	if gens < 1 {
 		gens = 1
 	}
-	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{Pop: pop, Generations: gens, Seed: o.Seed})
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
+		Pop: pop, Generations: gens, Seed: o.Seed,
+		Observer: o.Observer, Scope: o.scopeOr("optim.epscon") + ".de",
+	})
 	if err != nil {
 		return AttainResult{}, err
 	}
-	nm, err := NelderMead(scalar, de.X, &NMOptions{MaxEvals: o.PolishEvals, Scale: 0.02})
+	nm, err := NelderMead(scalar, de.X, &NMOptions{
+		MaxEvals: o.PolishEvals, Scale: 0.02,
+		Observer: o.Observer, Scope: o.scopeOr("optim.epscon") + ".nm",
+	})
 	if err != nil {
 		return AttainResult{}, err
 	}

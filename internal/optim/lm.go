@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gnsslna/internal/mathx"
+	"gnsslna/internal/obs"
 )
 
 // ResidualFunc maps parameters to a residual vector; Levenberg-Marquardt
@@ -21,6 +22,11 @@ type LMOptions struct {
 	// Lower and Upper optionally box-constrain the parameters (projected
 	// steps). Nil means unconstrained.
 	Lower, Upper []float64
+	// Observer receives per-iteration convergence events; Best carries the
+	// current half-sum-of-squares cost (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.lm").
+	Scope string
 }
 
 // LMResult reports a Levenberg-Marquardt run.
@@ -46,6 +52,8 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 	}
 	maxIter, tol, lambda := 200, 1e-12, 1e-3
 	var lower, upper []float64
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
 		if opts.MaxIter > 0 {
 			maxIter = opts.MaxIter
@@ -57,7 +65,9 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 			lambda = opts.Lambda0
 		}
 		lower, upper = opts.Lower, opts.Upper
+		observer, scope = opts.Observer, opts.Scope
 	}
+	em := newEmitter(observer, scope, scopeLM)
 	project := func(x []float64) {
 		for i := range x {
 			if lower != nil && x[i] < lower[i] {
@@ -122,6 +132,7 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 				lambda = math.Max(lambda/3, 1e-12)
 				accepted = true
 				iters++
+				em.gen(iters, evals, cost)
 				if rel < tol {
 					converged = true
 				}
@@ -139,6 +150,7 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 			break
 		}
 	}
+	em.done(evals, cost)
 	return LMResult{X: x, Cost: cost, Iters: iters, Evals: evals, Converged: converged}, nil
 }
 

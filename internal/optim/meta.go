@@ -3,6 +3,8 @@ package optim
 import (
 	"math"
 	"math/rand"
+
+	"gnsslna/internal/obs"
 )
 
 // DEOptions configures differential evolution.
@@ -20,6 +22,10 @@ type DEOptions struct {
 	// Tol stops early when the population's objective spread falls below it
 	// (default 0: run all generations).
 	Tol float64
+	// Observer receives per-generation convergence events (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.de").
+	Scope string
 }
 
 // DifferentialEvolution minimizes f over the box [lo, hi] with the
@@ -39,6 +45,8 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 		pop = 20
 	}
 	gens, fw, cr, seed, tol := 300, 0.7, 0.9, int64(1), 0.0
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
 		if opts.Pop > 3 {
 			pop = opts.Pop
@@ -58,7 +66,9 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 		if opts.Tol > 0 {
 			tol = opts.Tol
 		}
+		observer, scope = opts.Observer, opts.Scope
 	}
+	em := newEmitter(observer, scope, scopeDE)
 	rng := rand.New(rand.NewSource(seed))
 	c := &counter{f: f}
 
@@ -132,6 +142,7 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 				}
 			}
 		}
+		em.gen(g, c.n, fs[best])
 		if tol > 0 {
 			mn, mx := fs[0], fs[0]
 			for _, v := range fs[1:] {
@@ -139,10 +150,12 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 				mx = math.Max(mx, v)
 			}
 			if mx-mn < tol*(1+math.Abs(mn)) {
+				em.done(c.n, fs[best])
 				return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: true}, nil
 			}
 		}
 	}
+	em.done(c.n, fs[best])
 	return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: false}, nil
 }
 
@@ -154,6 +167,10 @@ type PSOOptions struct {
 	Iterations int
 	// Seed seeds the deterministic RNG (default 1).
 	Seed int64
+	// Observer receives per-iteration convergence events (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.pso").
+	Scope string
 }
 
 // ParticleSwarm minimizes f over the box [lo, hi] with a standard
@@ -168,6 +185,8 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 		pop = 20
 	}
 	iters, seed := 300, int64(1)
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
 		if opts.Pop > 1 {
 			pop = opts.Pop
@@ -178,7 +197,9 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 		if opts.Seed != 0 {
 			seed = opts.Seed
 		}
+		observer, scope = opts.Observer, opts.Scope
 	}
+	em := newEmitter(observer, scope, scopePSO)
 	rng := rand.New(rand.NewSource(seed))
 	c := &counter{f: f}
 	const (
@@ -233,7 +254,9 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 				}
 			}
 		}
+		em.gen(it, c.n, gf)
 	}
+	em.done(c.n, gf)
 	return Result{X: gb, F: gf, Evals: c.n, Converged: false}, nil
 }
 
@@ -246,6 +269,11 @@ type SAOptions struct {
 	T0 float64
 	// Seed seeds the deterministic RNG (default 1).
 	Seed int64
+	// Observer receives sampled convergence events — at most ~200 over the
+	// run, so long anneals do not flood the journal (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.sa").
+	Scope string
 }
 
 // SimulatedAnnealing minimizes f over the box [lo, hi] with geometric
@@ -256,6 +284,8 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 		return Result{}, ErrBadInput
 	}
 	iters, t0, seed := 20000, 1.0, int64(1)
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
 		if opts.Iterations > 0 {
 			iters = opts.Iterations
@@ -266,7 +296,10 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 		if opts.Seed != 0 {
 			seed = opts.Seed
 		}
+		observer, scope = opts.Observer, opts.Scope
 	}
+	em := newEmitter(observer, scope, scopeSA)
+	stride := sampleStride(iters, 200)
 	rng := rand.New(rand.NewSource(seed))
 	c := &counter{f: f}
 	x := make([]float64, n)
@@ -300,6 +333,10 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 			}
 		}
 		temp *= cool
+		if it%stride == 0 {
+			em.gen(it, c.n, fb)
+		}
 	}
+	em.done(c.n, fb)
 	return Result{X: best, F: fb, Evals: c.n, Converged: false}, nil
 }

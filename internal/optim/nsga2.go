@@ -3,6 +3,8 @@ package optim
 import (
 	"math"
 	"sort"
+
+	"gnsslna/internal/obs"
 )
 
 // NSGA2Options configures the NSGA-II baseline.
@@ -18,6 +20,12 @@ type NSGA2Options struct {
 	CrossoverEta, MutationEta float64
 	// MutationProb is the per-gene mutation probability (default 1/dim).
 	MutationProb float64
+	// Observer receives per-generation convergence events; Best carries
+	// the minimum of the first objective over the current parents, a cheap
+	// scalar proxy for front progress (nil: disabled).
+	Observer obs.Observer
+	// Scope labels emitted events (default "optim.nsga2").
+	Scope string
 }
 
 // NSGA2Result reports a run: the final non-dominated set.
@@ -46,7 +54,10 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	pop, gens, seed := 80, 100, int64(1)
 	etaC, etaM := 15.0, 20.0
 	pm := 1.0 / float64(n)
+	var observer obs.Observer
+	scope := ""
 	if opts != nil {
+		observer, scope = opts.Observer, opts.Scope
 		if opts.Pop > 3 {
 			pop = opts.Pop
 		}
@@ -69,6 +80,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	if pop%2 == 1 {
 		pop++
 	}
+	em := newEmitter(observer, scope, scopeNSGA2)
 	rng := newRand(seed)
 	evals := 0
 	eval := func(x []float64) []float64 {
@@ -107,7 +119,9 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 			return union[a].crowd > union[b].crowd
 		})
 		parents = append([]nsgaInd(nil), union[:pop]...)
+		em.gen(g, evals, minFirstObjective(parents))
 	}
+	em.done(evals, minFirstObjective(parents))
 
 	var res NSGA2Result
 	res.Evals = evals
@@ -118,6 +132,17 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 		}
 	}
 	return res, nil
+}
+
+// minFirstObjective is the scalar convergence proxy reported for NSGA-II.
+func minFirstObjective(pop []nsgaInd) float64 {
+	best := math.Inf(1)
+	for _, ind := range pop {
+		if len(ind.f) > 0 && ind.f[0] < best {
+			best = ind.f[0]
+		}
+	}
+	return best
 }
 
 // tournament picks the better of two random individuals (rank, then crowd).

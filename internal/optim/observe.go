@@ -1,0 +1,85 @@
+package optim
+
+import (
+	"time"
+
+	"gnsslna/internal/obs"
+)
+
+// Default event scopes for the instrumented optimizers.
+const (
+	scopeCMAES  = "optim.cmaes"
+	scopeDE     = "optim.de"
+	scopePSO    = "optim.pso"
+	scopeSA     = "optim.sa"
+	scopeNSGA2  = "optim.nsga2"
+	scopeLM     = "optim.lm"
+	scopeNM     = "optim.nm"
+	scopeAttain = "optim.attain"
+)
+
+// emitter funnels an optimizer loop's progress into an obs.Observer. It is
+// a plain value (no pointer indirection, no allocation) and every method is
+// a single branch when the observer is nil, so the optimizers can emit
+// unconditionally from their hot loops.
+type emitter struct {
+	o     obs.Observer
+	scope string
+	start time.Time
+}
+
+// newEmitter resolves the scope (falling back to def) and stamps the run
+// start for wall-time reporting.
+func newEmitter(o obs.Observer, scope, def string) emitter {
+	if scope == "" {
+		scope = def
+	}
+	e := emitter{o: o, scope: scope}
+	if o != nil {
+		e.start = time.Now()
+	}
+	return e
+}
+
+func (e *emitter) wallMs() float64 {
+	return float64(time.Since(e.start)) / float64(time.Millisecond)
+}
+
+// gen emits a per-generation convergence record.
+func (e *emitter) gen(gen, evals int, best float64) {
+	if e.o == nil {
+		return
+	}
+	e.o.Observe(obs.Event{
+		Kind:  obs.KindGeneration,
+		Scope: e.scope,
+		Gen:   gen,
+		Evals: int64(evals),
+		Best:  best,
+		Value: e.wallMs(),
+	})
+}
+
+// done closes the run with its total evaluation count and final best.
+func (e *emitter) done(evals int, best float64) {
+	if e.o == nil {
+		return
+	}
+	e.o.Observe(obs.Event{
+		Kind:  obs.KindDone,
+		Scope: e.scope,
+		Evals: int64(evals),
+		Best:  best,
+		Value: e.wallMs(),
+	})
+}
+
+// sampleStride returns how many iterations to skip between generation
+// events so a long scalar loop (simulated annealing's 20k iterations)
+// journals at most ~maxRecords convergence records.
+func sampleStride(iters, maxRecords int) int {
+	if maxRecords <= 0 || iters <= maxRecords {
+		return 1
+	}
+	return iters / maxRecords
+}

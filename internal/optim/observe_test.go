@@ -1,0 +1,129 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"gnsslna/internal/obs"
+)
+
+// TestNopObserverZeroAlloc proves the emitter adds zero allocations per
+// generation when the observer discards events — the contract that lets the
+// instrumentation live in the optimizer inner loops permanently.
+func TestNopObserverZeroAlloc(t *testing.T) {
+	em := newEmitter(obs.Nop, "", scopeDE)
+	allocs := testing.AllocsPerRun(1000, func() {
+		em.gen(3, 120, 0.5)
+		em.done(120, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("no-op observed emitter allocates %.1f/op, want 0", allocs)
+	}
+
+	emNil := newEmitter(nil, "", scopeDE)
+	allocs = testing.AllocsPerRun(1000, func() {
+		emNil.gen(3, 120, 0.5)
+		emNil.done(120, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-observer emitter allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestObservedDE checks the convergence stream of an instrumented run:
+// monotone generation ordinals, growing eval counts, and a final done event
+// whose totals match the optimizer's own result.
+func TestObservedDE(t *testing.T) {
+	var gens []obs.Event
+	var done *obs.Event
+	o := obs.Func(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindGeneration:
+			gens = append(gens, e)
+		case obs.KindDone:
+			ev := e
+			done = &ev
+		}
+	})
+	lo := []float64{-2, -2, -2}
+	hi := []float64{2, 2, 2}
+	res, err := DifferentialEvolution(sphere, lo, hi, &DEOptions{
+		Pop: 20, Generations: 30, Seed: 1, Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("no generation events emitted")
+	}
+	prevEvals := int64(0)
+	for i, e := range gens {
+		if e.Scope != "optim.de" {
+			t.Fatalf("generation %d scope = %q, want optim.de", i, e.Scope)
+		}
+		if e.Evals < prevEvals {
+			t.Fatalf("generation %d evals %d < previous %d", i, e.Evals, prevEvals)
+		}
+		prevEvals = e.Evals
+	}
+	if done == nil {
+		t.Fatal("no done event emitted")
+	}
+	if done.Evals != int64(res.Evals) {
+		t.Errorf("done evals = %d, want optimizer's %d", done.Evals, res.Evals)
+	}
+	if done.Best != res.F {
+		t.Errorf("done best = %g, want result F %g", done.Best, res.F)
+	}
+}
+
+// TestAttainEvalAccounting runs the improved goal-attainment solver under a
+// tally and checks that summing every done event reproduces the solver's
+// reported eval total exactly — i.e. the nested DE/NM stages are attributed
+// once, never double-counted.
+func TestAttainEvalAccounting(t *testing.T) {
+	obj := func(x []float64) []float64 {
+		return []float64{sphere(x), math.Abs(x[0] - 1)}
+	}
+	goals := []Goal{
+		{Name: "f0", Target: 0.1, Weight: 1},
+		{Name: "f1", Target: 0.1, Weight: 1},
+	}
+	lo := []float64{-2, -2}
+	hi := []float64{2, 2}
+	tally := obs.NewTally(nil)
+	res, err := GoalAttainImproved(obj, goals, lo, hi, &AttainOptions{
+		Seed: 1, GlobalEvals: 600, PolishEvals: 300, Observer: tally,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.Evals(); got != int64(res.Evals) {
+		t.Errorf("sum of done events = %d, want solver total %d", got, res.Evals)
+	}
+}
+
+// BenchmarkDENopObserver measures the instrumented DE inner loop with a
+// discarding observer; the report must show 0 allocs/op attributable to the
+// instrumentation beyond the optimizer's own workspace.
+func BenchmarkDENopObserver(b *testing.B) {
+	lo := []float64{-2, -2, -2}
+	hi := []float64{2, 2, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := DifferentialEvolution(sphere, lo, hi, &DEOptions{
+			Pop: 15, Generations: 10, Seed: 1, Observer: obs.Nop,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmitterNop(b *testing.B) {
+	em := newEmitter(obs.Nop, "", scopeDE)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		em.gen(i, i*10, 0.5)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"gnsslna/internal/device"
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/noise"
+	"gnsslna/internal/obs"
 	"gnsslna/internal/twoport"
 )
 
@@ -127,6 +128,10 @@ type CampaignConfig struct {
 	Seed int64
 	// SigmaS overrides the VNA trace noise when positive.
 	SigmaS float64
+	// Observer receives a "vna.campaign" span whose eval count is the
+	// total number of measured points — S-parameter frequency points across
+	// all sweeps plus I-V grid points (nil: disabled).
+	Observer obs.Observer
 }
 
 // DefaultCampaign returns the measurement plan used across the experiments:
@@ -154,6 +159,7 @@ func RunCampaign(d *device.PHEMT, cfg CampaignConfig) (*Dataset, error) {
 	if len(cfg.Freqs) == 0 || len(cfg.Biases) == 0 {
 		return nil, fmt.Errorf("%w: campaign needs freqs and biases", ErrBadConfig)
 	}
+	endSpan := obs.StartSpan(cfg.Observer, "vna.campaign")
 	v := NewVNA(cfg.Seed)
 	if cfg.SigmaS > 0 {
 		v.SigmaAbs = cfg.SigmaS
@@ -201,6 +207,8 @@ func RunCampaign(d *device.PHEMT, cfg CampaignConfig) (*Dataset, error) {
 			ds.IV[i][j] = ids * (1 + cfg.SigmaI*rng.NormFloat64())
 		}
 	}
+	sweeps := len(cfg.Biases) + 2 // hot biases + two cold sweeps
+	endSpan(int64(sweeps*len(cfg.Freqs) + len(cfg.VgsGrid)*len(cfg.VdsGrid)))
 	return ds, nil
 }
 
