@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench
+.PHONY: verify fmt vet build test race bench chaos
 
 # verify is the tier-1 gate: formatting, vet, build, the full test suite,
 # and a race pass over the concurrently-exercised packages.
@@ -22,7 +22,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/optim
+	$(GO) test -race -count=1 ./internal/obs ./internal/optim ./internal/resilience ./internal/experiments
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector; -count=1 defeats the test cache so faults are re-injected.
+chaos:
+	$(GO) test -race -count=1 ./internal/resilience/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

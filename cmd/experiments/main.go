@@ -4,7 +4,14 @@
 // Usage:
 //
 //	experiments [-e e1|e2|...|e12|all] [-seed N] [-quick]
+//	            [-timeout 5m] [-max-evals N] [-checkpoint stages.jsonl]
+//	            [-resume stages.jsonl] [-restarts N]
 //	            [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
+//
+// The run is interruptible: Ctrl-C (or an expired -timeout / exhausted
+// -max-evals budget) stops the optimizers cooperatively with a typed stop
+// reason. With -checkpoint, the shared stages (extraction, design) are
+// recorded and a rerun with the same seed and budgets resumes from them.
 package main
 
 import (
@@ -43,7 +50,10 @@ func main() {
 }
 
 func run(exp string, seed int64, quick, figs, markdown bool, session *obscli.Session) error {
-	s := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick, Observer: session.Observer()})
+	s := experiments.NewSuite(experiments.Config{
+		Seed: seed, Quick: quick, Observer: session.Observer(),
+		Control: session.Controller(), Checkpoint: session.Checkpoint(), Restarts: session.Restarts(),
+	})
 
 	if markdown {
 		tables, err := s.All()

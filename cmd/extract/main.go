@@ -6,8 +6,14 @@
 // Usage:
 //
 //	extract [-model Angelov|Curtice-2|Curtice-3|Statz|TOM] [-seed N]
-//	        [-quick] [-out DIR] [-journal run.jsonl] [-metrics]
-//	        [-pprof localhost:6060]
+//	        [-quick] [-out DIR] [-timeout 30s] [-max-evals N]
+//	        [-checkpoint stages.jsonl] [-resume stages.jsonl]
+//	        [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
+//
+// The run is interruptible: Ctrl-C (or an expired -timeout / exhausted
+// -max-evals budget) stops the fit cooperatively with a typed stop reason.
+// With -checkpoint, a completed extraction is recorded and a rerun with the
+// same model, seed and budgets restores it instead of recomputing.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"gnsslna/internal/device"
 	"gnsslna/internal/extract"
 	"gnsslna/internal/obscli"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/touchstone"
 	"gnsslna/internal/twoport"
 	"gnsslna/internal/vna"
@@ -59,22 +66,48 @@ func run(model string, seed int64, quick bool, outDir string, session *obscli.Se
 	if dc == nil {
 		return fmt.Errorf("unknown model %q", model)
 	}
+	var dsExport *vna.Dataset
 
-	fmt.Println("running synthetic measurement campaign (VNA + DC analyzer)...")
-	campaign := vna.DefaultCampaign(seed)
-	campaign.Observer = session.Observer()
-	ds, err := vna.RunCampaign(device.Golden(), campaign)
-	if err != nil {
-		return err
+	// The checkpoint stage key folds the model name in, so different model
+	// classes never restore each other's results.
+	stage := "extract." + dc.Name()
+	var res extract.Result
+	restored := false
+	if path := session.Checkpoint(); path != "" {
+		ok, err := resilience.RestoreCheckpoint(path, stage, seed, quick, &res)
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		restored = ok && res.Device != nil
 	}
-	cfg := extract.Config{Seed: seed, Observer: session.Observer()}
-	if quick {
-		cfg = extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: session.Observer()}
-	}
-	fmt.Printf("extracting %s (three-step: cold-FET direct + DE + LM)...\n", dc.Name())
-	res, err := extract.ThreeStep(ds, dc, cfg)
-	if err != nil {
-		return err
+	if restored {
+		fmt.Printf("restored completed %s extraction from %s\n", dc.Name(), session.Checkpoint())
+		if err := dc.SetParams(res.Device.DC.Params()); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("running synthetic measurement campaign (VNA + DC analyzer)...")
+		campaign := vna.DefaultCampaign(seed)
+		campaign.Observer = session.Observer()
+		ds, err := vna.RunCampaign(device.Golden(), campaign)
+		if err != nil {
+			return err
+		}
+		cfg := extract.Config{Seed: seed, Observer: session.Observer(), Control: session.Controller()}
+		if quick {
+			cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
+		}
+		fmt.Printf("extracting %s (three-step: cold-FET direct + DE + LM)...\n", dc.Name())
+		res, err = extract.ThreeStep(ds, dc, cfg)
+		if err != nil {
+			return err
+		}
+		if path := session.Checkpoint(); path != "" {
+			if err := resilience.SaveCheckpoint(path, stage, seed, quick, res); err != nil {
+				return fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+		}
+		dsExport = ds
 	}
 
 	fmt.Printf("\nstep 1 parasitics: Rg=%.2f Rs=%.2f Rd=%.2f ohm  Lg=%.0f Ls=%.0f Ld=%.0f pH\n",
@@ -99,10 +132,21 @@ func run(model string, seed int64, quick bool, outDir string, session *obscli.Se
 	if outDir == "" {
 		return nil
 	}
+	if dsExport == nil {
+		// The extraction was restored from a checkpoint; rerun only the
+		// (cheap) measurement campaign to export against.
+		campaign := vna.DefaultCampaign(seed)
+		campaign.Observer = session.Observer()
+		ds, err := vna.RunCampaign(device.Golden(), campaign)
+		if err != nil {
+			return err
+		}
+		dsExport = ds
+	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	for i, set := range ds.Hot {
+	for i, set := range dsExport.Hot {
 		measPath := filepath.Join(outDir, fmt.Sprintf("measured_bias%d.s2p", i+1))
 		if err := writeNet(measPath, set.Net,
 			fmt.Sprintf("golden device measured at Vgs=%.2f Vds=%.2f", set.Bias.Vgs, set.Bias.Vds)); err != nil {
@@ -110,13 +154,13 @@ func run(model string, seed int64, quick bool, outDir string, session *obscli.Se
 		}
 		mats := make([]twoport.Mat2, len(set.Net.Freqs))
 		for k, f := range set.Net.Freqs {
-			s, err := d.SAt(set.Bias, f, ds.Z0)
+			s, err := d.SAt(set.Bias, f, dsExport.Z0)
 			if err != nil {
 				return err
 			}
 			mats[k] = s
 		}
-		modelNet, err := twoport.NewNetwork(ds.Z0, set.Net.Freqs, mats)
+		modelNet, err := twoport.NewNetwork(dsExport.Z0, set.Net.Freqs, mats)
 		if err != nil {
 			return err
 		}
@@ -126,7 +170,7 @@ func run(model string, seed int64, quick bool, outDir string, session *obscli.Se
 			return err
 		}
 	}
-	fmt.Printf("\nwrote %d Touchstone file pairs to %s\n", len(ds.Hot), outDir)
+	fmt.Printf("\nwrote %d Touchstone file pairs to %s\n", len(dsExport.Hot), outDir)
 	return nil
 }
 

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	lnaopt [-seed N] [-quick] [-sens] [-yield N]
+//	       [-timeout 30s] [-max-evals N] [-checkpoint stages.jsonl]
+//	       [-resume stages.jsonl] [-restarts N]
 //	       [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
+//
+// The run is interruptible: Ctrl-C (or an expired -timeout / exhausted
+// -max-evals budget) stops the optimizers cooperatively and the best design
+// found so far is reported together with the stop reason. With -checkpoint,
+// completed stages (extraction, design) are recorded and a rerun with the
+// same seed and budgets resumes from them bit-identically.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"gnsslna/internal/core"
 	"gnsslna/internal/experiments"
 	"gnsslna/internal/obscli"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/units"
 )
 
@@ -47,7 +56,10 @@ func main() {
 }
 
 func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64, session *obscli.Session) error {
-	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick, Observer: session.Observer()})
+	suite := experiments.NewSuite(experiments.Config{
+		Seed: seed, Quick: quick, Observer: session.Observer(),
+		Control: session.Controller(), Checkpoint: session.Checkpoint(), Restarts: session.Restarts(),
+	})
 	fmt.Println("extracting pHEMT model from the synthetic measurement campaign...")
 	ex, err := suite.Extracted()
 	if err != nil {
@@ -59,7 +71,11 @@ func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64, sessio
 	fmt.Println("optimizing operating point and passive elements (improved goal attainment)...")
 	res, err := suite.Design()
 	if err != nil {
-		return err
+		st, ok := resilience.AsStopped(err)
+		if !ok || res == nil {
+			return err
+		}
+		fmt.Printf("  run stopped early (%s): reporting the best design found so far\n", st.Reason)
 	}
 	d := res.Snapped
 	e := res.SnappedEval

@@ -1,0 +1,27 @@
+package gnsslna
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFacadeStoppedPredicate exercises the public cancellation and budget
+// knobs: stopped workflows fail with an error the Stopped predicate can
+// name.
+func TestFacadeStoppedPredicate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExtractModel("Angelov", Options{Quick: true, Context: ctx})
+	if reason, ok := Stopped(err); !ok || reason != "canceled" {
+		t.Fatalf("ExtractModel under canceled context: reason %q, ok %v, err %v", reason, ok, err)
+	}
+
+	_, err = DesignLNA(Options{Quick: true, MaxEvals: 500})
+	if reason, ok := Stopped(err); !ok || reason != "eval-budget" {
+		t.Fatalf("DesignLNA under eval budget: reason %q, ok %v, err %v", reason, ok, err)
+	}
+
+	if reason, ok := Stopped(nil); ok || reason != "" {
+		t.Error("nil error must not be reported as stopped")
+	}
+}

@@ -13,9 +13,11 @@
 package gnsslna
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"gnsslna/internal/core"
 	"gnsslna/internal/device"
@@ -23,6 +25,7 @@ import (
 	"gnsslna/internal/extract"
 	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/vna"
 )
 
@@ -32,7 +35,9 @@ import (
 type ProgressEvent struct {
 	// Event names the record kind: "generation" (one optimizer iteration),
 	// "span-begin"/"span-end" (a pipeline stage), "done" (a finished
-	// search), or "sample" (a scalar probe).
+	// search), "sample" (a scalar probe), "fault" (a quarantined objective
+	// evaluation), "breaker" (a tripped circuit breaker), or "restart" (a
+	// jittered multi-start recovery attempt).
 	Event string
 	// Scope identifies the emitting stage, e.g. "design.attain.de",
 	// "extract.step2.dcfit", "experiment.e4".
@@ -65,6 +70,23 @@ type Options struct {
 	// Observer, when set, receives progress events from every pipeline the
 	// workflow runs (nil: disabled, with no overhead in the hot loops).
 	Observer Observer
+	// Context, when set, cancels the workflow cooperatively: the solvers
+	// poll it once per generation and return the best point found so far
+	// with an error recognizable by Stopped (nil: never canceled).
+	Context context.Context
+	// Timeout bounds the workflow wall-clock time (0: unbounded). Like
+	// Context, expiry returns the best-so-far result plus a Stopped error.
+	Timeout time.Duration
+	// MaxEvals bounds the total objective evaluations across the workflow
+	// (0: unbounded).
+	MaxEvals int64
+	// Restarts bounds the jittered multi-start recoveries of the design
+	// optimization after circuit-breaker trips (0: single attempt).
+	Restarts int
+	// Checkpoint, when non-empty, names a JSONL file that completed
+	// pipeline stages are appended to and restored from on a later run
+	// with the same Seed and Quick mode, skipping recomputation.
+	Checkpoint string
 }
 
 func (o Options) seed() int64 {
@@ -72,6 +94,31 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// controller builds the run controller for the options, or nil when no
+// limit is configured.
+func (o Options) controller() *resilience.RunController {
+	if o.Context == nil && o.Timeout <= 0 && o.MaxEvals <= 0 {
+		return nil
+	}
+	co := resilience.ControllerOptions{Context: o.Context, MaxEvals: o.MaxEvals}
+	if o.Timeout > 0 {
+		co.Deadline = time.Now().Add(o.Timeout)
+	}
+	return resilience.NewController(co)
+}
+
+// Stopped reports whether err (from any facade workflow) means the run was
+// stopped early — by cancellation ("canceled"), wall-clock deadline
+// ("deadline"), evaluation budget ("eval-budget") or circuit breaker
+// ("breaker") — and names the reason. DesignLNA additionally returns its
+// best-so-far design alongside such an error.
+func Stopped(err error) (reason string, ok bool) {
+	if st, ok := resilience.AsStopped(err); ok {
+		return st.Reason.String(), true
+	}
+	return "", false
 }
 
 // observer adapts the public callback to the internal observer interface.
@@ -109,12 +156,21 @@ type DesignReport struct {
 // DesignLNA runs the full paper flow — synthetic measurement campaign,
 // three-step extraction of an Angelov model, improved goal-attainment
 // selection of the operating point and passive elements — and reports the
-// finished multi-constellation preamplifier.
+// finished multi-constellation preamplifier. When the run is stopped early
+// (see Options.Context, Timeout, MaxEvals and the Stopped predicate) the
+// report holds the best design found so far and the error names the
+// reason.
 func DesignLNA(opts Options) (DesignReport, error) {
-	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer()})
+	s := experiments.NewSuite(experiments.Config{
+		Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer(),
+		Control: opts.controller(), Checkpoint: opts.Checkpoint, Restarts: opts.Restarts,
+	})
 	res, err := s.Design()
 	if err != nil {
-		return DesignReport{}, fmt.Errorf("gnsslna: design: %w", err)
+		err = fmt.Errorf("gnsslna: design: %w", err)
+		if res == nil {
+			return DesignReport{}, err
+		}
 	}
 	return DesignReport{
 		Design:     res.Design,
@@ -125,7 +181,7 @@ func DesignLNA(opts Options) (DesignReport, error) {
 		StabMargin: res.SnappedEval.StabMargin,
 		IdsA:       res.SnappedEval.IdsA,
 		PdcW:       res.SnappedEval.PdcW,
-	}, nil
+	}, err
 }
 
 // ExtractionReport flattens an extraction run.
@@ -160,9 +216,9 @@ func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
 	if err != nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: campaign: %w", err)
 	}
-	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer()}
+	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer(), Control: opts.controller()}
 	if opts.Quick {
-		cfg = extract.Config{Seed: opts.seed(), DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: opts.observer()}
+		cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 	}
 	res, err := extract.ThreeStep(ds, dc, cfg)
 	if err != nil {
@@ -185,7 +241,10 @@ func ExperimentIDs() []string {
 // RunExperiment renders one reconstructed experiment (see ExperimentIDs) or
 // all of them ("all") as paper-style text tables.
 func RunExperiment(id string, opts Options) (string, error) {
-	s := experiments.NewSuite(experiments.Config{Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer()})
+	s := experiments.NewSuite(experiments.Config{
+		Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer(),
+		Control: opts.controller(), Checkpoint: opts.Checkpoint, Restarts: opts.Restarts,
+	})
 	if id == "all" {
 		tables, err := s.All()
 		if err != nil {

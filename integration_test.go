@@ -54,7 +54,11 @@ func TestGoldenVariantDesignable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("optimization skipped in -short mode")
 	}
-	d := core.NewDesigner(core.NewBuilder(device.GoldenVariant(55)))
+	variant, err := device.GoldenVariant(55)
+	if err != nil {
+		t.Fatalf("GoldenVariant: %v", err)
+	}
+	d := core.NewDesigner(core.NewBuilder(variant))
 	d.Spec.NPoints = 5
 	res, err := d.Optimize(&optim.AttainOptions{Seed: 5, GlobalEvals: 1500, PolishEvals: 900})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/units"
 )
 
@@ -203,11 +204,17 @@ type DesignResult struct {
 }
 
 // Optimize selects the operating point and passive elements with the
-// improved goal-attainment method (the paper's step 4).
+// improved goal-attainment method (the paper's step 4). The objective is
+// quarantined: a panicking or non-finite band evaluation scores the same
+// uniform penalty as an unbuildable design instead of poisoning the
+// search, and a long streak of such faults trips the breaker of
+// opts.Control (when set). A stopped run (cancellation, deadline, budget
+// or breaker) returns the best design found so far alongside the wrapped
+// *resilience.Stopped error.
 func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 	d.evals = 0
 	lo, hi := DesignBounds()
-	obj := func(x []float64) []float64 {
+	raw := func(x []float64) []float64 {
 		ev, err := d.Evaluate(DesignFromVector(x))
 		if err != nil {
 			// Penalize unusable regions uniformly.
@@ -215,18 +222,39 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 		}
 		return penalizeInstability(ev)
 	}
-	res, err := optim.GoalAttainImproved(obj, d.goals(), lo, hi, opts)
+	var o optim.AttainOptions
+	if opts != nil {
+		o = *opts
+	}
+	safe := resilience.NewSafeVector(raw, 6, &resilience.SafeOptions{
+		Penalty: 99, BreakerK: 64,
+		Control: o.Control, Observer: o.Observer, Scope: "core.design",
+	})
+	res, err := optim.GoalAttainImproved(safe.Objective(), d.goals(), lo, hi, opts)
+	var stopErr error
 	if err != nil {
-		return DesignResult{}, fmt.Errorf("core: optimize: %w", err)
+		if _, stopped := resilience.AsStopped(err); !stopped || len(res.X) == 0 {
+			return DesignResult{}, fmt.Errorf("core: optimize: %w", err)
+		}
+		stopErr = fmt.Errorf("core: optimize: %w", err)
 	}
 	best := DesignFromVector(res.X)
-	ev, err := d.Evaluate(best)
+	ev, err := d.evaluateGuarded(best)
 	if err != nil {
+		if stopErr != nil {
+			// The search was stopped and even the best point cannot be
+			// graded (e.g. the fault that tripped the breaker persists):
+			// return the ungraded design with the stop reason.
+			return DesignResult{Design: best, Gamma: res.Gamma, Evals: d.evals}, stopErr
+		}
 		return DesignResult{}, err
 	}
 	snapped := d.SnapToE24(best)
-	sev, err := d.Evaluate(snapped)
+	sev, err := d.evaluateGuarded(snapped)
 	if err != nil {
+		if stopErr != nil {
+			return DesignResult{Design: best, Eval: ev, Gamma: res.Gamma, Evals: d.evals}, stopErr
+		}
 		return DesignResult{}, err
 	}
 	return DesignResult{
@@ -236,7 +264,18 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 		SnappedEval: sev,
 		Gamma:       res.Gamma,
 		Evals:       d.evals,
-	}, nil
+	}, stopErr
+}
+
+// evaluateGuarded is Evaluate with panic containment, for grading points
+// that may sit in a faulty region of a quarantined objective.
+func (d *Designer) evaluateGuarded(x Design) (ev Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: evaluation panicked: %v", r)
+		}
+	}()
+	return d.Evaluate(x)
 }
 
 // SnapToE24 rounds the chip-element values to the E24 preferred series (the

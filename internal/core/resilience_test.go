@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
+)
+
+// TestOptimizeStoppedReturnsBestSoFar proves that an over-budget design
+// run still yields a usable partial result with the typed stop reason.
+func TestOptimizeStoppedReturnsBestSoFar(t *testing.T) {
+	d := fastDesigner()
+	ctrl := resilience.NewController(resilience.ControllerOptions{MaxEvals: 300})
+	res, err := d.Optimize(&optim.AttainOptions{
+		Seed: 3, GlobalEvals: 2500, PolishEvals: 1500, Control: ctrl,
+	})
+	st, ok := resilience.AsStopped(err)
+	if !ok {
+		t.Fatalf("want Stopped error, got %v", err)
+	}
+	if st.Reason != resilience.StopBudget {
+		t.Fatalf("reason = %v, want %v", st.Reason, resilience.StopBudget)
+	}
+	if res.Evals == 0 {
+		t.Error("partial result carries no evaluations")
+	}
+	if res.Design == (Design{}) {
+		t.Error("partial result carries no design")
+	}
+	if res.Eval.Points == nil {
+		t.Error("partial result was not graded")
+	}
+}
+
+// TestOptimizeQuarantinesPanickingObjective proves a panicking band
+// evaluation cannot crash the design search: the SafeVector wrapper turns
+// it into the uniform unusable-region penalty.
+func TestOptimizeQuarantinesPanickingObjective(t *testing.T) {
+	d := fastDesigner()
+	// A nil builder device panics inside Evaluate on the first call; the
+	// design search must survive long enough for the breaker (K=64) to
+	// trip the controller rather than crash the process.
+	d.Builder.Dev.DC = nil
+	ctrl := resilience.NewController(resilience.ControllerOptions{})
+	_, err := d.Optimize(&optim.AttainOptions{
+		Seed: 3, GlobalEvals: 400, PolishEvals: 200, Control: ctrl,
+	})
+	st, ok := resilience.AsStopped(err)
+	if !ok {
+		t.Fatalf("want Stopped error from the breaker, got %v", err)
+	}
+	if st.Reason != resilience.StopBreaker {
+		t.Errorf("reason = %v, want %v", st.Reason, resilience.StopBreaker)
+	}
+}

@@ -126,18 +126,23 @@ func Golden() *PHEMT {
 // GoldenVariant returns a process-shifted copy of the golden device: every
 // DC, capacitance and parasitic parameter is perturbed by up to +/-15%
 // (deterministically per seed). Extraction robustness tests use these
-// variants as "other lots" of the same transistor type.
-func GoldenVariant(seed int64) *PHEMT {
+// variants as "other lots" of the same transistor type. An error is
+// returned when the shifted DC parameter vector is rejected by the model.
+func GoldenVariant(seed int64) (*PHEMT, error) {
+	return variantOf(Golden(), seed)
+}
+
+// variantOf perturbs every parameter of d in place by up to +/-15%
+// (deterministically per seed) and renames it.
+func variantOf(d *PHEMT, seed int64) (*PHEMT, error) {
 	rng := rand.New(rand.NewSource(seed))
 	scale := func(v float64) float64 { return v * (1 + 0.15*(2*rng.Float64()-1)) }
-	d := Golden()
 	p := d.DC.Params()
 	for i := range p {
 		p[i] = scale(p[i])
 	}
-	// SetParams on our own vector cannot fail.
 	if err := d.DC.SetParams(p); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("device: variant seed %d: %w", seed, err)
 	}
 	d.Caps.Cgs0 = scale(d.Caps.Cgs0)
 	d.Caps.CgsPinch = scale(d.Caps.CgsPinch)
@@ -154,7 +159,7 @@ func GoldenVariant(seed int64) *PHEMT {
 	d.Ext.Cpg = scale(d.Ext.Cpg)
 	d.Ext.Cpd = scale(d.Ext.Cpd)
 	d.Name = fmt.Sprintf("golden-variant-%d", seed)
-	return d
+	return d, nil
 }
 
 // Ids returns the DC drain current at the bias point.

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -278,7 +279,10 @@ func TestReciprocityOfPassiveModeDevice(t *testing.T) {
 
 func TestGoldenVariantDiffersButPlausible(t *testing.T) {
 	g := Golden()
-	v := GoldenVariant(7)
+	v, err := GoldenVariant(7)
+	if err != nil {
+		t.Fatalf("GoldenVariant: %v", err)
+	}
 	if v.Name == g.Name {
 		t.Error("variant not renamed")
 	}
@@ -290,7 +294,10 @@ func TestGoldenVariantDiffersButPlausible(t *testing.T) {
 		t.Errorf("variant Ri %g outside +/-15%% of %g", v.Ri, g.Ri)
 	}
 	// Deterministic per seed.
-	v2 := GoldenVariant(7)
+	v2, err := GoldenVariant(7)
+	if err != nil {
+		t.Fatalf("GoldenVariant: %v", err)
+	}
 	if v2.Ri != v.Ri || v2.Caps.Cgs0 != v.Caps.Cgs0 {
 		t.Error("variant not deterministic")
 	}
@@ -301,5 +308,25 @@ func TestGoldenVariantDiffersButPlausible(t *testing.T) {
 	}
 	if g21 := real(s[1][0])*real(s[1][0]) + imag(s[1][0])*imag(s[1][0]); g21 < 1 {
 		t.Errorf("variant |S21|^2 = %g, no longer an amplifier", g21)
+	}
+}
+
+// rejectingDC is a stub DC model whose SetParams always fails, exercising
+// the variant error path that used to panic.
+type rejectingDC struct{ Angelov }
+
+var errRejected = errors.New("rejected")
+
+func (r *rejectingDC) SetParams([]float64) error { return errRejected }
+
+func TestVariantOfReturnsSetParamsError(t *testing.T) {
+	d := Golden()
+	d.DC = &rejectingDC{}
+	v, err := variantOf(d, 3)
+	if !errors.Is(err, errRejected) {
+		t.Fatalf("variantOf error = %v, want wrapped errRejected", err)
+	}
+	if v != nil {
+		t.Fatalf("variantOf returned a device alongside the error: %+v", v)
 	}
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteCheckpointRestoresStages proves the stage checkpoints: a second
+// suite pointed at the same checkpoint file restores the extraction and
+// design stages bit-identically without recomputing them (it never even
+// runs the measurement campaign).
+func TestSuiteCheckpointRestoresStages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stages.jsonl")
+	cfg := Config{Seed: 5, Quick: true, Checkpoint: path}
+
+	a := NewSuite(cfg)
+	exA, err := a.Extracted()
+	if err != nil {
+		t.Fatalf("first extraction: %v", err)
+	}
+	dA, err := a.Design()
+	if err != nil {
+		t.Fatalf("first design: %v", err)
+	}
+
+	b := NewSuite(cfg)
+	exB, err := b.Extracted()
+	if err != nil {
+		t.Fatalf("restored extraction: %v", err)
+	}
+	if b.dataset != nil {
+		t.Error("restored extraction ran the measurement campaign")
+	}
+	dB, err := b.Design()
+	if err != nil {
+		t.Fatalf("restored design: %v", err)
+	}
+	if b.designer != nil {
+		t.Error("restored design rebuilt the designer")
+	}
+
+	bitEq := func(name string, x, y float64) {
+		t.Helper()
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Errorf("%s not bit-identical: %v vs %v", name, x, y)
+		}
+	}
+	bitEq("SRMSE", exA.SRMSE, exB.SRMSE)
+	bitEq("SRMSEAfterDE", exA.SRMSEAfterDE, exB.SRMSEAfterDE)
+	bitEq("DC.RelRMSE", exA.DC.RelRMSE, exB.DC.RelRMSE)
+	if exA.SEvals != exB.SEvals {
+		t.Errorf("SEvals differ: %d vs %d", exA.SEvals, exB.SEvals)
+	}
+	if exB.Device == nil || exB.Device.Name != exA.Device.Name {
+		t.Fatalf("restored device mismatch: %+v", exB.Device)
+	}
+	pa, pb := exA.Device.DC.Params(), exB.Device.DC.Params()
+	for i := range pa {
+		bitEq("device DC param", pa[i], pb[i])
+	}
+	bitEq("device Ri", exA.Device.Ri, exB.Device.Ri)
+	bitEq("device Ext.Rg", exA.Device.Ext.Rg, exB.Device.Ext.Rg)
+
+	va, vb := dA.Design.Vector(), dB.Design.Vector()
+	for i := range va {
+		bitEq("design vector", va[i], vb[i])
+	}
+	bitEq("Gamma", dA.Gamma, dB.Gamma)
+	bitEq("WorstNFdB", dA.Eval.WorstNFdB, dB.Eval.WorstNFdB)
+	if dA.Evals != dB.Evals {
+		t.Errorf("design evals differ: %d vs %d", dA.Evals, dB.Evals)
+	}
+
+	// A suite with a different seed must not match the records and instead
+	// recompute from scratch.
+	c := NewSuite(Config{Seed: 6, Quick: true, Checkpoint: path})
+	if _, err := c.Extracted(); err != nil {
+		t.Fatalf("mismatched-seed extraction: %v", err)
+	}
+	if c.dataset == nil {
+		t.Error("mismatched-seed suite reused a foreign checkpoint")
+	}
+}

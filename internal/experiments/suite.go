@@ -8,6 +8,7 @@ import (
 	"gnsslna/internal/extract"
 	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/vna"
 )
 
@@ -23,6 +24,18 @@ type Config struct {
 	// count aggregates the objective evaluations that experiment consumed
 	// (nil: disabled).
 	Observer obs.Observer
+	// Control, when set, is polled by every optimizer the suite runs; a
+	// stopped run surfaces as a wrapped *resilience.Stopped error (nil:
+	// run to completion).
+	Control *resilience.RunController
+	// Checkpoint, when non-empty, is a JSONL file the suite appends
+	// completed stage results to (extraction, design) and restores them
+	// from on a later run with the same Seed and Quick mode, skipping the
+	// recomputation entirely.
+	Checkpoint string
+	// Restarts bounds the jittered multi-start recoveries of the design
+	// optimization after breaker trips (0: single attempt).
+	Restarts int
 }
 
 func (c Config) seed() int64 {
@@ -84,23 +97,58 @@ func (s *Suite) Dataset() (*vna.Dataset, error) {
 
 // extractCfg returns the extraction budget for the suite mode.
 func (s *Suite) extractCfg(seed int64) extract.Config {
+	cfg := extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60, Observer: s.obs(), Control: s.cfg.Control}
 	if s.cfg.Quick {
-		return extract.Config{Seed: seed, DCEvals: 6000, GlobalEvals: 2500, RefineIters: 20, Observer: s.obs()}
+		cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 	}
-	return extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60, Observer: s.obs()}
+	return cfg
 }
 
 // attainOpts returns the design-optimization budget for the suite mode.
 func (s *Suite) attainOpts(seed int64) *optim.AttainOptions {
-	if s.cfg.Quick {
-		return &optim.AttainOptions{Seed: seed, GlobalEvals: 1500, PolishEvals: 900, Observer: s.obs(), Scope: "design.attain"}
+	o := &optim.AttainOptions{
+		Seed: seed, GlobalEvals: 5000, PolishEvals: 3000,
+		Observer: s.obs(), Scope: "design.attain",
+		Control: s.cfg.Control, Restarts: s.cfg.Restarts,
 	}
-	return &optim.AttainOptions{Seed: seed, GlobalEvals: 5000, PolishEvals: 3000, Observer: s.obs(), Scope: "design.attain"}
+	if s.cfg.Quick {
+		o.GlobalEvals, o.PolishEvals = 1500, 900
+	}
+	return o
 }
 
-// Extracted lazily extracts (and caches) the Angelov-class device.
+// restoreStage loads a checkpointed stage result into `into`, reporting
+// whether the stage can be skipped. Restore failures degrade to
+// recomputation: a corrupt or stale checkpoint must never wedge the suite.
+func (s *Suite) restoreStage(stage string, into any) bool {
+	if s.cfg.Checkpoint == "" {
+		return false
+	}
+	ok, err := resilience.RestoreCheckpoint(s.cfg.Checkpoint, stage, s.cfg.seed(), s.cfg.Quick, into)
+	return err == nil && ok
+}
+
+// saveStage appends a completed stage result to the checkpoint file.
+func (s *Suite) saveStage(stage string, state any) error {
+	if s.cfg.Checkpoint == "" {
+		return nil
+	}
+	if err := resilience.SaveCheckpoint(s.cfg.Checkpoint, stage, s.cfg.seed(), s.cfg.Quick, state); err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", stage, err)
+	}
+	return nil
+}
+
+// Extracted lazily extracts (and caches) the Angelov-class device. With a
+// checkpoint file configured, a previously completed extraction for the
+// same seed and mode is restored instead of recomputed.
 func (s *Suite) Extracted() (*extract.Result, error) {
 	if s.extracted != nil {
+		return s.extracted, nil
+	}
+	var saved extract.Result
+	if s.restoreStage("extract", &saved) && saved.Device != nil {
+		s.extracted = &saved
 		return s.extracted, nil
 	}
 	ds, err := s.Dataset()
@@ -110,6 +158,9 @@ func (s *Suite) Extracted() (*extract.Result, error) {
 	res, err := extract.ThreeStep(ds, device.NewAngelov(), s.extractCfg(s.cfg.seed()))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: extraction: %w", err)
+	}
+	if err := s.saveStage("extract", res); err != nil {
+		return nil, err
 	}
 	s.extracted = &res
 	return s.extracted, nil
@@ -134,9 +185,16 @@ func (s *Suite) Designer() (*core.Designer, error) {
 	return d, nil
 }
 
-// Design lazily optimizes (and caches) the preamplifier design.
+// Design lazily optimizes (and caches) the preamplifier design. With a
+// checkpoint file configured, a previously completed design for the same
+// seed and mode is restored instead of re-optimized.
 func (s *Suite) Design() (*core.DesignResult, error) {
 	if s.design != nil {
+		return s.design, nil
+	}
+	var saved core.DesignResult
+	if s.restoreStage("design", &saved) && saved.Evals > 0 {
+		s.design = &saved
 		return s.design, nil
 	}
 	d, err := s.Designer()
@@ -145,7 +203,17 @@ func (s *Suite) Design() (*core.DesignResult, error) {
 	}
 	res, err := d.Optimize(s.attainOpts(s.cfg.seed()))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: design: %w", err)
+		err = fmt.Errorf("experiments: design: %w", err)
+		// A stopped search still carries the best design found so far:
+		// hand it to the caller (uncached and uncheckpointed, so a later
+		// run completes the work).
+		if _, stopped := resilience.AsStopped(err); stopped && res.Evals > 0 {
+			return &res, err
+		}
+		return nil, err
+	}
+	if err := s.saveStage("design", res); err != nil {
+		return nil, err
 	}
 	s.design = &res
 	return s.design, nil

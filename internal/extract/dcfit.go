@@ -7,6 +7,7 @@ import (
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/vna"
 )
 
@@ -60,6 +61,19 @@ func FitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int) (DCFitResu
 // stages emit convergence records under "extract.step2.dcfit.de" and
 // "extract.step2.dcfit.lm".
 func FitDCObserved(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o obs.Observer) (DCFitResult, error) {
+	return fitDC(m, ds, seed, budget, o, nil)
+}
+
+// FitDCControlled is FitDCObserved with a run controller: ctrl (may be
+// nil) is polled by the nested DE and LM stages, and a stopped fit
+// surfaces as a wrapped *resilience.Stopped error.
+func FitDCControlled(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o obs.Observer, ctrl *resilience.RunController) (DCFitResult, error) {
+	return fitDC(m, ds, seed, budget, o, ctrl)
+}
+
+// fitDC is the controllable core of FitDCObserved: ctrl (may be nil) is
+// polled by the nested DE and LM stages.
+func fitDC(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o obs.Observer, ctrl *resilience.RunController) (DCFitResult, error) {
 	if ds == nil || len(ds.IV) == 0 {
 		return DCFitResult{}, fmt.Errorf("%w: no I-V grid", ErrInsufficientData)
 	}
@@ -88,6 +102,7 @@ func FitDCObserved(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o 
 	de, err := optim.DifferentialEvolution(obj, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: seed,
 		Observer: o, Scope: "extract.step2.dcfit.de",
+		Control: ctrl,
 	})
 	if err != nil {
 		return DCFitResult{}, fmt.Errorf("extract: DC global fit: %w", err)
@@ -106,6 +121,7 @@ func FitDCObserved(m device.DCModel, ds *vna.Dataset, seed int64, budget int, o 
 	lm, err := optim.LevenbergMarquardt(resid, de.X, &optim.LMOptions{
 		MaxIter: 100, Lower: lo, Upper: hi,
 		Observer: o, Scope: "extract.step2.dcfit.lm",
+		Control: ctrl,
 	})
 	if err != nil {
 		return DCFitResult{}, fmt.Errorf("extract: DC refinement: %w", err)

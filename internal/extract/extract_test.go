@@ -207,7 +207,10 @@ func TestThreeStepOnProcessVariants(t *testing.T) {
 	// Extraction must converge on process-shifted devices, not just the
 	// nominal golden one.
 	for _, seed := range []int64{101, 202} {
-		dev := device.GoldenVariant(seed)
+		dev, err := device.GoldenVariant(seed)
+		if err != nil {
+			t.Fatalf("variant %d: %v", seed, err)
+		}
 		cfg := vna.DefaultCampaign(seed)
 		ds, err := vna.RunCampaign(dev, cfg)
 		if err != nil {

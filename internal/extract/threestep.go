@@ -6,6 +6,7 @@ import (
 	"gnsslna/internal/device"
 	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
 	"gnsslna/internal/vna"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	// the nested optimizers' convergence events under sub-scopes such as
 	// "extract.step2.dcfit.de" and "extract.step3.lm" (nil: disabled).
 	Observer obs.Observer
+	// Control, when set, is polled by every nested optimizer; a stopped
+	// run surfaces as a wrapped *resilience.Stopped error (nil: run to
+	// completion).
+	Control *resilience.RunController
 }
 
 func (c Config) defaults() Config {
@@ -85,7 +90,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 
 	// Step 2a: global DC-model fit.
 	endDC := obs.StartSpan(cfg.Observer, "extract.step2.dcfit")
-	dcRes, err := FitDCObserved(dc, ds, cfg.Seed, cfg.DCEvals, cfg.Observer)
+	dcRes, err := fitDC(dc, ds, cfg.Seed, cfg.DCEvals, cfg.Observer, cfg.Control)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (DC): %w", err)
 	}
@@ -107,6 +112,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: cfg.Seed,
 		Observer: cfg.Observer, Scope: "extract.step2.sfit.de",
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (RF DE): %w", err)
@@ -131,6 +137,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	lm, err := optim.LevenbergMarquardt(sresJoint.Residuals, x0, &optim.LMOptions{
 		MaxIter: cfg.RefineIters, Lower: loJ, Upper: hiJ,
 		Observer: cfg.Observer, Scope: "extract.step3.lm",
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 3: %w", err)
@@ -196,6 +203,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 			Pop: pop, Generations: gens, Seed: cfg.Seed,
 			Observer: cfg.Observer, Scope: "extract.method.de",
+			Control: cfg.Control,
 		})
 		if err != nil {
 			return MethodResult{}, err
@@ -219,6 +227,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 			lm, err := optim.LevenbergMarquardt(sres.Residuals, x0, &optim.LMOptions{
 				MaxIter: cfg.RefineIters * 4, Lower: lo, Upper: hi,
 				Observer: cfg.Observer, Scope: "extract.method.lm",
+				Control: cfg.Control,
 			})
 			if err != nil {
 				return MethodResult{}, err
@@ -228,6 +237,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		nm, err := optim.NelderMead(sres.RMSE, x0, &optim.NMOptions{
 			MaxEvals: cfg.GlobalEvals,
 			Observer: cfg.Observer, Scope: "extract.method.nm",
+			Control: cfg.Control,
 		})
 		if err != nil {
 			return MethodResult{}, err

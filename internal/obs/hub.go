@@ -53,6 +53,12 @@ func (h *Hub) Observe(e Event) {
 		h.reg.Histogram(e.Scope + ".ms").Observe(e.Value)
 	case KindSample:
 		h.reg.Histogram(e.Scope).Observe(e.Value)
+	case KindFault:
+		h.reg.Counter(e.Scope + ".faults").Inc()
+	case KindBreaker:
+		h.reg.Counter(e.Scope + ".breaker_trips").Inc()
+	case KindRestart:
+		h.reg.Counter(e.Scope + ".restarts").Inc()
 	}
 	if h.j != nil && e.Kind != 0 {
 		h.j.Append(Record{

@@ -31,6 +31,15 @@ const (
 	KindDone
 	// KindSample is a generic scalar observation (Value) under Scope.
 	KindSample
+	// KindFault is one quarantined objective evaluation (a recovered panic
+	// or a non-finite return): Value carries the substituted penalty.
+	KindFault
+	// KindBreaker marks a circuit-breaker trip after too many consecutive
+	// faults: Value carries the consecutive-fault count at the trip.
+	KindBreaker
+	// KindRestart marks one jittered multi-start restart attempt: Gen is
+	// the attempt ordinal, Best the best objective across attempts so far.
+	KindRestart
 )
 
 // String names the kind as it appears in journal records.
@@ -46,6 +55,12 @@ func (k EventKind) String() string {
 		return "done"
 	case KindSample:
 		return "sample"
+	case KindFault:
+		return "fault"
+	case KindBreaker:
+		return "breaker"
+	case KindRestart:
+		return "restart"
 	}
 	return "unknown"
 }

@@ -1,27 +1,33 @@
-// Package obscli wires the observability layer into the command-line tools:
-// it registers the shared -journal, -metrics and -pprof flags, assembles the
-// metrics registry / run journal behind them, publishes the registry through
-// expvar, and handles teardown. Commands call Register before flag.Parse,
-// Start after it, thread Session.Observer() into the pipelines, and defer
+// Package obscli wires the observability and resilience layers into the
+// command-line tools: it registers the shared -journal, -metrics and -pprof
+// flags plus the run-control flags (-timeout, -max-evals, -checkpoint,
+// -resume, -restarts), assembles the metrics registry / run journal behind
+// them, publishes the registry through expvar, and handles teardown.
+// Commands call Register before flag.Parse, Start after it, thread
+// Session.Observer() and Session.Controller() into the pipelines, and defer
 // Session.Close.
 package obscli
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"time"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // expvarName is the key the metrics registry is published under; expvar's
 // /debug/vars endpoint then exposes the snapshot alongside the runtime vars.
 const expvarName = "gnsslna"
 
-// Flags holds the observability command-line flags.
+// Flags holds the observability and run-control command-line flags.
 type Flags struct {
 	// Journal is the JSONL run-journal path ("" disables).
 	Journal string
@@ -30,23 +36,43 @@ type Flags struct {
 	// Pprof is the listen address for net/http/pprof and expvar
 	// ("" disables).
 	Pprof string
+	// Timeout bounds the run wall-clock time (0: unbounded).
+	Timeout time.Duration
+	// MaxEvals bounds the total objective evaluations (0: unbounded).
+	MaxEvals int64
+	// Checkpoint is the JSONL stage-checkpoint path: completed pipeline
+	// stages are appended to it and restored from it on a later run with
+	// the same seed and budgets ("" disables).
+	Checkpoint string
+	// Restarts bounds the jittered multi-start recoveries after
+	// circuit-breaker trips (0: single attempt).
+	Restarts int
 }
 
-// Register installs -journal, -metrics and -pprof on the flag set.
+// Register installs the observability flags (-journal, -metrics, -pprof)
+// and the run-control flags (-timeout, -max-evals, -checkpoint, -resume,
+// -restarts) on the flag set. -resume is an alias of -checkpoint that
+// reads more naturally when pointing a fresh run at an existing file.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Journal, "journal", "", "write a JSONL run journal to this `path`")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot when the run finishes")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar on this `address` (e.g. localhost:6060)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "stop the run after this wall-clock `duration`, keeping the best result so far (0: unbounded)")
+	fs.Int64Var(&f.MaxEvals, "max-evals", 0, "stop the run after `N` objective evaluations, keeping the best result so far (0: unbounded)")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "append completed pipeline stages to this JSONL `path` and reuse matching stages already recorded there")
+	fs.StringVar(&f.Checkpoint, "resume", "", "alias of -checkpoint: resume from (and keep extending) a previous run's stage file")
+	fs.IntVar(&f.Restarts, "restarts", 0, "allow up to `N` jittered multi-start recoveries after circuit-breaker trips")
 	return f
 }
 
 // Session is the live observability context of one command run.
 type Session struct {
-	flags Flags
-	reg   *obs.Registry
-	j     *obs.Journal
-	hub   *obs.Hub
+	flags       Flags
+	reg         *obs.Registry
+	j           *obs.Journal
+	hub         *obs.Hub
+	stopSignals context.CancelFunc
 }
 
 // Start opens the journal (when requested), assembles the hub, publishes the
@@ -94,10 +120,34 @@ func (s *Session) Observer() obs.Observer {
 // Registry exposes the metrics registry (nil when observation is disabled).
 func (s *Session) Registry() *obs.Registry { return s.reg }
 
+// Controller builds the run controller for the session's -timeout and
+// -max-evals flags and arms SIGINT: the first Ctrl-C cancels the run
+// cooperatively (the solvers return their best-so-far result), a second
+// one terminates the process as usual. It returns a live controller even
+// when no limit flag is set, so every command run stays interruptible.
+func (s *Session) Controller() *resilience.RunController {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	s.stopSignals = stop
+	co := resilience.ControllerOptions{Context: ctx, MaxEvals: s.flags.MaxEvals}
+	if s.flags.Timeout > 0 {
+		co.Deadline = time.Now().Add(s.flags.Timeout)
+	}
+	return resilience.NewController(co)
+}
+
+// Checkpoint returns the -checkpoint/-resume path ("" when disabled).
+func (s *Session) Checkpoint() string { return s.flags.Checkpoint }
+
+// Restarts returns the -restarts budget.
+func (s *Session) Restarts() int { return s.flags.Restarts }
+
 // Close appends the final metrics snapshot to the journal, flushes and
 // closes it, and prints the snapshot to stdout when -metrics was given.
 func (s *Session) Close() error {
 	var firstErr error
+	if s.stopSignals != nil {
+		s.stopSignals()
+	}
 	if s.j != nil {
 		if err := s.j.AppendSnapshot(s.reg); err != nil {
 			firstErr = err

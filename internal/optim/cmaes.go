@@ -6,6 +6,7 @@ import (
 
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // CMAESOptions configures the covariance-matrix-adaptation evolution
@@ -24,6 +25,10 @@ type CMAESOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.cmaes").
 	Scope string
+	// Control is polled once per generation; on a stop the run returns the
+	// best feasible point alongside the *resilience.Stopped error
+	// (nil: never stops).
+	Control *resilience.RunController
 }
 
 // CMAES minimizes f over the box [lo, hi] with a (mu/mu_w, lambda)-CMA-ES
@@ -43,6 +48,7 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 	lambda := 4 + int(3*math.Log(float64(n)))
 	gens, sigmaRel, seed := 300, 0.3, int64(1)
 	var observer obs.Observer
+	var ctrl *resilience.RunController
 	scope := ""
 	if opts != nil {
 		if opts.Lambda > 3 {
@@ -58,10 +64,11 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 			seed = opts.Seed
 		}
 		observer, scope = opts.Observer, opts.Scope
+		ctrl = opts.Control
 	}
 	em := newEmitter(observer, scope, scopeCMAES)
 	rng := newRand(seed)
-	c := &counter{f: f}
+	c := &counter{f: f, ctrl: ctrl}
 
 	// Work in normalized coordinates u in [0,1]^n. Out-of-box samples are
 	// evaluated at the clamped point plus a quadratic boundary penalty so
@@ -132,6 +139,10 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 	}
 
 	for g := 0; g < gens; g++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(c.n, bestF)
+			return Result{X: bestX, F: bestF, Evals: c.n, Converged: false}, err
+		}
 		// Eigendecomposition of cov: B D^2 B^T via Jacobi.
 		b, d := jacobiEigen(cov)
 		cands := make([]cand, lambda)

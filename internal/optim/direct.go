@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // Objective is a scalar function to minimize.
@@ -35,14 +36,18 @@ type Result struct {
 // bounds).
 var ErrBadInput = errors.New("optim: invalid input")
 
-// counter wraps an objective with an evaluation counter.
+// counter wraps an objective with an evaluation counter. Only these leaf
+// counters (and the few direct obj calls in goal.go) account evaluations
+// against the resilience controller, so composite solvers never double-count.
 type counter struct {
-	f Objective
-	n int
+	f    Objective
+	n    int
+	ctrl *resilience.RunController
 }
 
 func (c *counter) eval(x []float64) float64 {
 	c.n++
+	c.ctrl.AddEvals(1)
 	return c.f(x)
 }
 
@@ -61,6 +66,10 @@ type NMOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.nm").
 	Scope string
+	// Control is polled once per simplex iteration; on a stop the search
+	// returns its best vertex alongside the *resilience.Stopped error
+	// (nil: never stops).
+	Control *resilience.RunController
 }
 
 func (o *NMOptions) defaults(dim int) NMOptions {
@@ -75,7 +84,7 @@ func (o *NMOptions) defaults(dim int) NMOptions {
 		if o.Scale > 0 {
 			out.Scale = o.Scale
 		}
-		out.Observer, out.Scope = o.Observer, o.Scope
+		out.Observer, out.Scope, out.Control = o.Observer, o.Scope, o.Control
 	}
 	return out
 }
@@ -89,7 +98,7 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 	}
 	o := opts.defaults(n)
 	em := newEmitter(o.Observer, o.Scope, scopeNM)
-	c := &counter{f: f}
+	c := &counter{f: f, ctrl: o.Control}
 
 	// Adaptive coefficients improve high-dimensional behaviour.
 	nf := float64(n)
@@ -134,6 +143,10 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 
 	for c.n < o.MaxEvals {
 		order()
+		if err := o.Control.Check(); err != nil {
+			em.done(c.n, fv[0])
+			return Result{X: simplex[0], F: fv[0], Evals: c.n, Converged: false}, err
+		}
 		// Convergence: simplex function spread.
 		if math.Abs(fv[n]-fv[0]) <= o.Tol*(1+math.Abs(fv[0])) {
 			em.done(c.n, fv[0])
@@ -193,6 +206,10 @@ type HJOptions struct {
 	Step float64
 	// Tol is the terminal step size (default 1e-9).
 	Tol float64
+	// Control is polled once per exploratory/pattern move; on a stop the
+	// search returns its best base point alongside the *resilience.Stopped
+	// error (nil: never stops).
+	Control *resilience.RunController
 }
 
 // HookeJeeves minimizes f from x0 by pattern search, a derivative-free
@@ -204,6 +221,7 @@ func HookeJeeves(f Objective, x0 []float64, opts *HJOptions) (Result, error) {
 	}
 	maxEvals := 4000 * n
 	step, tol := 0.25, 1e-9
+	var ctrl *resilience.RunController
 	if opts != nil {
 		if opts.MaxEvals > 0 {
 			maxEvals = opts.MaxEvals
@@ -214,8 +232,9 @@ func HookeJeeves(f Objective, x0 []float64, opts *HJOptions) (Result, error) {
 		if opts.Tol > 0 {
 			tol = opts.Tol
 		}
+		ctrl = opts.Control
 	}
-	c := &counter{f: f}
+	c := &counter{f: f, ctrl: ctrl}
 	base := append([]float64(nil), x0...)
 	fb := c.eval(base)
 
@@ -240,10 +259,16 @@ func HookeJeeves(f Objective, x0 []float64, opts *HJOptions) (Result, error) {
 	}
 
 	for c.n < maxEvals && step > tol {
+		if err := ctrl.Check(); err != nil {
+			return Result{X: base, F: fb, Evals: c.n, Converged: false}, err
+		}
 		xNew, fNew := explore(base, fb)
 		if fNew < fb {
 			// Pattern move: keep going in the improving direction.
 			for c.n < maxEvals {
+				if err := ctrl.Check(); err != nil {
+					return Result{X: xNew, F: fNew, Evals: c.n, Converged: false}, err
+				}
 				pattern := make([]float64, n)
 				for i := range pattern {
 					pattern[i] = 2*xNew[i] - base[i]

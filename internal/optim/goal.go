@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // VectorObjective maps a design vector to multiple objective values, all to
@@ -28,6 +29,10 @@ type AttainResult struct {
 	// X is the best design found.
 	X []float64
 	// Gamma is the attainment factor: gamma <= 0 means every goal was met.
+	// The scalarization baselines (WeightedSum, EpsilonConstraint) have no
+	// attainment factor and report the NaN sentinel instead — check with
+	// math.IsNaN before comparing, since NaN compares false against
+	// everything.
 	Gamma float64
 	// F holds the objective values at X.
 	F []float64
@@ -54,6 +59,15 @@ type AttainOptions struct {
 	// Scope labels emitted events (default "optim.attain"); the global and
 	// polish stages emit under Scope+".de" and Scope+".nm".
 	Scope string
+	// Control is threaded through the nested global/polish stages, which
+	// poll it once per generation. On a stop the solver evaluates and
+	// returns its best-so-far design alongside the *resilience.Stopped
+	// error (nil: never stops).
+	Control *resilience.RunController
+	// Restarts bounds the jittered multi-start restarts of the improved
+	// method after a circuit-breaker stop (0: single attempt). Stops for
+	// external reasons (cancellation, deadline, budget) never restart.
+	Restarts int
 }
 
 func (o *AttainOptions) defaults() AttainOptions {
@@ -68,7 +82,10 @@ func (o *AttainOptions) defaults() AttainOptions {
 		if o.PolishEvals > 0 {
 			out.PolishEvals = o.PolishEvals
 		}
-		out.Observer, out.Scope = o.Observer, o.Scope
+		if o.Restarts > 0 {
+			out.Restarts = o.Restarts
+		}
+		out.Observer, out.Scope, out.Control = o.Observer, o.Scope, o.Control
 	}
 	return out
 }
@@ -131,23 +148,38 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	}
 	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
 		Pop: pop, Generations: gens, Seed: o.Seed,
-		Observer: o.Observer, Scope: em.scope + ".de",
+		Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
 	})
 	if err != nil {
+		if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
+			return attainFinish(obj, goals, lo, hi, o, &em, de.X, evals, de.Evals, err)
+		}
 		return AttainResult{}, err
 	}
 	nm, err := NelderMead(scalar, de.X, &NMOptions{
 		MaxEvals: o.PolishEvals, Scale: 0.02,
-		Observer: o.Observer, Scope: em.scope + ".nm",
+		Observer: o.Observer, Scope: em.scope + ".nm", Control: o.Control,
 	})
 	if err != nil {
+		if _, ok := resilience.AsStopped(err); ok && len(nm.X) > 0 {
+			return attainFinish(obj, goals, lo, hi, o, &em, nm.X, evals, de.Evals+nm.Evals, err)
+		}
 		return AttainResult{}, err
 	}
-	x := clampBox(nm.X, lo, hi)
+	return attainFinish(obj, goals, lo, hi, o, &em, nm.X, evals, de.Evals+nm.Evals, nil)
+}
+
+// attainFinish clamps and evaluates the final (possibly best-so-far) design,
+// closes the emitter with only the directly performed evaluations (the
+// nested stages report their own totals), and forwards the stop error, if
+// any, so callers receive a usable partial result alongside it.
+func attainFinish(obj VectorObjective, goals []Goal, lo, hi []float64, o AttainOptions, em *emitter, xBest []float64, evals, nested int, stopErr error) (AttainResult, error) {
+	x := clampBox(xBest, lo, hi)
+	o.Control.AddEvals(1)
 	f := obj(x)
 	gamma := gammaOf(f, goals)
-	em.done(evals+1-de.Evals-nm.Evals, gamma)
-	return AttainResult{X: x, Gamma: gamma, F: f, Evals: evals + 1}, nil
+	em.done(evals+1-nested, gamma)
+	return AttainResult{X: x, Gamma: gamma, F: f, Evals: evals + 1}, stopErr
 }
 
 // ImprovedVariant switches off individual ingredients of the improved
@@ -188,6 +220,37 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 		return AttainResult{}, err
 	}
 	o := opts.defaults()
+	if o.Restarts <= 0 {
+		return goalAttainOnce(obj, goals, lo, hi, o, variant, o.Seed)
+	}
+	// Multi-start: rerun with jittered seeds when the breaker cuts an
+	// attempt short, keeping the best attempt and the summed eval count.
+	var best AttainResult
+	haveBest := false
+	total := 0
+	policy := resilience.RestartPolicy{
+		Seed: o.Seed, MaxRestarts: o.Restarts, Control: o.Control,
+		Observer: o.Observer, Scope: o.scopeOr(scopeAttain) + ".restart",
+	}
+	_, _, err := policy.Run(func(seed int64) (float64, error) {
+		r, aerr := goalAttainOnce(obj, goals, lo, hi, o, variant, seed)
+		total += r.Evals
+		if len(r.X) > 0 && (!haveBest || r.Gamma < best.Gamma) {
+			best, haveBest = r, true
+		}
+		if len(r.X) == 0 {
+			return math.Inf(1), aerr
+		}
+		return r.Gamma, aerr
+	})
+	best.Evals = total
+	return best, err
+}
+
+// goalAttainOnce is one attempt of the improved goal-attainment method with
+// the given seed.
+func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o AttainOptions, variant ImprovedVariant, seed int64) (AttainResult, error) {
+	o.Seed = seed
 	em := newEmitter(o.Observer, o.Scope, scopeAttain)
 	evals := 0
 	eval := func(x []float64) []float64 {
@@ -214,6 +277,9 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 			for j := range x {
 				x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
 			}
+			// Probe evaluations are direct (not routed through a nested
+			// solver's counter), so account them here.
+			o.Control.AddEvals(1)
 			f := eval(x)
 			for i, v := range f {
 				if v < rngSpan[i][0] {
@@ -276,12 +342,15 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 		}
 		de, err := DifferentialEvolution(ks(5), lo, hi, &DEOptions{
 			Pop: pop, Generations: gens, Seed: o.Seed,
-			Observer: o.Observer, Scope: em.scope + ".de",
+			Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
 		})
+		nested += de.Evals
 		if err != nil {
+			if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
+				return attainFinish(obj, goals, lo, hi, o, &em, de.X, evals, nested, err)
+			}
 			return AttainResult{}, err
 		}
-		nested += de.Evals
 		x = de.X
 	}
 
@@ -290,25 +359,78 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 	if budget < 200 {
 		budget = 200
 	}
+	var stopErr error
 	for _, rho := range []float64{20, 100, 500} {
 		nm, err := NelderMead(ks(rho), x, &NMOptions{
 			MaxEvals: budget, Scale: 0.02,
-			Observer: o.Observer, Scope: em.scope + ".nm",
+			Observer: o.Observer, Scope: em.scope + ".nm", Control: o.Control,
 		})
-		if err != nil {
-			return AttainResult{}, err
-		}
 		nested += nm.Evals
+		if err != nil {
+			if _, ok := resilience.AsStopped(err); !ok {
+				return AttainResult{}, err
+			}
+			stopErr = err
+			if len(nm.X) > 0 {
+				x = clampBox(nm.X, lo, hi)
+			}
+			break
+		}
 		x = clampBox(nm.X, lo, hi)
 	}
-	f := obj(x)
-	gamma := gammaOf(f, goals)
-	em.done(evals+1-nested, gamma)
-	return AttainResult{X: x, Gamma: gamma, F: f, Evals: evals + 1}, nil
+	return attainFinish(obj, goals, lo, hi, o, &em, x, evals, nested, stopErr)
+}
+
+// scalarizedAttain runs the shared DE-then-Nelder-Mead pipeline of the
+// scalarization baselines, finishing with the NaN-gamma sentinel (see
+// AttainResult.Gamma). A resilience stop returns the best-so-far design
+// alongside the *resilience.Stopped error.
+func scalarizedAttain(obj VectorObjective, scalar Objective, evals *int, lo, hi []float64, o AttainOptions, scope string) (AttainResult, error) {
+	pop := 10 * len(lo)
+	if pop < 20 {
+		pop = 20
+	}
+	gens := o.GlobalEvals / pop
+	if gens < 1 {
+		gens = 1
+	}
+	finish := func(xBest []float64, stopErr error) (AttainResult, error) {
+		x := clampBox(xBest, lo, hi)
+		o.Control.AddEvals(1)
+		f := obj(x)
+		// Gamma is deliberately NaN: a scalarization has no attainment
+		// factor, and the sentinel keeps the result shape uniform across
+		// the multi-objective solvers. Callers must test it with
+		// math.IsNaN, never with ==.
+		return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: *evals + 1}, stopErr
+	}
+	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
+		Pop: pop, Generations: gens, Seed: o.Seed,
+		Observer: o.Observer, Scope: scope + ".de", Control: o.Control,
+	})
+	if err != nil {
+		if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
+			return finish(de.X, err)
+		}
+		return AttainResult{}, err
+	}
+	nm, err := NelderMead(scalar, de.X, &NMOptions{
+		MaxEvals: o.PolishEvals, Scale: 0.02,
+		Observer: o.Observer, Scope: scope + ".nm", Control: o.Control,
+	})
+	if err != nil {
+		if _, ok := resilience.AsStopped(err); ok && len(nm.X) > 0 {
+			return finish(nm.X, err)
+		}
+		return AttainResult{}, err
+	}
+	return finish(nm.X, nil)
 }
 
 // WeightedSum minimizes the scalarization sum_i w_i f_i(x) — the classical
-// baseline that cannot reach concave regions of a Pareto front.
+// baseline that cannot reach concave regions of a Pareto front. The returned
+// Gamma is the NaN sentinel (no attainment factor is defined for a
+// scalarization); test it with math.IsNaN.
 func WeightedSum(obj VectorObjective, weights []float64, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
 	if obj == nil || len(weights) == 0 || len(lo) == 0 || len(lo) != len(hi) {
 		return AttainResult{}, ErrBadInput
@@ -324,35 +446,13 @@ func WeightedSum(obj VectorObjective, weights []float64, lo, hi []float64, opts 
 		}
 		return s
 	}
-	pop := 10 * len(lo)
-	if pop < 20 {
-		pop = 20
-	}
-	gens := o.GlobalEvals / pop
-	if gens < 1 {
-		gens = 1
-	}
-	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
-		Pop: pop, Generations: gens, Seed: o.Seed,
-		Observer: o.Observer, Scope: o.scopeOr("optim.wsum") + ".de",
-	})
-	if err != nil {
-		return AttainResult{}, err
-	}
-	nm, err := NelderMead(scalar, de.X, &NMOptions{
-		MaxEvals: o.PolishEvals, Scale: 0.02,
-		Observer: o.Observer, Scope: o.scopeOr("optim.wsum") + ".nm",
-	})
-	if err != nil {
-		return AttainResult{}, err
-	}
-	x := clampBox(nm.X, lo, hi)
-	f := obj(x)
-	return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: evals + 1}, nil
+	return scalarizedAttain(obj, scalar, &evals, lo, hi, o, o.scopeOr("optim.wsum"))
 }
 
 // EpsilonConstraint minimizes objective primary subject to f_i(x) <= eps_i
-// for every other objective, via an exact penalty.
+// for every other objective, via an exact penalty. The returned Gamma is the
+// NaN sentinel (no attainment factor is defined for this scalarization);
+// test it with math.IsNaN.
 func EpsilonConstraint(obj VectorObjective, primary int, eps []float64, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
 	if obj == nil || primary < 0 || len(eps) == 0 || len(lo) == 0 || len(lo) != len(hi) {
 		return AttainResult{}, ErrBadInput
@@ -374,31 +474,7 @@ func EpsilonConstraint(obj VectorObjective, primary int, eps []float64, lo, hi [
 		}
 		return s
 	}
-	pop := 10 * len(lo)
-	if pop < 20 {
-		pop = 20
-	}
-	gens := o.GlobalEvals / pop
-	if gens < 1 {
-		gens = 1
-	}
-	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
-		Pop: pop, Generations: gens, Seed: o.Seed,
-		Observer: o.Observer, Scope: o.scopeOr("optim.epscon") + ".de",
-	})
-	if err != nil {
-		return AttainResult{}, err
-	}
-	nm, err := NelderMead(scalar, de.X, &NMOptions{
-		MaxEvals: o.PolishEvals, Scale: 0.02,
-		Observer: o.Observer, Scope: o.scopeOr("optim.epscon") + ".nm",
-	})
-	if err != nil {
-		return AttainResult{}, err
-	}
-	x := clampBox(nm.X, lo, hi)
-	f := obj(x)
-	return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: evals + 1}, nil
+	return scalarizedAttain(obj, scalar, &evals, lo, hi, o, o.scopeOr("optim.epscon"))
 }
 
 func clampBox(x, lo, hi []float64) []float64 {

@@ -202,3 +202,32 @@ func TestGoalAttainParetoSweepTracesFront(t *testing.T) {
 		}
 	}
 }
+
+// TestScalarizationGammaIsNaNSentinel pins the documented contract: the
+// scalarization baselines have no attainment factor, so Gamma must be the
+// NaN sentinel — detectable only via math.IsNaN, never ==.
+func TestScalarizationGammaIsNaNSentinel(t *testing.T) {
+	opts := &AttainOptions{Seed: 9, GlobalEvals: 400, PolishEvals: 200}
+	ws, err := WeightedSum(convexBi, []float64{0.5, 0.5}, biBox.lo, biBox.hi, opts)
+	if err != nil {
+		t.Fatalf("WeightedSum: %v", err)
+	}
+	if !math.IsNaN(ws.Gamma) {
+		t.Errorf("WeightedSum Gamma = %v, want NaN sentinel", ws.Gamma)
+	}
+	ec, err := EpsilonConstraint(convexBi, 0, []float64{math.Inf(1), 1},
+		biBox.lo, biBox.hi, opts)
+	if err != nil {
+		t.Fatalf("EpsilonConstraint: %v", err)
+	}
+	if !math.IsNaN(ec.Gamma) {
+		t.Errorf("EpsilonConstraint Gamma = %v, want NaN sentinel", ec.Gamma)
+	}
+	for _, r := range []AttainResult{ws, ec} {
+		for i, f := range r.F {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Errorf("objective %d non-finite (%v) despite NaN-gamma sentinel", i, f)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // ResidualFunc maps parameters to a residual vector; Levenberg-Marquardt
@@ -27,6 +28,11 @@ type LMOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.lm").
 	Scope string
+	// Control is polled once per outer iteration; residual evaluations
+	// (Jacobians count dim+1) are accounted against its budget. On a stop
+	// the fit returns its current parameters alongside the
+	// *resilience.Stopped error (nil: never stops).
+	Control *resilience.RunController
 }
 
 // LMResult reports a Levenberg-Marquardt run.
@@ -53,6 +59,7 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 	maxIter, tol, lambda := 200, 1e-12, 1e-3
 	var lower, upper []float64
 	var observer obs.Observer
+	var ctrl *resilience.RunController
 	scope := ""
 	if opts != nil {
 		if opts.MaxIter > 0 {
@@ -66,6 +73,7 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 		}
 		lower, upper = opts.Lower, opts.Upper
 		observer, scope = opts.Observer, opts.Scope
+		ctrl = opts.Control
 	}
 	em := newEmitter(observer, scope, scopeLM)
 	project := func(x []float64) {
@@ -84,13 +92,19 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 	evals := 0
 	res := r(x)
 	evals++
+	ctrl.AddEvals(1)
 	cost := halfSq(res)
 
 	converged := false
 	iters := 0
 	for it := 0; it < maxIter; it++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(evals, cost)
+			return LMResult{X: x, Cost: cost, Iters: iters, Evals: evals, Converged: false}, err
+		}
 		j := mathx.Jacobian(func(p []float64) []float64 { return r(p) }, x)
 		evals += n + 1
+		ctrl.AddEvals(n + 1)
 		jt := j.Transpose()
 		jtj := jt.Mul(j)
 		g := jt.MulVec(res)
@@ -125,6 +139,7 @@ func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult
 			project(xNew)
 			rNew := r(xNew)
 			evals++
+			ctrl.AddEvals(1)
 			cNew := halfSq(rNew)
 			if cNew < cost {
 				rel := (cost - cNew) / (1 + cost)

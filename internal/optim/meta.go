@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // DEOptions configures differential evolution.
@@ -26,6 +27,46 @@ type DEOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.de").
 	Scope string
+	// Control is polled once per generation; on a stop the run returns its
+	// best member alongside the *resilience.Stopped error. A budget or
+	// deadline can therefore overshoot by at most one generation of
+	// evaluations (nil: never stops).
+	Control *resilience.RunController
+	// Checkpoint, when non-nil, receives a deep-copied state snapshot after
+	// every generation for periodic persistence.
+	Checkpoint func(DEState)
+	// Resume, when non-nil, restores a checkpointed state: the population is
+	// reinstated and the RNG stream fast-forwarded to its recorded position,
+	// so the resumed run is bit-identical to an uninterrupted one with the
+	// same options.
+	Resume *DEState
+}
+
+// DEState is a differential-evolution checkpoint: everything needed to
+// resume a run bit-identically.
+type DEState struct {
+	// Gen is the next generation to run.
+	Gen int `json:"gen"`
+	// Xs and Fs hold the population and its objective values.
+	Xs [][]float64 `json:"xs"`
+	Fs []float64   `json:"fs"`
+	// Best indexes the best member of Xs.
+	Best int `json:"best"`
+	// Draws is the RNG stream position (counted source draws).
+	Draws uint64 `json:"draws"`
+	// Evals is the cumulative objective evaluation count.
+	Evals int `json:"evals"`
+}
+
+// snapshotDE deep-copies the live population into a checkpoint.
+func snapshotDE(gen int, xs [][]float64, fs []float64, best int, draws uint64, evals int) DEState {
+	st := DEState{Gen: gen, Best: best, Draws: draws, Evals: evals}
+	st.Xs = make([][]float64, len(xs))
+	for i := range xs {
+		st.Xs[i] = append([]float64(nil), xs[i]...)
+	}
+	st.Fs = append([]float64(nil), fs...)
+	return st
 }
 
 // DifferentialEvolution minimizes f over the box [lo, hi] with the
@@ -46,6 +87,9 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 	}
 	gens, fw, cr, seed, tol := 300, 0.7, 0.9, int64(1), 0.0
 	var observer obs.Observer
+	var ctrl *resilience.RunController
+	var checkpoint func(DEState)
+	var resume *DEState
 	scope := ""
 	if opts != nil {
 		if opts.Pop > 3 {
@@ -67,29 +111,53 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 			tol = opts.Tol
 		}
 		observer, scope = opts.Observer, opts.Scope
+		ctrl, checkpoint, resume = opts.Control, opts.Checkpoint, opts.Resume
 	}
 	em := newEmitter(observer, scope, scopeDE)
-	rng := rand.New(rand.NewSource(seed))
-	c := &counter{f: f}
+	src := resilience.NewCountedSource(seed)
+	rng := rand.New(src)
+	c := &counter{f: f, ctrl: ctrl}
 
-	xs := make([][]float64, pop)
-	fs := make([]float64, pop)
-	for i := range xs {
-		xs[i] = make([]float64, n)
-		for j := range xs[i] {
-			xs[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+	var xs [][]float64
+	var fs []float64
+	best, startGen := 0, 0
+	if resume != nil {
+		if len(resume.Xs) != pop || len(resume.Fs) != pop || resume.Best < 0 || resume.Best >= pop {
+			return Result{}, ErrBadInput
 		}
-		fs[i] = c.eval(xs[i])
-	}
-	best := 0
-	for i := range fs {
-		if fs[i] < fs[best] {
-			best = i
+		xs = make([][]float64, pop)
+		for i := range xs {
+			if len(resume.Xs[i]) != n {
+				return Result{}, ErrBadInput
+			}
+			xs[i] = append([]float64(nil), resume.Xs[i]...)
+		}
+		fs = append([]float64(nil), resume.Fs...)
+		best, startGen, c.n = resume.Best, resume.Gen, resume.Evals
+		src.FastForward(resume.Draws)
+	} else {
+		xs = make([][]float64, pop)
+		fs = make([]float64, pop)
+		for i := range xs {
+			xs[i] = make([]float64, n)
+			for j := range xs[i] {
+				xs[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			fs[i] = c.eval(xs[i])
+		}
+		for i := range fs {
+			if fs[i] < fs[best] {
+				best = i
+			}
 		}
 	}
 
 	trial := make([]float64, n)
-	for g := 0; g < gens; g++ {
+	for g := startGen; g < gens; g++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(c.n, fs[best])
+			return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: false}, err
+		}
 		for i := 0; i < pop; i++ {
 			// Pick three distinct partners != i.
 			var a, b, cc int
@@ -143,6 +211,9 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 			}
 		}
 		em.gen(g, c.n, fs[best])
+		if checkpoint != nil {
+			checkpoint(snapshotDE(g+1, xs, fs, best, src.Draws(), c.n))
+		}
 		if tol > 0 {
 			mn, mx := fs[0], fs[0]
 			for _, v := range fs[1:] {
@@ -171,6 +242,42 @@ type PSOOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.pso").
 	Scope string
+	// Control is polled once per iteration; on a stop the run returns the
+	// global best alongside the *resilience.Stopped error (nil: never
+	// stops).
+	Control *resilience.RunController
+	// Checkpoint, when non-nil, receives a deep-copied state snapshot after
+	// every iteration for periodic persistence.
+	Checkpoint func(PSOState)
+	// Resume, when non-nil, restores a checkpointed state for a
+	// bit-identical continuation (see DEOptions.Resume).
+	Resume *PSOState
+}
+
+// PSOState is a particle-swarm checkpoint.
+type PSOState struct {
+	// It is the next iteration to run.
+	It int `json:"it"`
+	// X, V, Pb, Pf hold the particle positions, velocities, personal bests
+	// and personal-best objective values.
+	X  [][]float64 `json:"x"`
+	V  [][]float64 `json:"v"`
+	Pb [][]float64 `json:"pb"`
+	Pf []float64   `json:"pf"`
+	// Gb, Gf hold the global best position and value.
+	Gb []float64 `json:"gb"`
+	Gf float64   `json:"gf"`
+	// Draws is the RNG stream position; Evals the cumulative count.
+	Draws uint64 `json:"draws"`
+	Evals int    `json:"evals"`
+}
+
+func copyMat(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
 }
 
 // ParticleSwarm minimizes f over the box [lo, hi] with a standard
@@ -186,6 +293,9 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 	}
 	iters, seed := 300, int64(1)
 	var observer obs.Observer
+	var ctrl *resilience.RunController
+	var checkpoint func(PSOState)
+	var resume *PSOState
 	scope := ""
 	if opts != nil {
 		if opts.Pop > 1 {
@@ -198,37 +308,58 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 			seed = opts.Seed
 		}
 		observer, scope = opts.Observer, opts.Scope
+		ctrl, checkpoint, resume = opts.Control, opts.Checkpoint, opts.Resume
 	}
 	em := newEmitter(observer, scope, scopePSO)
-	rng := rand.New(rand.NewSource(seed))
-	c := &counter{f: f}
+	src := resilience.NewCountedSource(seed)
+	rng := rand.New(src)
+	c := &counter{f: f, ctrl: ctrl}
 	const (
 		w  = 0.7298 // constriction
 		c1 = 1.4962
 		c2 = 1.4962
 	)
-	x := make([][]float64, pop)
-	v := make([][]float64, pop)
-	pb := make([][]float64, pop)
-	pf := make([]float64, pop)
-	gb := make([]float64, n)
+	var x, v, pb [][]float64
+	var pf, gb []float64
 	gf := math.Inf(1)
-	for i := range x {
-		x[i] = make([]float64, n)
-		v[i] = make([]float64, n)
-		for j := range x[i] {
-			span := hi[j] - lo[j]
-			x[i][j] = lo[j] + rng.Float64()*span
-			v[i][j] = (rng.Float64()*2 - 1) * span * 0.1
+	startIt := 0
+	if resume != nil {
+		if len(resume.X) != pop || len(resume.V) != pop || len(resume.Pb) != pop ||
+			len(resume.Pf) != pop || len(resume.Gb) != n {
+			return Result{}, ErrBadInput
 		}
-		pb[i] = append([]float64(nil), x[i]...)
-		pf[i] = c.eval(x[i])
-		if pf[i] < gf {
-			gf = pf[i]
-			copy(gb, x[i])
+		x, v, pb = copyMat(resume.X), copyMat(resume.V), copyMat(resume.Pb)
+		pf = append([]float64(nil), resume.Pf...)
+		gb = append([]float64(nil), resume.Gb...)
+		gf, startIt, c.n = resume.Gf, resume.It, resume.Evals
+		src.FastForward(resume.Draws)
+	} else {
+		x = make([][]float64, pop)
+		v = make([][]float64, pop)
+		pb = make([][]float64, pop)
+		pf = make([]float64, pop)
+		gb = make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, n)
+			v[i] = make([]float64, n)
+			for j := range x[i] {
+				span := hi[j] - lo[j]
+				x[i][j] = lo[j] + rng.Float64()*span
+				v[i][j] = (rng.Float64()*2 - 1) * span * 0.1
+			}
+			pb[i] = append([]float64(nil), x[i]...)
+			pf[i] = c.eval(x[i])
+			if pf[i] < gf {
+				gf = pf[i]
+				copy(gb, x[i])
+			}
 		}
 	}
-	for it := 0; it < iters; it++ {
+	for it := startIt; it < iters; it++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(c.n, gf)
+			return Result{X: append([]float64(nil), gb...), F: gf, Evals: c.n, Converged: false}, err
+		}
 		for i := 0; i < pop; i++ {
 			for j := 0; j < n; j++ {
 				v[i][j] = w*v[i][j] +
@@ -255,6 +386,13 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 			}
 		}
 		em.gen(it, c.n, gf)
+		if checkpoint != nil {
+			checkpoint(PSOState{
+				It: it + 1, X: copyMat(x), V: copyMat(v), Pb: copyMat(pb),
+				Pf: append([]float64(nil), pf...), Gb: append([]float64(nil), gb...),
+				Gf: gf, Draws: src.Draws(), Evals: c.n,
+			})
+		}
 	}
 	em.done(c.n, gf)
 	return Result{X: gb, F: gf, Evals: c.n, Converged: false}, nil
@@ -274,6 +412,31 @@ type SAOptions struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.sa").
 	Scope string
+	// Control is polled once per iteration; on a stop the run returns the
+	// best point alongside the *resilience.Stopped error (nil: never stops).
+	Control *resilience.RunController
+	// Checkpoint, when non-nil, receives a state snapshot at the same
+	// sampled stride as the observer (at most ~200 per run).
+	Checkpoint func(SAState)
+	// Resume, when non-nil, restores a checkpointed state for a
+	// bit-identical continuation (see DEOptions.Resume).
+	Resume *SAState
+}
+
+// SAState is a simulated-annealing checkpoint.
+type SAState struct {
+	// It is the next iteration to run.
+	It int `json:"it"`
+	// X, Fx hold the current point and value; Best, Fb the incumbent.
+	X    []float64 `json:"x"`
+	Fx   float64   `json:"fx"`
+	Best []float64 `json:"best"`
+	Fb   float64   `json:"fb"`
+	// Temp is the current annealing temperature.
+	Temp float64 `json:"temp"`
+	// Draws is the RNG stream position; Evals the cumulative count.
+	Draws uint64 `json:"draws"`
+	Evals int    `json:"evals"`
 }
 
 // SimulatedAnnealing minimizes f over the box [lo, hi] with geometric
@@ -285,6 +448,9 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 	}
 	iters, t0, seed := 20000, 1.0, int64(1)
 	var observer obs.Observer
+	var ctrl *resilience.RunController
+	var checkpoint func(SAState)
+	var resume *SAState
 	scope := ""
 	if opts != nil {
 		if opts.Iterations > 0 {
@@ -297,22 +463,42 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 			seed = opts.Seed
 		}
 		observer, scope = opts.Observer, opts.Scope
+		ctrl, checkpoint, resume = opts.Control, opts.Checkpoint, opts.Resume
 	}
 	em := newEmitter(observer, scope, scopeSA)
 	stride := sampleStride(iters, 200)
-	rng := rand.New(rand.NewSource(seed))
-	c := &counter{f: f}
-	x := make([]float64, n)
-	for j := range x {
-		x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
-	}
-	fx := c.eval(x)
-	best := append([]float64(nil), x...)
-	fb := fx
-	temp := t0 * (1 + math.Abs(fx))
+	src := resilience.NewCountedSource(seed)
+	rng := rand.New(src)
+	c := &counter{f: f, ctrl: ctrl}
 	cool := math.Pow(1e-6, 1/float64(iters)) // end ~1e-6 of start
+	var x, best []float64
+	var fx, fb, temp float64
+	startIt := 0
+	if resume != nil {
+		if len(resume.X) != n || len(resume.Best) != n {
+			return Result{}, ErrBadInput
+		}
+		x = append([]float64(nil), resume.X...)
+		best = append([]float64(nil), resume.Best...)
+		fx, fb, temp = resume.Fx, resume.Fb, resume.Temp
+		startIt, c.n = resume.It, resume.Evals
+		src.FastForward(resume.Draws)
+	} else {
+		x = make([]float64, n)
+		for j := range x {
+			x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		fx = c.eval(x)
+		best = append([]float64(nil), x...)
+		fb = fx
+		temp = t0 * (1 + math.Abs(fx))
+	}
 	cand := make([]float64, n)
-	for it := 0; it < iters; it++ {
+	for it := startIt; it < iters; it++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(c.n, fb)
+			return Result{X: append([]float64(nil), best...), F: fb, Evals: c.n, Converged: false}, err
+		}
 		copy(cand, x)
 		j := rng.Intn(n)
 		sigma := 0.1 * (hi[j] - lo[j]) * math.Max(temp/(t0*(1+math.Abs(fb))), 0.01)
@@ -335,6 +521,13 @@ func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result,
 		temp *= cool
 		if it%stride == 0 {
 			em.gen(it, c.n, fb)
+			if checkpoint != nil {
+				checkpoint(SAState{
+					It: it + 1, X: append([]float64(nil), x...), Fx: fx,
+					Best: append([]float64(nil), best...), Fb: fb, Temp: temp,
+					Draws: src.Draws(), Evals: c.n,
+				})
+			}
 		}
 	}
 	em.done(c.n, fb)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
 )
 
 // NSGA2Options configures the NSGA-II baseline.
@@ -26,6 +27,10 @@ type NSGA2Options struct {
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.nsga2").
 	Scope string
+	// Control is polled once per generation; on a stop the run returns the
+	// current non-dominated front alongside the *resilience.Stopped error
+	// (nil: never stops).
+	Control *resilience.RunController
 }
 
 // NSGA2Result reports a run: the final non-dominated set.
@@ -55,9 +60,11 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	etaC, etaM := 15.0, 20.0
 	pm := 1.0 / float64(n)
 	var observer obs.Observer
+	var ctrl *resilience.RunController
 	scope := ""
 	if opts != nil {
 		observer, scope = opts.Observer, opts.Scope
+		ctrl = opts.Control
 		if opts.Pop > 3 {
 			pop = opts.Pop
 		}
@@ -85,6 +92,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	evals := 0
 	eval := func(x []float64) []float64 {
 		evals++
+		ctrl.AddEvals(1)
 		return obj(x)
 	}
 
@@ -99,6 +107,10 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	rankAndCrowd(parents)
 
 	for g := 0; g < gens; g++ {
+		if err := ctrl.Check(); err != nil {
+			em.done(evals, minFirstObjective(parents))
+			return frontOf(parents, evals), err
+		}
 		children := make([]nsgaInd, 0, pop)
 		for len(children) < pop {
 			p1 := tournament(parents, rng)
@@ -122,16 +134,19 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 		em.gen(g, evals, minFirstObjective(parents))
 	}
 	em.done(evals, minFirstObjective(parents))
+	return frontOf(parents, evals), nil
+}
 
-	var res NSGA2Result
-	res.Evals = evals
+// frontOf extracts the rank-0 set of a ranked population into a result.
+func frontOf(parents []nsgaInd, evals int) NSGA2Result {
+	res := NSGA2Result{Evals: evals}
 	for _, ind := range parents {
 		if ind.rank == 0 {
 			res.X = append(res.X, ind.x)
 			res.F = append(res.F, ind.f)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // minFirstObjective is the scalar convergence proxy reported for NSGA-II.

@@ -1,0 +1,89 @@
+// Package chaostest provides deterministic fault injection for exercising
+// the resilience layer: wrappers that make an objective panic, return
+// non-finite values, or stall on a fixed schedule keyed to the global call
+// count. The schedule is deterministic for a single-threaded solver and
+// merely well-defined (atomically counted) under concurrency, so the same
+// harness drives both the unit tests and the -race chaos suite.
+package chaostest
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Injector schedules faults by call ordinal (1-based). The zero value
+// injects nothing and passes every call through.
+type Injector struct {
+	// FailFirst makes the first N calls return NaN — a transient startup
+	// fault that a restart policy should survive (0: disabled).
+	FailFirst int64
+	// PanicEvery makes every Nth call panic (0: disabled).
+	PanicEvery int64
+	// NaNEvery makes every Nth call return NaN (0: disabled).
+	NaNEvery int64
+	// InfEvery makes every Nth call return +Inf (0: disabled).
+	InfEvery int64
+	// SlowEvery makes every Nth call sleep for SlowFor (0: disabled).
+	SlowEvery int64
+	// SlowFor is the stall duration for slow calls.
+	SlowFor time.Duration
+
+	calls atomic.Int64
+}
+
+// Calls reports how many evaluations passed through the injector.
+func (in *Injector) Calls() int64 { return in.calls.Load() }
+
+// Reset zeroes the call counter (between restart attempts the schedule
+// keeps advancing unless the test resets it).
+func (in *Injector) Reset() { in.calls.Store(0) }
+
+// step advances the call counter and executes the side-effect faults
+// (stall, panic). It reports whether the call must return a non-finite
+// value instead of the real objective, and which one.
+func (in *Injector) step() (bad float64, inject bool) {
+	n := in.calls.Add(1)
+	if in.SlowEvery > 0 && n%in.SlowEvery == 0 {
+		time.Sleep(in.SlowFor)
+	}
+	if in.PanicEvery > 0 && n%in.PanicEvery == 0 {
+		panic(fmt.Sprintf("chaostest: injected panic at call %d", n))
+	}
+	if in.FailFirst > 0 && n <= in.FailFirst {
+		return math.NaN(), true
+	}
+	if in.NaNEvery > 0 && n%in.NaNEvery == 0 {
+		return math.NaN(), true
+	}
+	if in.InfEvery > 0 && n%in.InfEvery == 0 {
+		return math.Inf(1), true
+	}
+	return 0, false
+}
+
+// Wrap returns f with the injector's fault schedule applied.
+func (in *Injector) Wrap(f func([]float64) float64) func([]float64) float64 {
+	return func(x []float64) float64 {
+		if bad, inject := in.step(); inject {
+			return bad
+		}
+		return f(x)
+	}
+}
+
+// WrapVector returns the m-objective f with the fault schedule applied; an
+// injected fault poisons every component of the returned vector.
+func (in *Injector) WrapVector(f func([]float64) []float64, m int) func([]float64) []float64 {
+	return func(x []float64) []float64 {
+		if bad, inject := in.step(); inject {
+			out := make([]float64, m)
+			for i := range out {
+				out[i] = bad
+			}
+			return out
+		}
+		return f(x)
+	}
+}

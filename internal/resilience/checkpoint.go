@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CheckpointRecord is one line of a JSONL checkpoint file, mirroring the
+// obs run-journal convention: one self-describing JSON object per line,
+// flushed per append, so the file is valid up to its last record even after
+// a crash. Records append; on load, the latest record per stage (matching
+// seed and quick mode) wins, so re-running a pipeline safely supersedes
+// stale stages.
+type CheckpointRecord struct {
+	// Stage names the checkpointed pipeline stage, e.g. "extraction".
+	Stage string `json:"stage"`
+	// Seed and Quick fingerprint the run configuration; a resume only
+	// accepts records from an identically configured run, which is what
+	// makes resumed results bit-identical.
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick,omitempty"`
+	// State is the stage-specific payload.
+	State json.RawMessage `json:"state"`
+}
+
+// SaveCheckpoint appends one stage record to the JSONL checkpoint at path,
+// creating the file when missing.
+func SaveCheckpoint(path, stage string, seed int64, quick bool, state any) error {
+	raw, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	line, err := json.Marshal(CheckpointRecord{Stage: stage, Seed: seed, Quick: quick, State: raw})
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, cerr)
+	}
+	return nil
+}
+
+// LoadCheckpoints parses every record of the checkpoint file at path. A
+// missing file yields no records and no error.
+func LoadCheckpoints(path string) ([]CheckpointRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []CheckpointRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec CheckpointRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return out, fmt.Errorf("resilience: checkpoint line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	return out, nil
+}
+
+// RestoreCheckpoint unmarshals the latest record of the given stage whose
+// seed and quick mode match into `into`, reporting whether one was found.
+func RestoreCheckpoint(path, stage string, seed int64, quick bool, into any) (bool, error) {
+	recs, err := LoadCheckpoints(path)
+	if err != nil {
+		return false, err
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Stage != stage || r.Seed != seed || r.Quick != quick {
+			continue
+		}
+		if err := json.Unmarshal(r.State, into); err != nil {
+			return false, fmt.Errorf("resilience: restore %s: %w", stage, err)
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,177 @@
+// Package resilience hardens the long-running optimization and extraction
+// pipelines against interruption and bad inputs. It provides the
+// RunController — a cooperative stop token carrying context cancellation, a
+// wall-clock deadline and a hard evaluation budget that every solver polls
+// once per generation — the typed Stopped error that lets a halted run hand
+// back its best-so-far result instead of losing it, panic/non-finite
+// quarantine with a consecutive-failure circuit breaker (SafeObjective),
+// JSONL stage checkpoints with deterministic bit-identical resume, and a
+// jittered multi-start restart policy for stalled or breaker-tripped runs.
+//
+// Everything is nil-safe by design: a nil *RunController never stops and
+// costs one branch per poll, so the solvers poll unconditionally.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// StopReason names why a controller halted a run.
+type StopReason uint8
+
+// Stop reasons, in the priority order Check reports them.
+const (
+	// StopBreaker: the circuit breaker tripped after too many consecutive
+	// quarantined evaluations.
+	StopBreaker StopReason = iota + 1
+	// StopCanceled: the run's context was canceled.
+	StopCanceled
+	// StopDeadline: the wall-clock deadline passed.
+	StopDeadline
+	// StopBudget: the hard evaluation budget is exhausted.
+	StopBudget
+)
+
+// String names the reason as it appears in errors and CLI output.
+func (r StopReason) String() string {
+	switch r {
+	case StopBreaker:
+		return "breaker"
+	case StopCanceled:
+		return "canceled"
+	case StopDeadline:
+		return "deadline"
+	case StopBudget:
+		return "eval-budget"
+	}
+	return "unknown"
+}
+
+// Stopped reports an early, controlled halt. Solvers return it alongside
+// their best-so-far Result, so a Stopped error means the work up to the stop
+// is valid — callers decide whether a partial result is usable.
+type Stopped struct {
+	// Reason names what halted the run.
+	Reason StopReason
+}
+
+// Error implements error.
+func (s *Stopped) Error() string { return "resilience: run stopped: " + s.Reason.String() }
+
+// AsStopped unwraps err to a *Stopped, if one is in the chain.
+func AsStopped(err error) (*Stopped, bool) {
+	var s *Stopped
+	if errors.As(err, &s) {
+		return s, true
+	}
+	return nil, false
+}
+
+// RunController is the cooperative stop token shared by every stage of a
+// run: context cancellation, wall-clock deadline, hard evaluation budget and
+// the circuit breaker all funnel into Check. Solvers account evaluations
+// with AddEvals and poll Check once per generation (so a budget or deadline
+// can overshoot by at most one generation of evaluations). All methods are
+// safe on a nil receiver and for concurrent use.
+type RunController struct {
+	ctx      context.Context
+	deadline time.Time
+	maxEvals int64
+	now      func() time.Time
+	evals    atomic.Int64
+	tripped  atomic.Bool
+}
+
+// ControllerOptions configures NewController.
+type ControllerOptions struct {
+	// Context cancels the run when done (nil: never).
+	Context context.Context
+	// Deadline is the wall-clock stop time (zero: none).
+	Deadline time.Time
+	// MaxEvals is the hard evaluation budget (0: unlimited).
+	MaxEvals int64
+	// Clock overrides time.Now for deadline checks (tests).
+	Clock func() time.Time
+}
+
+// NewController builds a controller; a zero ControllerOptions yields one
+// that never stops (except through TripBreaker).
+func NewController(o ControllerOptions) *RunController {
+	c := &RunController{
+		ctx:      o.Context,
+		deadline: o.Deadline,
+		maxEvals: o.MaxEvals,
+		now:      o.Clock,
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// AddEvals accounts n objective evaluations against the budget.
+func (c *RunController) AddEvals(n int) {
+	if c == nil {
+		return
+	}
+	c.evals.Add(int64(n))
+}
+
+// Evals returns the evaluations accounted so far.
+func (c *RunController) Evals() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evals.Load()
+}
+
+// TripBreaker forces every later Check to report StopBreaker (until
+// ResetBreaker). SafeObjective trips it after K consecutive bad evals.
+func (c *RunController) TripBreaker() {
+	if c == nil {
+		return
+	}
+	c.tripped.Store(true)
+}
+
+// BreakerTripped reports whether the breaker is currently tripped.
+func (c *RunController) BreakerTripped() bool {
+	return c != nil && c.tripped.Load()
+}
+
+// ResetBreaker re-arms a tripped breaker, as the multi-start restart policy
+// does between attempts.
+func (c *RunController) ResetBreaker() {
+	if c == nil {
+		return
+	}
+	c.tripped.Store(false)
+}
+
+// Check returns nil while the run may continue, or a *Stopped naming the
+// first matching stop condition. It never allocates on the happy path.
+func (c *RunController) Check() error {
+	if c == nil {
+		return nil
+	}
+	if c.tripped.Load() {
+		return &Stopped{Reason: StopBreaker}
+	}
+	if c.ctx != nil {
+		select {
+		case <-c.ctx.Done():
+			return &Stopped{Reason: StopCanceled}
+		default:
+		}
+	}
+	if !c.deadline.IsZero() && !c.now().Before(c.deadline) {
+		return &Stopped{Reason: StopDeadline}
+	}
+	if c.maxEvals > 0 && c.evals.Load() >= c.maxEvals {
+		return &Stopped{Reason: StopBudget}
+	}
+	return nil
+}

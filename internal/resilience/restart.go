@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"gnsslna/internal/obs"
+)
+
+// JitterSeed derives the seed of restart attempt k from the base seed with a
+// splitmix64-style mix, so attempts explore decorrelated streams while
+// remaining fully deterministic: the same (seed, k) always yields the same
+// attempt.
+func JitterSeed(seed int64, k int) int64 {
+	if k == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(k)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// Attempt is one restart-policy invocation: the callback runs the underlying
+// solve with the attempt's jittered seed and returns the attempt's best
+// objective value plus any error (typically a *Stopped).
+type Attempt func(seed int64) (best float64, err error)
+
+// RestartPolicy reruns a solve with jittered re-seeding when an attempt is
+// cut short by the circuit breaker: a breaker trip usually means the solver
+// wandered into a pathological region, and a fresh decorrelated start is the
+// standard recovery. Stops for external reasons (cancellation, deadline,
+// eval budget) abort immediately — restarting would ignore the caller's
+// limits.
+type RestartPolicy struct {
+	// Seed is the base seed; attempt k runs with JitterSeed(Seed, k).
+	Seed int64
+	// MaxRestarts bounds the number of restarts after the first attempt
+	// (0: single attempt, no restarts).
+	MaxRestarts int
+	// Control is the shared run controller; its breaker is reset between
+	// attempts so a new attempt starts clean (nil: allowed).
+	Control *RunController
+	// Observer receives a KindRestart event per restart attempt (nil:
+	// disabled).
+	Observer obs.Observer
+	// Scope labels restart events (default "resilience.restart").
+	Scope string
+}
+
+// Run executes attempts until one finishes without a breaker stop or the
+// restart budget is exhausted. It reports the index of the best attempt, the
+// best objective across attempts, and the error of the last attempt (nil
+// when the last attempt completed).
+func (p RestartPolicy) Run(attempt Attempt) (bestAttempt int, best float64, err error) {
+	scope := p.Scope
+	if scope == "" {
+		scope = "resilience.restart"
+	}
+	bestAttempt = -1
+	for k := 0; ; k++ {
+		if k > 0 {
+			p.Control.ResetBreaker()
+			if p.Observer != nil {
+				p.Observer.Observe(obs.Event{Kind: obs.KindRestart, Scope: scope, Gen: k, Best: best})
+			}
+		}
+		f, aerr := attempt(JitterSeed(p.Seed, k))
+		if bestAttempt < 0 || f < best {
+			bestAttempt, best = k, f
+		}
+		err = aerr
+		if aerr == nil {
+			return bestAttempt, best, nil
+		}
+		st, ok := AsStopped(aerr)
+		if !ok || st.Reason != StopBreaker || k >= p.MaxRestarts {
+			return bestAttempt, best, err
+		}
+	}
+}

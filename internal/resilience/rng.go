@@ -1,0 +1,51 @@
+package resilience
+
+import "math/rand"
+
+// CountedSource wraps the standard math/rand source with a draw counter so
+// a checkpoint can record the exact RNG stream position and a resume can
+// fast-forward to it. Delegation preserves the stream bit-for-bit: a solver
+// built on rand.New(NewCountedSource(seed)) produces exactly the values of
+// rand.New(rand.NewSource(seed)).
+//
+// Every Int63 or Uint64 call advances the underlying generator by exactly
+// one step, so FastForward can replay any mix of draws with Int63 alone.
+type CountedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountedSource seeds a counted source (seed 0 is used as-is, matching
+// rand.NewSource).
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *CountedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountedSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *CountedSource) Seed(seed int64) {
+	s.n = 0
+	s.src.Seed(seed)
+}
+
+// Draws returns the stream position: the number of draws made so far.
+func (s *CountedSource) Draws() uint64 { return s.n }
+
+// FastForward advances the stream to position n (a no-op when already at or
+// past it).
+func (s *CountedSource) FastForward(n uint64) {
+	for s.n < n {
+		s.Int63()
+	}
+}

@@ -6,6 +6,7 @@ package touchstone
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,30 @@ import (
 
 	"gnsslna/internal/twoport"
 )
+
+// ErrNonFinite reports a numeric field that parsed but is NaN or ±Inf —
+// values the S-parameter math downstream cannot consume, so they are
+// rejected at the file boundary.
+var ErrNonFinite = errors.New("non-finite value")
+
+// FieldError locates a rejected numeric field in a Touchstone stream.
+type FieldError struct {
+	// Line is the 1-based input line; Col the 1-based whitespace-separated
+	// field index within it.
+	Line, Col int
+	// Token is the offending field text.
+	Token string
+	// Err is the underlying cause: a strconv parse error or ErrNonFinite.
+	Err error
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("touchstone: line %d: field %d: %q: %v", e.Line, e.Col, e.Token, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *FieldError) Unwrap() error { return e.Err }
 
 // Format enumerates the Touchstone number formats.
 type Format int
@@ -85,7 +110,10 @@ func Read(r io.Reader) (*twoport.Network, error) {
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("touchstone: line %d: field %d: %w", lineNo, i+1, err)
+				return nil, &FieldError{Line: lineNo, Col: i + 1, Token: f, Err: err}
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, &FieldError{Line: lineNo, Col: i + 1, Token: f, Err: ErrNonFinite}
 			}
 			vals[i] = v
 		}
@@ -127,6 +155,12 @@ func parseOption(line string) (unit float64, format Format, z0 float64, err erro
 			z0, err = strconv.ParseFloat(tokens[i], 64)
 			if err != nil {
 				return 0, 0, 0, fmt.Errorf("option R: %w", err)
+			}
+			if math.IsNaN(z0) || math.IsInf(z0, 0) {
+				return 0, 0, 0, fmt.Errorf("option R: impedance %q: %w", tokens[i], ErrNonFinite)
+			}
+			if z0 <= 0 {
+				return 0, 0, 0, fmt.Errorf("option R: impedance %q must be positive", tokens[i])
 			}
 		default:
 			if u, ok := freqUnits[tok]; ok {

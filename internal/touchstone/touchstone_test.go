@@ -2,6 +2,7 @@ package touchstone
 
 import (
 	"bytes"
+	"errors"
 	"math/cmplx"
 	"math/rand"
 	"strings"
@@ -143,5 +144,59 @@ func TestReadNeverPanicsOnGarbage(t *testing.T) {
 				t.Fatalf("trial %d: nil error with empty network", trial)
 			}
 		}()
+	}
+}
+
+// TestReadRejectsCorruptNumericFields drives the parser over a table of
+// corrupted fixtures: every malformed or non-finite numeric field must be
+// rejected with a structured *FieldError naming its line, column and
+// token, and non-finite values must satisfy errors.Is(err, ErrNonFinite).
+func TestReadRejectsCorruptNumericFields(t *testing.T) {
+	const header = "! corrupt fixture\n# GHZ S MA R 50\n"
+	const good = "1.0 0.9 -30 2.0 45 0.05 60 0.5 -20\n"
+	cases := []struct {
+		name      string
+		body      string
+		line, col int
+		token     string
+		nonFinite bool
+	}{
+		{"nan-magnitude", good + "1.2 NaN -30 2.0 45 0.05 60 0.5 -20\n", 4, 2, "NaN", true},
+		{"plus-inf-angle", good + "1.2 0.9 +Inf 2.0 45 0.05 60 0.5 -20\n", 4, 3, "+Inf", true},
+		{"minus-inf-frequency", "-Inf 0.9 -30 2.0 45 0.05 60 0.5 -20\n", 3, 1, "-Inf", true},
+		{"alphabetic-token", good + "1.2 0.9 -30 bogus 45 0.05 60 0.5 -20\n", 4, 4, "bogus", false},
+		{"double-dot", "1..2 0.9 -30 2.0 45 0.05 60 0.5 -20\n", 3, 1, "1..2", false},
+		{"trailing-garbage-field", good + good + "1.4 0.9 -30 2.0 45 0.05 60 0.5 -2x0\n", 5, 9, "-2x0", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(header + c.body))
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want *FieldError, got %v", err)
+			}
+			if fe.Line != c.line || fe.Col != c.col || fe.Token != c.token {
+				t.Errorf("located (line %d, col %d, %q), want (line %d, col %d, %q)",
+					fe.Line, fe.Col, fe.Token, c.line, c.col, c.token)
+			}
+			if got := errors.Is(err, ErrNonFinite); got != c.nonFinite {
+				t.Errorf("errors.Is(err, ErrNonFinite) = %v, want %v", got, c.nonFinite)
+			}
+			if !strings.Contains(err.Error(), c.token) {
+				t.Errorf("message %q does not name the offending token %q", err, c.token)
+			}
+		})
+	}
+}
+
+// TestReadRejectsNonFiniteImpedance covers the option-line counterpart.
+func TestReadRejectsNonFiniteImpedance(t *testing.T) {
+	for _, bad := range []string{"NaN", "+Inf"} {
+		if _, err := Read(strings.NewReader("# GHZ S MA R " + bad + "\n")); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("R %s accepted: %v", bad, err)
+		}
+	}
+	if _, err := Read(strings.NewReader("# GHZ S MA R -50\n")); err == nil {
+		t.Error("negative reference impedance accepted")
 	}
 }
