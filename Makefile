@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 0.2s
 
-.PHONY: verify fmt vet build test race bench chaos
+.PHONY: verify fmt vet build test race bench bench-gate chaos
 
 # verify is the tier-1 gate: formatting, vet, build, the full test suite,
 # and a race pass over the concurrently-exercised packages.
@@ -22,12 +23,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/optim ./internal/resilience ./internal/experiments
+	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/experiments
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.
 chaos:
 	$(GO) test -race -count=1 ./internal/resilience/...
 
+# bench appends the next BENCH_<n>.json point to the benchmark trajectory;
+# bench-gate compares the two newest points and fails on a >10% ns/op
+# regression (see README "Benchmark trajectory").
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchgate run -benchtime $(BENCHTIME)
+
+bench-gate:
+	$(GO) run ./cmd/benchgate compare

@@ -1,0 +1,165 @@
+// Command benchgate maintains the repository's benchmark trajectory: `run`
+// executes the pinned benchmark set and appends a BENCH_<n>.json point,
+// `compare` gates the newest point against the previous one and exits
+// non-zero on a ns/op regression.
+//
+// Usage:
+//
+//	benchgate run [-dir .] [-pkg .] [-bench ^Benchmark] [-benchtime 1s]
+//	              [-count 1] [-commit REV] [-date YYYY-MM-DD]
+//	benchgate compare [-dir .] [-threshold 10] [-old BENCH_0.json] [-new BENCH_1.json]
+//
+// The commit and date stamped into the file come from the flags (defaulting
+// to `git rev-parse --short HEAD` and today); the benchjson library itself
+// never reads the clock, keeping the trajectory format reproducible.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"gnsslna/internal/obs/benchjson"
+)
+
+// errRegression distinguishes a failed gate (exit 1 with the report already
+// printed) from operational errors.
+var errRegression = errors.New("benchmark regression gate failed")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: benchgate run|compare [flags]")
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "run":
+		return runBench(args[1:], stdout, stderr)
+	case "compare":
+		return compare(args[1:], stdout, stderr)
+	}
+	return usage()
+}
+
+func runBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+	pkg := fs.String("pkg", ".", "package pattern passed to go test")
+	bench := fs.String("bench", "^Benchmark", "benchmark regexp (the pinned set)")
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
+	count := fs.Int("count", 1, "go test -count value")
+	commit := fs.String("commit", "", "commit id to stamp (default: git rev-parse --short HEAD)")
+	date := fs.String("date", "", "date to stamp, YYYY-MM-DD (default: today, UTC)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *commit == "" {
+		if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			*commit = strings.TrimSpace(string(out))
+		}
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", fmt.Sprint(*count), *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(stdout, &buf)
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	results, err := benchjson.ParseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmarks matched %q in %s", *bench, *pkg)
+	}
+	path, err := benchjson.NextPath(*dir)
+	if err != nil {
+		return err
+	}
+	f := benchjson.File{
+		Schema: benchjson.Schema, Commit: *commit, Date: *date,
+		GoVersion: runtime.Version(), Benchmarks: results,
+	}
+	if err := benchjson.WriteFile(path, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchgate: wrote %s (%d benchmarks, commit %s, %s)\n",
+		path, len(results), f.Commit, f.Date)
+	return nil
+}
+
+func compare(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+	threshold := fs.Float64("threshold", 10, "ns/op regression threshold, percent")
+	oldPath := fs.String("old", "", "baseline file (default: second-newest BENCH_<n>.json)")
+	newPath := fs.String("new", "", "candidate file (default: newest BENCH_<n>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		paths, err := benchjson.List(*dir)
+		if err != nil {
+			return err
+		}
+		if *newPath == "" {
+			if len(paths) == 0 {
+				return fmt.Errorf("no BENCH_<n>.json files in %s (run `benchgate run` first)", *dir)
+			}
+			*newPath = paths[len(paths)-1]
+			paths = paths[:len(paths)-1]
+		}
+		if *oldPath == "" {
+			if len(paths) == 0 {
+				fmt.Fprintf(stdout, "benchgate: only one trajectory point (%s); nothing to gate against\n", *newPath)
+				return nil
+			}
+			*oldPath = paths[len(paths)-1]
+		}
+	}
+	oldF, err := benchjson.ReadFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := benchjson.ReadFile(*newPath)
+	if err != nil {
+		return err
+	}
+	rep := benchjson.Compare(oldF, newF, *threshold)
+	if err := benchjson.WriteReportText(stdout, *oldPath, *newPath, rep); err != nil {
+		return err
+	}
+	if rep.Failed() {
+		fmt.Fprintf(stderr, "benchgate: FAIL: %d regression(s), %d missing benchmark(s)\n",
+			len(rep.Regressions()), len(rep.Missing))
+		return errRegression
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return nil
+}

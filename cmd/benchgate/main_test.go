@@ -1,0 +1,97 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/obs/benchjson"
+)
+
+func writePoint(t *testing.T, dir, name string, ns map[string]float64) {
+	t.Helper()
+	f := benchjson.File{Schema: benchjson.Schema, Commit: "test", Date: "2026-08-05"}
+	for bname, v := range ns {
+		f.Benchmarks = append(f.Benchmarks, benchjson.Result{Name: bname, NsPerOp: v, Iterations: 1})
+	}
+	if err := benchjson.WriteFile(filepath.Join(dir, name), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The compare subcommand gates the two newest trajectory points: a 50%
+// ns/op regression fails with exit-worthy errRegression, noise within the
+// threshold passes.
+func TestCompareGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writePoint(t, dir, "BENCH_0.json", map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 2000})
+	writePoint(t, dir, "BENCH_1.json", map[string]float64{"BenchmarkA": 1500, "BenchmarkB": 2000})
+
+	var out, errb strings.Builder
+	err := run([]string{"compare", "-dir", dir}, &out, &errb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "BenchmarkA") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+
+	// Replace the candidate with one inside the noise threshold: passes.
+	writePoint(t, dir, "BENCH_1.json", map[string]float64{"BenchmarkA": 1050, "BenchmarkB": 1980})
+	out.Reset()
+	if err := run([]string{"compare", "-dir", dir}, &out, &errb); err != nil {
+		t.Fatalf("noise compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+func TestCompareExplicitFilesAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	writePoint(t, dir, "BENCH_0.json", map[string]float64{"BenchmarkA": 1000})
+	writePoint(t, dir, "BENCH_1.json", map[string]float64{"BenchmarkA": 1200})
+
+	var out, errb strings.Builder
+	// +20% passes a 25% threshold...
+	if err := run([]string{"compare", "-dir", dir, "-threshold", "25"}, &out, &errb); err != nil {
+		t.Fatalf("threshold 25: %v", err)
+	}
+	// ...and fails a 15% one, with explicit -old/-new selection.
+	err := run([]string{"compare",
+		"-old", filepath.Join(dir, "BENCH_0.json"),
+		"-new", filepath.Join(dir, "BENCH_1.json"),
+		"-threshold", "15"}, &out, &errb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("threshold 15: err = %v, want errRegression", err)
+	}
+}
+
+func TestCompareSinglePointIsNotAFailure(t *testing.T) {
+	dir := t.TempDir()
+	writePoint(t, dir, "BENCH_0.json", map[string]float64{"BenchmarkA": 1000})
+	var out, errb strings.Builder
+	if err := run([]string{"compare", "-dir", dir}, &out, &errb); err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+	if !strings.Contains(out.String(), "nothing to gate against") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestCompareEmptyDirErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"compare", "-dir", t.TempDir()}, &out, &errb); err == nil {
+		t.Fatal("empty trajectory dir accepted")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	for _, args := range [][]string{{}, {"bogus"}} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}

@@ -9,11 +9,16 @@
 //	        [-quick] [-out DIR] [-timeout 30s] [-max-evals N]
 //	        [-checkpoint stages.jsonl] [-resume stages.jsonl]
 //	        [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
+//	        [-serve 127.0.0.1:9090]
 //
 // The run is interruptible: Ctrl-C (or an expired -timeout / exhausted
 // -max-evals budget) stops the fit cooperatively with a typed stop reason.
 // With -checkpoint, a completed extraction is recorded and a rerun with the
 // same model, seed and budgets restores it instead of recomputing.
+//
+// With -serve, a live telemetry endpoint exposes /metrics (Prometheus text
+// format), /healthz, /runs, /events (SSE) and /debug/pprof while the run is
+// in flight; the first Ctrl-C drains it before the final report prints.
 package main
 
 import (

@@ -10,12 +10,17 @@
 //	       [-timeout 30s] [-max-evals N] [-checkpoint stages.jsonl]
 //	       [-resume stages.jsonl] [-restarts N]
 //	       [-journal run.jsonl] [-metrics] [-pprof localhost:6060]
+//	       [-serve 127.0.0.1:9090]
 //
 // The run is interruptible: Ctrl-C (or an expired -timeout / exhausted
 // -max-evals budget) stops the optimizers cooperatively and the best design
 // found so far is reported together with the stop reason. With -checkpoint,
 // completed stages (extraction, design) are recorded and a rerun with the
 // same seed and budgets resumes from them bit-identically.
+//
+// With -serve, a live telemetry endpoint exposes /metrics (Prometheus text
+// format), /healthz, /runs, /events (SSE) and /debug/pprof while the run is
+// in flight; the first Ctrl-C drains it before the final report prints.
 package main
 
 import (

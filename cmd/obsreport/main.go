@@ -1,0 +1,114 @@
+// Command obsreport analyzes JSONL run journals written by the -journal
+// flag of lnaopt, extract and experiments: convergence traces, per-scope
+// wall/eval attribution and run-to-run comparisons.
+//
+// Usage:
+//
+//	obsreport summary [-json] run.jsonl
+//	obsreport compare [-json] a.jsonl b.jsonl
+//	obsreport trace   [-json] [-scope design.attain] run.jsonl
+//
+// A journal truncated by a crash mid-line is reported on stderr and
+// analyzed up to its last complete record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gnsslna/internal/obs/replay"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: obsreport summary|compare|trace [flags] <journal.jsonl> [b.jsonl]")
+}
+
+// load parses one journal, degrading gracefully on a corrupt tail: the
+// complete prefix is analyzed and the tail error is reported on stderr.
+func load(path string, stderr io.Writer) (*replay.Run, error) {
+	r, err := replay.ParseFile(path)
+	if err != nil {
+		if te, ok := replay.AsTailError(err); ok && r != nil {
+			fmt.Fprintf(stderr, "obsreport: warning: %s: %v (analyzing the %d complete records)\n",
+				path, te, len(r.Records))
+			return r, nil
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("obsreport "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	scope := fs.String("scope", "", "restrict the trace to one scope (trace only)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	emit := func(v any) error {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+
+	switch cmd {
+	case "summary":
+		if fs.NArg() != 1 {
+			return usage()
+		}
+		r, err := load(fs.Arg(0), stderr)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(r.Summarize())
+		}
+		return replay.WriteSummaryText(stdout, filepath.Base(fs.Arg(0)), r)
+	case "compare":
+		if fs.NArg() != 2 {
+			return usage()
+		}
+		a, err := load(fs.Arg(0), stderr)
+		if err != nil {
+			return err
+		}
+		b, err := load(fs.Arg(1), stderr)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(replay.Compare(a, b))
+		}
+		return replay.WriteCompareText(stdout,
+			filepath.Base(fs.Arg(0)), filepath.Base(fs.Arg(1)), a, b)
+	case "trace":
+		if fs.NArg() != 1 {
+			return usage()
+		}
+		r, err := load(fs.Arg(0), stderr)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(r.Trace(*scope))
+		}
+		return replay.WriteTraceText(stdout, *scope, r)
+	}
+	return usage()
+}

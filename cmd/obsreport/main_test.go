@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/obs/replay"
+)
+
+const fixtures = "../../internal/obs/replay/testdata"
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), errb.String()
+}
+
+func TestSummarySubcommand(t *testing.T) {
+	out, _ := runCLI(t, "summary", filepath.Join(fixtures, "run_a.jsonl"))
+	if !strings.Contains(out, "7 records") || !strings.Contains(out, "design.attain.de") {
+		t.Fatalf("summary output:\n%s", out)
+	}
+}
+
+// -json must survive scopes whose best objective is NaN (marshaled null).
+func TestSummaryJSON(t *testing.T) {
+	out, _ := runCLI(t, "summary", "-json", filepath.Join(fixtures, "run_a.jsonl"))
+	var s replay.Summary
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, out)
+	}
+	if s.Records != 7 || s.TotalEvals != 120 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !strings.Contains(out, `"best": null`) {
+		t.Errorf("NaN best not marshaled as null:\n%s", out)
+	}
+}
+
+func TestCompareSubcommand(t *testing.T) {
+	out, _ := runCLI(t, "compare",
+		filepath.Join(fixtures, "run_a.jsonl"), filepath.Join(fixtures, "run_b.jsonl"))
+	for _, want := range []string{"design.attain.de", "+100.0%", "vna.campaign", "only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	var deltas []replay.ScopeDelta
+	jout, _ := runCLI(t, "compare", "-json",
+		filepath.Join(fixtures, "run_a.jsonl"), filepath.Join(fixtures, "run_b.jsonl"))
+	if err := json.Unmarshal([]byte(jout), &deltas); err != nil {
+		t.Fatalf("compare JSON: %v", err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v, want 3 scopes", deltas)
+	}
+}
+
+func TestTraceSubcommand(t *testing.T) {
+	out, _ := runCLI(t, "trace", "-scope", "design.attain.de",
+		filepath.Join(fixtures, "run_a.jsonl"))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 points
+		t.Fatalf("trace lines = %d, want 4:\n%s", len(lines), out)
+	}
+}
+
+// A truncated journal is analyzed up to its last complete record, with a
+// warning on stderr rather than a hard failure.
+func TestTruncatedJournalDegrades(t *testing.T) {
+	out, errOut := runCLI(t, "summary", filepath.Join(fixtures, "truncated.jsonl"))
+	if !strings.Contains(errOut, "tail corrupt at line 2") {
+		t.Fatalf("stderr missing tail warning: %q", errOut)
+	}
+	if !strings.Contains(out, "1 records") {
+		t.Fatalf("summary of truncated journal:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errb strings.Builder
+	for _, args := range [][]string{
+		{}, {"nonsense"}, {"summary"}, {"compare", "one.jsonl"},
+	} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+	if err := run([]string{"summary", "does-not-exist.jsonl"}, &out, &errb); err == nil {
+		t.Error("missing journal accepted")
+	}
+}

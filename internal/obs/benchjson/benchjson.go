@@ -1,0 +1,314 @@
+// Package benchjson is the benchmark-trajectory harness: it parses `go test
+// -bench` output, persists each run as a numbered BENCH_<n>.json file (the
+// repo's perf trajectory), and gates on ns/op regressions between
+// consecutive points. The library is pure — the commit id and date are
+// caller-supplied, never sampled here — so results are reproducible and
+// testable; cmd/benchgate is the CLI shell.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the BENCH_<n>.json layout version.
+const Schema = 1
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped, so
+	// trajectories compare across machines.
+	Name string `json:"name"`
+	// Iterations is the b.N the measurement settled on.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the measured nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are reported with -benchmem (0 otherwise).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// File is one point of the benchmark trajectory.
+type File struct {
+	// Schema is the layout version (see Schema).
+	Schema int `json:"schema"`
+	// Commit identifies the measured revision (caller-supplied).
+	Commit string `json:"commit,omitempty"`
+	// Date is the measurement date, caller-supplied (the library never
+	// reads the clock).
+	Date string `json:"date,omitempty"`
+	// GoVersion records the toolchain that produced the numbers.
+	GoVersion string `json:"go_version,omitempty"`
+	// Benchmarks holds the measurements, sorted by name.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix of a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// ParseBench extracts benchmark results from `go test -bench` output.
+// Non-benchmark lines (test logs, PASS/ok trailers) are ignored, so the
+// stream can be a full verbose test run. A benchmark appearing several
+// times (e.g. -count > 1) keeps its last measurement.
+func ParseBench(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	byName := map[string]Result{}
+	for sc.Scan() {
+		res, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		byName[res.Name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: scan: %w", err)
+	}
+	out := make([]Result, 0, len(byName))
+	for _, res := range byName {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-8  100  123 ns/op  4 B/op  1
+// allocs/op` line, reporting ok=false for anything else.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: stripProcs(fields[0]), Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, sawNs
+}
+
+// WriteFile writes the trajectory point to path as indented JSON.
+func WriteFile(path string, f File) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return nil
+}
+
+// ReadFile parses the trajectory point at path.
+func ReadFile(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("benchjson: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// List returns the BENCH_<n>.json paths under dir in ascending numeric
+// order (BENCH_2 before BENCH_10).
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if e.IsDir() || m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	out := make([]string, len(found))
+	for i, f := range found {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// NextPath returns the path the next trajectory point should be written to:
+// BENCH_<n+1>.json after the highest existing index, or BENCH_0.json in an
+// empty directory.
+func NextPath(dir string) (string, error) {
+	existing, err := List(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	if len(existing) > 0 {
+		last := filepath.Base(existing[len(existing)-1])
+		m := benchFileRe.FindStringSubmatch(last)
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			return "", fmt.Errorf("benchjson: bad index in %s", last)
+		}
+		next = n + 1
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// Delta is one benchmark's movement between two trajectory points.
+type Delta struct {
+	// Name is the benchmark name.
+	Name string `json:"name"`
+	// OldNs and NewNs are the two ns/op measurements.
+	OldNs float64 `json:"old_ns"`
+	NewNs float64 `json:"new_ns"`
+	// Pct is the relative ns/op change, 100*(new-old)/old.
+	Pct float64 `json:"pct"`
+	// Regression is true when Pct exceeds the gate threshold.
+	Regression bool `json:"regression,omitempty"`
+}
+
+// Report is the outcome of comparing two trajectory points.
+type Report struct {
+	// ThresholdPct is the regression gate applied, percent.
+	ThresholdPct float64 `json:"threshold_pct"`
+	// Deltas covers every benchmark present in both points, sorted by name.
+	Deltas []Delta `json:"deltas"`
+	// Missing names benchmarks in the old point absent from the new one;
+	// Added the reverse.
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+}
+
+// Regressions returns the deltas beyond the threshold.
+func (r Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the gate should fail: any ns/op regression beyond
+// the threshold, or a benchmark that disappeared (a silently dropped
+// benchmark must not pass the gate).
+func (r Report) Failed() bool {
+	return len(r.Regressions()) > 0 || len(r.Missing) > 0
+}
+
+// Compare gates the new trajectory point against the old one: a benchmark
+// whose ns/op grew by more than thresholdPct percent is marked a
+// regression. A non-positive threshold applies the 10% default.
+func Compare(old, new File, thresholdPct float64) Report {
+	if thresholdPct <= 0 {
+		thresholdPct = 10
+	}
+	rep := Report{ThresholdPct: thresholdPct}
+	oldBy := map[string]Result{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]Result{}
+	for _, b := range new.Benchmarks {
+		newBy[b.Name] = b
+		if _, ok := oldBy[b.Name]; !ok {
+			rep.Added = append(rep.Added, b.Name)
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, ob.Name)
+			continue
+		}
+		d := Delta{Name: ob.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		if ob.NsPerOp > 0 {
+			d.Pct = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		d.Regression = d.Pct > thresholdPct
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// WriteReportText renders the comparison as an aligned text table, flagging
+// regressions.
+func WriteReportText(w io.Writer, labelOld, labelNew string, r Report) error {
+	if _, err := fmt.Fprintf(w, "bench gate: %s -> %s (threshold %+.1f%% ns/op)\n",
+		labelOld, labelNew, r.ThresholdPct); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old_ns/op", "new_ns/op", "delta"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		flag := ""
+		if d.Regression {
+			flag = "  REGRESSION"
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Pct, flag); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Missing {
+		if _, err := fmt.Fprintf(w, "%-40s missing from new run  REGRESSION\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Added {
+		if _, err := fmt.Fprintf(w, "%-40s new benchmark\n", name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gnsslna
+cpu: Some CPU @ 2.40GHz
+BenchmarkE1ModelComparison-8   	     100	  11873456 ns/op	  524288 B/op	    1024 allocs/op
+BenchmarkE2ExtractionMethods-8 	       2	 612345678 ns/op
+BenchmarkDeviceSParams-8       	  500000	      2210 ns/op	       0 B/op	       0 allocs/op
+some stray log line
+BenchmarkComplexLUSolve16      	   10000	    105000 ns/op	   16384 B/op	       3 allocs/op
+PASS
+ok  	gnsslna	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("ParseBench: %v", err)
+	}
+	want := []Result{
+		{Name: "BenchmarkComplexLUSolve16", Iterations: 10000, NsPerOp: 105000, BytesPerOp: 16384, AllocsPerOp: 3},
+		{Name: "BenchmarkDeviceSParams", Iterations: 500000, NsPerOp: 2210},
+		{Name: "BenchmarkE1ModelComparison", Iterations: 100, NsPerOp: 11873456, BytesPerOp: 524288, AllocsPerOp: 1024},
+		{Name: "BenchmarkE2ExtractionMethods", Iterations: 2, NsPerOp: 612345678},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed = %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseBenchKeepsLastOfRepeats(t *testing.T) {
+	in := "BenchmarkX-4 100 200 ns/op\nBenchmarkX-4 100 300 ns/op\n"
+	got, err := ParseBench(strings.NewReader(in))
+	if err != nil || len(got) != 1 || got[0].NsPerOp != 300 {
+		t.Fatalf("got %+v err %v, want single BenchmarkX at 300 ns/op", got, err)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkFoo-8", "BenchmarkFoo"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar"},
+		{"BenchmarkTwo-Stage-16", "BenchmarkTwo-Stage"},
+	}
+	for _, c := range cases {
+		if got := stripProcs(c.in); got != c.want {
+			t.Errorf("stripProcs(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := File{
+		Schema: Schema, Commit: "abc1234", Date: "2026-08-05", GoVersion: "go1.24.0",
+		Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 10, NsPerOp: 1.5}},
+	}
+	path := filepath.Join(dir, "BENCH_0.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, back) {
+		t.Fatalf("round trip: %+v != %+v", back, f)
+	}
+}
+
+func TestListAndNextPathNumericOrder(t *testing.T) {
+	dir := t.TempDir()
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0.json" {
+		t.Fatalf("empty dir NextPath = %s, %v", next, err)
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range paths {
+		names = append(names, filepath.Base(p))
+	}
+	want := []string{"BENCH_0.json", "BENCH_2.json", "BENCH_10.json"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("List = %v, want %v (numeric order, junk skipped)", names, want)
+	}
+	next, err = NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("NextPath = %s, %v, want BENCH_11.json", next, err)
+	}
+}
+
+func point(ns map[string]float64) File {
+	f := File{Schema: Schema}
+	for name, v := range ns {
+		f.Benchmarks = append(f.Benchmarks, Result{Name: name, NsPerOp: v, Iterations: 1})
+	}
+	return f
+}
+
+// The gate must fail a synthetic 50% ns/op regression and pass noise within
+// the threshold.
+func TestCompareGateRegression(t *testing.T) {
+	old := point(map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 2000})
+	slow := point(map[string]float64{"BenchmarkA": 1500, "BenchmarkB": 2000}) // A +50%
+	rep := Compare(old, slow, 10)
+	if !rep.Failed() {
+		t.Fatal("50% regression passed the gate")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" || regs[0].Pct != 50 {
+		t.Fatalf("regressions = %+v, want BenchmarkA at +50%%", regs)
+	}
+
+	noisy := point(map[string]float64{"BenchmarkA": 1080, "BenchmarkB": 1900}) // +8%, -5%
+	rep = Compare(old, noisy, 10)
+	if rep.Failed() {
+		t.Fatalf("noise within threshold failed the gate: %+v", rep.Regressions())
+	}
+
+	// An improvement never trips the gate, however large.
+	fast := point(map[string]float64{"BenchmarkA": 10, "BenchmarkB": 20})
+	if rep = Compare(old, fast, 10); rep.Failed() {
+		t.Fatal("speedup failed the gate")
+	}
+}
+
+func TestCompareMissingAndAdded(t *testing.T) {
+	old := point(map[string]float64{"BenchmarkA": 1000, "BenchmarkGone": 500})
+	new := point(map[string]float64{"BenchmarkA": 1000, "BenchmarkNew": 100})
+	rep := Compare(old, new, 10)
+	if !reflect.DeepEqual(rep.Missing, []string{"BenchmarkGone"}) ||
+		!reflect.DeepEqual(rep.Added, []string{"BenchmarkNew"}) {
+		t.Fatalf("missing=%v added=%v", rep.Missing, rep.Added)
+	}
+	if !rep.Failed() {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+}
+
+func TestCompareDefaultThreshold(t *testing.T) {
+	old := point(map[string]float64{"BenchmarkA": 1000})
+	new := point(map[string]float64{"BenchmarkA": 1090})
+	if rep := Compare(old, new, 0); rep.Failed() || rep.ThresholdPct != 10 {
+		t.Fatalf("default threshold report = %+v", rep)
+	}
+}
+
+func TestWriteReportText(t *testing.T) {
+	old := point(map[string]float64{"BenchmarkA": 1000, "BenchmarkGone": 1})
+	new := point(map[string]float64{"BenchmarkA": 1500, "BenchmarkNew": 2})
+	var b strings.Builder
+	if err := WriteReportText(&b, "BENCH_0.json", "BENCH_1.json", Compare(old, new, 10)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"+50.0%", "REGRESSION", "BenchmarkGone", "missing", "BenchmarkNew", "new benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

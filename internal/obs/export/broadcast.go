@@ -1,0 +1,99 @@
+package export
+
+import (
+	"sync"
+
+	"gnsslna/internal/obs"
+)
+
+// subBuffer is each subscriber's channel capacity; a subscriber that falls
+// further behind than this loses events rather than stalling the emitting
+// optimizer loop.
+const subBuffer = 256
+
+// Broadcaster is an obs.Observer that fans events out to any number of
+// subscribers (the SSE handlers). Sends never block: a full subscriber
+// buffer drops the event and counts it, so instrumented hot loops pay at
+// most a mutex and a channel send per event.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[chan obs.Event]struct{}
+	closed  bool
+	dropped int64
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[chan obs.Event]struct{})}
+}
+
+// Observe implements obs.Observer.
+func (b *Broadcaster) Observe(e obs.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber and returns its event channel plus a
+// cancel function. The channel is closed by cancel or by Close; after Close,
+// Subscribe returns an already-closed channel so late subscribers terminate
+// immediately.
+func (b *Broadcaster) Subscribe() (<-chan obs.Event, func()) {
+	ch := make(chan obs.Event, subBuffer)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() { b.unsubscribe(ch) }
+}
+
+func (b *Broadcaster) unsubscribe(ch chan obs.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+// Subscribers reports the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped reports how many events were lost to slow subscribers.
+func (b *Broadcaster) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Close drains the broadcaster: every subscriber channel is closed (ending
+// its SSE stream) and later events are discarded. Close is idempotent.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}

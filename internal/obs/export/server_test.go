@@ -1,0 +1,225 @@
+package export
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gnsslna/internal/obs"
+	"gnsslna/internal/resilience"
+)
+
+func TestBroadcasterFanOutAndDrop(t *testing.T) {
+	b := NewBroadcaster()
+	ch1, cancel1 := b.Subscribe()
+	ch2, cancel2 := b.Subscribe()
+	defer cancel2()
+	if n := b.Subscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2", n)
+	}
+	b.Observe(obs.Event{Kind: obs.KindGeneration, Scope: "s", Gen: 1})
+	for _, ch := range []<-chan obs.Event{ch1, ch2} {
+		e := <-ch
+		if e.Kind != obs.KindGeneration || e.Gen != 1 {
+			t.Fatalf("event = %+v", e)
+		}
+	}
+	cancel1()
+	if _, ok := <-ch1; ok {
+		t.Fatal("canceled subscriber channel not closed")
+	}
+
+	// Overfill the remaining subscriber: events past its buffer drop
+	// instead of blocking the emitter.
+	for i := 0; i < subBuffer+10; i++ {
+		b.Observe(obs.Event{Kind: obs.KindSample, Scope: "x", Value: float64(i)})
+	}
+	if d := b.Dropped(); d != 10 {
+		t.Fatalf("dropped = %d, want 10", d)
+	}
+
+	b.Close()
+	b.Close() // idempotent
+	ch3, cancel3 := b.Subscribe()
+	defer cancel3()
+	if _, ok := <-ch3; ok {
+		t.Fatal("post-close Subscribe returned an open channel")
+	}
+}
+
+func startServer(t *testing.T, o Options) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("run.evals").Add(7)
+	reg.Histogram("run.ms").Observe(3)
+	s := startServer(t, Options{Registry: reg})
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, `gnsslna_run_evals_total{name="run.evals"} 7`) {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `gnsslna_run_ms_bucket{name="run.ms",le="+Inf"} 1`) {
+		t.Errorf("metrics body missing histogram:\n%s", body)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	ctrl := resilience.NewController(resilience.ControllerOptions{MaxEvals: 5})
+	s := startServer(t, Options{Health: ctrl.Health})
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("healthy: status %d body %s", code, body)
+	}
+	ctrl.AddEvals(5)
+	code, body = get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stopped status = %d, want 503 (body %s)", code, body)
+	}
+	var h resilience.HealthState
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if h.OK || h.Reason != "eval-budget" || h.Evals != 5 {
+		t.Fatalf("health = %+v, want stopped eval-budget with 5 evals", h)
+	}
+}
+
+func TestServerRunsListing(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "b.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.jsonl"), []byte("{}\n{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, Options{RunsDir: dir})
+	code, body := get(t, "http://"+s.Addr()+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var runs []RunInfo
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("runs JSON: %v (%s)", err, body)
+	}
+	if len(runs) != 2 || runs[0].Name != "a.jsonl" || runs[1].Name != "b.jsonl" {
+		t.Fatalf("runs = %+v, want a.jsonl then b.jsonl", runs)
+	}
+	if runs[0].Bytes != 6 || runs[0].Modified == "" {
+		t.Fatalf("run info incomplete: %+v", runs[0])
+	}
+}
+
+// sseClient reads one SSE event (event: + data: lines) from the stream.
+func readSSE(t *testing.T, r *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+}
+
+func TestServerEventsStreamAndGracefulShutdown(t *testing.T) {
+	bc := NewBroadcaster()
+	s := startServer(t, Options{Broadcast: bc})
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// The subscription races the handler goroutine; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for bc.Subscribers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	bc.Observe(obs.Event{Kind: obs.KindGeneration, Scope: "design.attain", Gen: 3, Evals: 120, Best: -0.5})
+
+	br := bufio.NewReader(resp.Body)
+	event, data := readSSE(t, br)
+	if event != "generation" {
+		t.Fatalf("event = %q, want generation", event)
+	}
+	var e eventJSON
+	if err := json.Unmarshal([]byte(data), &e); err != nil {
+		t.Fatalf("event data %q: %v", data, err)
+	}
+	if e.Scope != "design.attain" || e.Gen != 3 || e.Evals != 120 || e.Best != -0.5 {
+		t.Fatalf("event = %+v", e)
+	}
+
+	// Graceful shutdown drains the SSE stream: the body reaches EOF
+	// rather than hanging, and Shutdown returns without force-closing.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatalf("draining body after shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func TestServerEventsDisabled(t *testing.T) {
+	s := startServer(t, Options{})
+	code, _ := get(t, "http://"+s.Addr()+"/events")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", code)
+	}
+}

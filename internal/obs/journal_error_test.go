@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingWriter succeeds for the first n writes, then fails every call.
+type failingWriter struct {
+	n   int
+	err error
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestJournalCloseSurfacesStickyWriteError pins the journal's error
+// contract: the first append/flush failure sticks, every later Append
+// returns it, and Close surfaces it instead of swallowing it — so a caller
+// that only checks Close still learns the journal on disk is incomplete.
+func TestJournalCloseSurfacesStickyWriteError(t *testing.T) {
+	boom := errors.New("disk full")
+	j := NewJournal(&failingWriter{n: 1, err: boom})
+
+	if err := j.Append(Record{Event: "generation", Scope: "s"}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := j.Append(Record{Event: "generation", Scope: "s"}); !errors.Is(err, boom) {
+		t.Fatalf("second append err = %v, want %v", err, boom)
+	}
+	// The error sticks: later appends fail fast without writing.
+	if err := j.Append(Record{Event: "done", Scope: "s"}); !errors.Is(err, boom) {
+		t.Fatalf("third append err = %v, want sticky %v", err, boom)
+	}
+	if err := j.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want %v", err, boom)
+	}
+	if err := j.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close() = %v, want the first write error %v", err, boom)
+	}
+}
+
+// TestJournalCloseFlushError covers the complementary path: every write
+// fails, so the very first Append already surfaces the flush error and
+// Close repeats it.
+func TestJournalCloseFlushError(t *testing.T) {
+	boom := errors.New("short write")
+	j := NewJournal(&failingWriter{n: 0, err: boom})
+	if err := j.Append(Record{Event: "sample", Scope: "x", WallMs: 1}); !errors.Is(err, boom) {
+		t.Fatalf("append err = %v, want %v", err, boom)
+	}
+	if err := j.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close() = %v, want %v", err, boom)
+	}
+}

@@ -87,6 +87,38 @@ func bucketOf(v float64) int {
 	return i
 }
 
+// Bucket is one cumulative histogram bucket: Count samples were observed at
+// values <= Le (the last bucket has Le = +Inf and Count equal to the total
+// sample count). The bounds follow the internal base-2 grid, so converting a
+// Histogram to Prometheus exposition format is pure formatting.
+type Bucket struct {
+	// Le is the inclusive upper bound of the bucket.
+	Le float64
+	// Count is the cumulative number of samples observed at values <= Le.
+	Count int64
+}
+
+// Cumulative returns the histogram's buckets in cumulative ("le") form,
+// smallest bound first. It always returns the full fixed grid, including
+// empty buckets, so the output shape is deterministic.
+func (h *Histogram) Cumulative() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Bucket, histBuckets)
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		// Bucket i covers [2^(i-histShift), 2^(i-histShift+1)), so its
+		// upper bound is 2^(i-histShift+1); the top bucket is unbounded.
+		le := math.Exp2(float64(i - histShift + 1))
+		if i == histBuckets-1 {
+			le = math.Inf(1)
+		}
+		out[i] = Bucket{Le: le, Count: cum}
+	}
+	return out
+}
+
 // HistogramSnapshot is a point-in-time summary of a Histogram.
 type HistogramSnapshot struct {
 	// Count, Sum, Min, Max and Mean summarize the raw samples.

@@ -1,0 +1,365 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// OptFloat is a float64 that marshals NaN (and infinities) as JSON null, so
+// analytics over journals with absent objectives stay JSON-encodable for
+// obsreport's -json mode. It unmarshals null back to NaN.
+type OptFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (v OptFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *OptFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*v = OptFloat(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*v = OptFloat(f)
+	return nil
+}
+
+// IsNaN reports whether the value is NaN.
+func (v OptFloat) IsNaN() bool { return math.IsNaN(float64(v)) }
+
+// TracePoint is one step of a best-objective-vs-evals convergence trace,
+// taken from "generation" and "done" records.
+type TracePoint struct {
+	// Seq is the journal sequence number of the source record.
+	Seq int64 `json:"seq"`
+	// TMs is the emission time, milliseconds since the journal opened.
+	TMs float64 `json:"t_ms"`
+	// Scope names the emitting optimizer loop.
+	Scope string `json:"scope,omitempty"`
+	// Gen is the generation ordinal.
+	Gen int `json:"gen"`
+	// Evals is the cumulative evaluation count at the point.
+	Evals int64 `json:"evals"`
+	// Best is the best (lowest) objective value so far.
+	Best float64 `json:"best"`
+}
+
+// Trace extracts the convergence trace for one scope ("" keeps every scope)
+// in journal order.
+func (r *Run) Trace(scope string) []TracePoint {
+	var out []TracePoint
+	for _, rec := range r.Records {
+		if rec.Event != "generation" && rec.Event != "done" {
+			continue
+		}
+		if scope != "" && rec.Scope != scope {
+			continue
+		}
+		out = append(out, TracePoint{
+			Seq: rec.Seq, TMs: rec.TMs, Scope: rec.Scope,
+			Gen: rec.Gen, Evals: rec.Evals, Best: rec.Best,
+		})
+	}
+	return out
+}
+
+// ScopeStat attributes work to one journal scope. Wall time and evaluations
+// come from span-end records when the scope emitted spans, and from its
+// done records otherwise (the hub's scope naming keeps the two disjoint, so
+// this avoids double counting a run enclosed by its own span).
+type ScopeStat struct {
+	// Scope names the loop or phase.
+	Scope string `json:"scope"`
+	// Spans counts completed span-end records.
+	Spans int `json:"spans,omitempty"`
+	// Gens counts generation records.
+	Gens int `json:"gens,omitempty"`
+	// Runs counts done records.
+	Runs int `json:"runs,omitempty"`
+	// WallMs is the wall time attributed to the scope, milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Evals is the evaluation count attributed to the scope.
+	Evals int64 `json:"evals"`
+	// Faults counts quarantined evaluations reported under the scope.
+	Faults int `json:"faults,omitempty"`
+	// Best is the lowest objective reported by the scope's generation and
+	// done records (NaN — JSON null — when the scope reported none).
+	Best OptFloat `json:"best"`
+}
+
+// ScopeStats aggregates the journal per scope, sorted by scope name.
+func (r *Run) ScopeStats() []ScopeStat {
+	type acc struct {
+		ScopeStat
+		spanWall, doneWall   float64
+		spanEvals, doneEvals int64
+		best                 float64
+		hasBest              bool
+	}
+	byScope := map[string]*acc{}
+	order := []string{}
+	get := func(scope string) *acc {
+		a := byScope[scope]
+		if a == nil {
+			a = &acc{ScopeStat: ScopeStat{Scope: scope}}
+			byScope[scope] = a
+			order = append(order, scope)
+		}
+		return a
+	}
+	for _, rec := range r.Records {
+		switch rec.Event {
+		case "generation":
+			a := get(rec.Scope)
+			a.Gens++
+			if !a.hasBest || rec.Best < a.best {
+				a.best, a.hasBest = rec.Best, true
+			}
+		case "span-end":
+			a := get(rec.Scope)
+			a.Spans++
+			a.spanWall += rec.WallMs
+			a.spanEvals += rec.Evals
+		case "done":
+			a := get(rec.Scope)
+			a.Runs++
+			a.doneWall += rec.WallMs
+			a.doneEvals += rec.Evals
+			if !a.hasBest || rec.Best < a.best {
+				a.best, a.hasBest = rec.Best, true
+			}
+		case "fault":
+			get(rec.Scope).Faults++
+		}
+	}
+	sort.Strings(order)
+	out := make([]ScopeStat, 0, len(order))
+	for _, scope := range order {
+		a := byScope[scope]
+		if a.Spans > 0 {
+			a.WallMs, a.Evals = a.spanWall, a.spanEvals
+		} else {
+			a.WallMs, a.Evals = a.doneWall, a.doneEvals
+		}
+		a.Best = OptFloat(math.NaN())
+		if a.hasBest {
+			a.Best = OptFloat(a.best)
+		}
+		out = append(out, a.ScopeStat)
+	}
+	return out
+}
+
+// Summary condenses one journal.
+type Summary struct {
+	// Records is the number of complete records parsed.
+	Records int `json:"records"`
+	// DurationMs is the last record's timestamp.
+	DurationMs float64 `json:"duration_ms"`
+	// Events counts records by event kind.
+	Events map[string]int `json:"events"`
+	// TotalEvals sums the evaluations of every done record.
+	TotalEvals int64 `json:"total_evals"`
+	// Best is the lowest objective over generation/done records (NaN —
+	// JSON null — when the journal has none) and BestScope the scope that
+	// reported it.
+	Best      OptFloat `json:"best"`
+	BestScope string   `json:"best_scope,omitempty"`
+	// Scopes is the per-scope attribution table.
+	Scopes []ScopeStat `json:"scopes"`
+}
+
+// Summarize condenses the run.
+func (r *Run) Summarize() Summary {
+	s := Summary{
+		Records: len(r.Records),
+		Events:  map[string]int{},
+		Best:    OptFloat(math.NaN()),
+	}
+	for _, rec := range r.Records {
+		s.Events[rec.Event]++
+		if rec.TMs > s.DurationMs {
+			s.DurationMs = rec.TMs
+		}
+		if rec.Event == "done" {
+			s.TotalEvals += rec.Evals
+		}
+		if rec.Event == "generation" || rec.Event == "done" {
+			if s.Best.IsNaN() || rec.Best < float64(s.Best) {
+				s.Best, s.BestScope = OptFloat(rec.Best), rec.Scope
+			}
+		}
+	}
+	s.Scopes = r.ScopeStats()
+	return s
+}
+
+// ScopeDelta is one row of a run-to-run diff: how a scope's wall time and
+// evaluation count moved between run A and run B. Percentages are relative
+// to A; a scope present in only one run reports OnlyIn "a" or "b".
+type ScopeDelta struct {
+	Scope    string   `json:"scope"`
+	WallAMs  float64  `json:"wall_a_ms"`
+	WallBMs  float64  `json:"wall_b_ms"`
+	WallPct  OptFloat `json:"wall_pct"`
+	EvalsA   int64    `json:"evals_a"`
+	EvalsB   int64    `json:"evals_b"`
+	EvalsPct OptFloat `json:"evals_pct"`
+	OnlyIn   string   `json:"only_in,omitempty"`
+}
+
+// pctDelta returns 100*(b-a)/a, NaN when a is zero and b differs.
+func pctDelta(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return 100 * (b - a) / a
+}
+
+// Compare diffs two runs scope by scope, sorted by scope name over the
+// union of both runs' scopes.
+func Compare(a, b *Run) []ScopeDelta {
+	sa, sb := a.ScopeStats(), b.ScopeStats()
+	byScope := map[string]*ScopeDelta{}
+	order := []string{}
+	get := func(scope string) *ScopeDelta {
+		d := byScope[scope]
+		if d == nil {
+			d = &ScopeDelta{Scope: scope}
+			byScope[scope] = d
+			order = append(order, scope)
+		}
+		return d
+	}
+	inA := map[string]bool{}
+	for _, st := range sa {
+		d := get(st.Scope)
+		d.WallAMs, d.EvalsA = st.WallMs, st.Evals
+		inA[st.Scope] = true
+	}
+	inB := map[string]bool{}
+	for _, st := range sb {
+		d := get(st.Scope)
+		d.WallBMs, d.EvalsB = st.WallMs, st.Evals
+		inB[st.Scope] = true
+	}
+	sort.Strings(order)
+	out := make([]ScopeDelta, 0, len(order))
+	for _, scope := range order {
+		d := byScope[scope]
+		switch {
+		case !inB[scope]:
+			d.OnlyIn = "a"
+		case !inA[scope]:
+			d.OnlyIn = "b"
+		}
+		d.WallPct = OptFloat(pctDelta(d.WallAMs, d.WallBMs))
+		d.EvalsPct = OptFloat(pctDelta(float64(d.EvalsA), float64(d.EvalsB)))
+		out = append(out, *d)
+	}
+	return out
+}
+
+// fmtBest renders an objective value, "-" for NaN (scope reported none).
+func fmtBest(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// fmtPct renders a percentage delta, "new" for NaN (zero baseline).
+func fmtPct(v OptFloat) string {
+	if v.IsNaN() {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", float64(v))
+}
+
+// WriteSummaryText renders a run summary as an aligned text table.
+func WriteSummaryText(w io.Writer, label string, r *Run) error {
+	s := r.Summarize()
+	if _, err := fmt.Fprintf(w, "journal %s: %d records, %.1f ms, %d evals, best %s",
+		label, s.Records, s.DurationMs, s.TotalEvals, fmtBest(float64(s.Best))); err != nil {
+		return err
+	}
+	if s.BestScope != "" {
+		if _, err := fmt.Fprintf(w, " (%s)", s.BestScope); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	kinds := make([]string, 0, len(s.Events))
+	for k := range s.Events {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "  %-12s %d\n", k, s.Events[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-34s %6s %6s %6s %12s %10s %10s\n",
+		"scope", "spans", "gens", "runs", "wall_ms", "evals", "best"); err != nil {
+		return err
+	}
+	for _, st := range s.Scopes {
+		if _, err := fmt.Fprintf(w, "%-34s %6d %6d %6d %12.1f %10d %10s\n",
+			st.Scope, st.Spans, st.Gens, st.Runs, st.WallMs, st.Evals, fmtBest(float64(st.Best))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTraceText renders a convergence trace as aligned text.
+func WriteTraceText(w io.Writer, scope string, r *Run) error {
+	pts := r.Trace(scope)
+	if _, err := fmt.Fprintf(w, "%8s %10s %8s %10s %12s  %s\n",
+		"seq", "t_ms", "gen", "evals", "best", "scope"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%8d %10.1f %8d %10d %12s  %s\n",
+			p.Seq, p.TMs, p.Gen, p.Evals, fmtBest(p.Best), p.Scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCompareText renders a run-to-run diff as an aligned text table with
+// per-scope wall-time and evaluation deltas (percentages relative to A).
+func WriteCompareText(w io.Writer, labelA, labelB string, a, b *Run) error {
+	deltas := Compare(a, b)
+	if _, err := fmt.Fprintf(w, "comparing A=%s vs B=%s\n", labelA, labelB); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-34s %12s %12s %8s %10s %10s %8s %6s\n",
+		"scope", "wall_a_ms", "wall_b_ms", "wall", "evals_a", "evals_b", "evals", "only"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		if _, err := fmt.Fprintf(w, "%-34s %12.1f %12.1f %8s %10d %10d %8s %6s\n",
+			d.Scope, d.WallAMs, d.WallBMs, fmtPct(d.WallPct),
+			d.EvalsA, d.EvalsB, fmtPct(d.EvalsPct), d.OnlyIn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

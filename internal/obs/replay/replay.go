@@ -1,0 +1,101 @@
+// Package replay is the read side of the run journal: it parses Record
+// JSONL streams written by internal/obs back into typed runs and computes
+// convergence analytics — best-objective-vs-evals traces, per-scope wall and
+// evaluation attribution, and run-to-run diffs. The cmd/obsreport CLI is a
+// thin shell over this package.
+//
+// Parsing degrades the same way the resilience checkpoints do: a journal
+// truncated by a crash mid-line (or otherwise corrupt) yields every complete
+// record plus a typed *TailError, so analytics still run on the valid
+// prefix.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"gnsslna/internal/obs"
+)
+
+// TailError reports a journal whose tail could not be parsed — typically a
+// crash mid-append. Records before Line were parsed successfully and are
+// returned alongside the error.
+type TailError struct {
+	// Line is the 1-based line number of the first unparseable line.
+	Line int
+	// Err is the underlying parse error.
+	Err error
+}
+
+// Error implements error.
+func (e *TailError) Error() string {
+	return fmt.Sprintf("replay: journal tail corrupt at line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *TailError) Unwrap() error { return e.Err }
+
+// AsTailError unwraps err to a *TailError, if one is in the chain.
+func AsTailError(err error) (*TailError, bool) {
+	var te *TailError
+	if errors.As(err, &te) {
+		return te, true
+	}
+	return nil, false
+}
+
+// Run is one parsed journal.
+type Run struct {
+	// Records holds every complete record in journal order.
+	Records []obs.Record
+}
+
+// Parse reads a JSONL journal stream. On a corrupt or truncated tail it
+// returns the Run holding every record before the bad line together with a
+// *TailError; the Run is non-nil whenever any complete records were read.
+func Parse(r io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	run := &Run{}
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return run, &TailError{Line: line, Err: err}
+		}
+		run.Records = append(run.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return run, &TailError{Line: line + 1, Err: err}
+	}
+	return run, nil
+}
+
+// ParseFile parses the JSONL journal at path (see Parse for tail handling).
+func ParseFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// FinalMetrics returns the flattened metrics snapshot from the last
+// "metrics" record, or nil when the journal has none.
+func (r *Run) FinalMetrics() map[string]float64 {
+	for i := len(r.Records) - 1; i >= 0; i-- {
+		if r.Records[i].Event == "metrics" {
+			return r.Records[i].Fields
+		}
+	}
+	return nil
+}

@@ -1,11 +1,11 @@
 // Package obscli wires the observability and resilience layers into the
-// command-line tools: it registers the shared -journal, -metrics and -pprof
-// flags plus the run-control flags (-timeout, -max-evals, -checkpoint,
-// -resume, -restarts), assembles the metrics registry / run journal behind
-// them, publishes the registry through expvar, and handles teardown.
-// Commands call Register before flag.Parse, Start after it, thread
-// Session.Observer() and Session.Controller() into the pipelines, and defer
-// Session.Close.
+// command-line tools: it registers the shared -journal, -metrics, -pprof and
+// -serve flags plus the run-control flags (-timeout, -max-evals, -checkpoint,
+// -resume, -restarts), assembles the metrics registry / run journal / live
+// telemetry endpoint behind them, publishes the registry through expvar, and
+// handles teardown. Commands call Register before flag.Parse, Start after it,
+// thread Session.Observer() and Session.Controller() into the pipelines, and
+// defer Session.Close.
 package obscli
 
 import (
@@ -17,9 +17,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"gnsslna/internal/obs"
+	"gnsslna/internal/obs/export"
 	"gnsslna/internal/resilience"
 )
 
@@ -36,6 +39,10 @@ type Flags struct {
 	// Pprof is the listen address for net/http/pprof and expvar
 	// ("" disables).
 	Pprof string
+	// Serve is the listen address of the live telemetry endpoint: /metrics
+	// (Prometheus text format), /healthz, /runs, /events (SSE) and
+	// /debug/pprof ("" disables).
+	Serve string
 	// Timeout bounds the run wall-clock time (0: unbounded).
 	Timeout time.Duration
 	// MaxEvals bounds the total objective evaluations (0: unbounded).
@@ -49,8 +56,8 @@ type Flags struct {
 	Restarts int
 }
 
-// Register installs the observability flags (-journal, -metrics, -pprof)
-// and the run-control flags (-timeout, -max-evals, -checkpoint, -resume,
+// Register installs the observability flags (-journal, -metrics, -pprof,
+// -serve) and the run-control flags (-timeout, -max-evals, -checkpoint, -resume,
 // -restarts) on the flag set. -resume is an alias of -checkpoint that
 // reads more naturally when pointing a fresh run at an existing file.
 func Register(fs *flag.FlagSet) *Flags {
@@ -58,6 +65,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Journal, "journal", "", "write a JSONL run journal to this `path`")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot when the run finishes")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar on this `address` (e.g. localhost:6060)")
+	fs.StringVar(&f.Serve, "serve", "", "serve the live telemetry endpoint (/metrics, /healthz, /runs, /events, /debug/pprof) on this `address` (port 0 picks a free port)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "stop the run after this wall-clock `duration`, keeping the best result so far (0: unbounded)")
 	fs.Int64Var(&f.MaxEvals, "max-evals", 0, "stop the run after `N` objective evaluations, keeping the best result so far (0: unbounded)")
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "append completed pipeline stages to this JSONL `path` and reuse matching stages already recorded there")
@@ -72,16 +80,20 @@ type Session struct {
 	reg         *obs.Registry
 	j           *obs.Journal
 	hub         *obs.Hub
+	bc          *export.Broadcaster
+	srv         *export.Server
+	ctrl        atomic.Pointer[resilience.RunController]
 	stopSignals context.CancelFunc
 }
 
 // Start opens the journal (when requested), assembles the hub, publishes the
-// registry under expvar, and serves pprof when an address is given. When no
-// observability flag is set it returns an inert session whose Observer is
-// nil, keeping the pipelines' hot loops free of instrumentation.
+// registry under expvar, serves pprof when an address is given, and starts
+// the live telemetry endpoint behind -serve. When no observability flag is
+// set it returns an inert session whose Observer is nil, keeping the
+// pipelines' hot loops free of instrumentation.
 func (f *Flags) Start() (*Session, error) {
 	s := &Session{flags: *f}
-	if f.Journal == "" && !f.Metrics && f.Pprof == "" {
+	if f.Journal == "" && !f.Metrics && f.Pprof == "" && f.Serve == "" {
 		return s, nil
 	}
 	if f.Journal != "" {
@@ -105,14 +117,46 @@ func (f *Flags) Start() (*Session, error) {
 			}
 		}(f.Pprof)
 	}
+	if f.Serve != "" {
+		s.bc = export.NewBroadcaster()
+		runsDir := "."
+		if f.Journal != "" {
+			runsDir = filepath.Dir(f.Journal)
+		}
+		srv, err := export.Serve(f.Serve, export.Options{
+			Registry:  s.reg,
+			Broadcast: s.bc,
+			Health:    s.health,
+			RunsDir:   runsDir,
+		})
+		if err != nil {
+			if s.j != nil {
+				_ = s.j.Close()
+			}
+			return nil, fmt.Errorf("obscli: telemetry server: %w", err)
+		}
+		s.srv = srv
+		fmt.Fprintf(os.Stderr, "obscli: telemetry endpoint on http://%s\n", srv.Addr())
+	}
 	return s, nil
 }
 
+// health adapts the session's run controller (set by Controller) for the
+// telemetry endpoint's /healthz probe. Before Controller runs — or when no
+// limits apply — the nil controller reports a healthy, unbounded run.
+func (s *Session) health() resilience.HealthState {
+	return s.ctrl.Load().Health()
+}
+
 // Observer returns the session's observer, or nil when observation is
-// disabled (callers can pass the result straight into the pipelines).
+// disabled (callers can pass the result straight into the pipelines). With
+// -serve active the observer fans out to the SSE broadcaster as well.
 func (s *Session) Observer() obs.Observer {
 	if s.hub == nil {
 		return nil
+	}
+	if s.bc != nil {
+		return obs.Multi(s.hub, s.bc)
 	}
 	return s.hub
 }
@@ -132,7 +176,38 @@ func (s *Session) Controller() *resilience.RunController {
 	if s.flags.Timeout > 0 {
 		co.Deadline = time.Now().Add(s.flags.Timeout)
 	}
-	return resilience.NewController(co)
+	c := resilience.NewController(co)
+	s.ctrl.Store(c)
+	if s.srv != nil {
+		// Drain the telemetry endpoint as soon as the run is cancelled:
+		// SSE clients see their streams end and the listener closes while
+		// the solvers are still unwinding to their best-so-far result.
+		// Close() also cancels ctx, so this goroutine never leaks.
+		go func() {
+			<-ctx.Done()
+			s.shutdownServer()
+		}()
+	}
+	return c
+}
+
+// shutdownServer drains the telemetry server (idempotent, bounded wait).
+func (s *Session) shutdownServer() error {
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// ServeAddr returns the telemetry endpoint's bound listen address (the
+// resolved port when -serve used port 0), or "" when -serve is off.
+func (s *Session) ServeAddr() string {
+	if s.srv == nil {
+		return ""
+	}
+	return s.srv.Addr()
 }
 
 // Checkpoint returns the -checkpoint/-resume path ("" when disabled).
@@ -141,15 +216,19 @@ func (s *Session) Checkpoint() string { return s.flags.Checkpoint }
 // Restarts returns the -restarts budget.
 func (s *Session) Restarts() int { return s.flags.Restarts }
 
-// Close appends the final metrics snapshot to the journal, flushes and
-// closes it, and prints the snapshot to stdout when -metrics was given.
+// Close drains the telemetry server, appends the final metrics snapshot to
+// the journal, flushes and closes it, and prints the snapshot to stdout when
+// -metrics was given.
 func (s *Session) Close() error {
 	var firstErr error
 	if s.stopSignals != nil {
 		s.stopSignals()
 	}
+	if err := s.shutdownServer(); err != nil {
+		firstErr = err
+	}
 	if s.j != nil {
-		if err := s.j.AppendSnapshot(s.reg); err != nil {
+		if err := s.j.AppendSnapshot(s.reg); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if err := s.j.Close(); err != nil && firstErr == nil {

@@ -1,0 +1,34 @@
+package resilience
+
+import "testing"
+
+func TestHealthNilController(t *testing.T) {
+	var c *RunController
+	h := c.Health()
+	if !h.OK || h.Reason != "" || h.Evals != 0 {
+		t.Fatalf("nil controller health = %+v, want healthy zero state", h)
+	}
+}
+
+func TestHealthReportsStopReasonAndEvals(t *testing.T) {
+	c := NewController(ControllerOptions{MaxEvals: 10})
+	c.AddEvals(4)
+	if h := c.Health(); !h.OK || h.Evals != 4 {
+		t.Fatalf("health under budget = %+v, want OK with 4 evals", h)
+	}
+	c.AddEvals(6)
+	h := c.Health()
+	if h.OK || h.Reason != "eval-budget" || h.Evals != 10 {
+		t.Fatalf("health at budget = %+v, want stopped eval-budget with 10 evals", h)
+	}
+
+	c2 := NewController(ControllerOptions{})
+	c2.TripBreaker()
+	if h := c2.Health(); h.OK || h.Reason != "breaker" {
+		t.Fatalf("tripped health = %+v, want stopped breaker", h)
+	}
+	c2.ResetBreaker()
+	if h := c2.Health(); !h.OK {
+		t.Fatalf("re-armed health = %+v, want OK", h)
+	}
+}

@@ -151,6 +151,31 @@ func (c *RunController) ResetBreaker() {
 	c.tripped.Store(false)
 }
 
+// HealthState is a point-in-time report of a controller for health
+// endpoints: whether the run may still continue, the stop reason when it
+// may not, and the evaluations accounted so far.
+type HealthState struct {
+	// OK is true while the run may continue.
+	OK bool `json:"ok"`
+	// Reason names the stop condition when OK is false ("" otherwise).
+	Reason string `json:"reason,omitempty"`
+	// Evals is the number of objective evaluations accounted so far.
+	Evals int64 `json:"evals"`
+}
+
+// Health summarizes the controller for the telemetry /healthz endpoint. It
+// is safe on a nil receiver, which reports a healthy, unbounded run.
+func (c *RunController) Health() HealthState {
+	h := HealthState{OK: true, Evals: c.Evals()}
+	if err := c.Check(); err != nil {
+		h.OK = false
+		if st, ok := AsStopped(err); ok {
+			h.Reason = st.Reason.String()
+		}
+	}
+	return h
+}
+
 // Check returns nil while the run may continue, or a *Stopped naming the
 // first matching stop condition. It never allocates on the happy path.
 func (c *RunController) Check() error {
