@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 0.2s
 
-.PHONY: verify fmt vet build test race bench bench-gate chaos
+.PHONY: verify fmt vet build test race bench bench-gate bench-workers chaos
 
 # verify is the tier-1 gate: formatting, vet, build, the full test suite,
 # and a race pass over the concurrently-exercised packages.
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/experiments
+	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.
@@ -38,3 +38,9 @@ bench:
 
 bench-gate:
 	$(GO) run ./cmd/benchgate compare
+
+# bench-workers runs only the Workers benchmark variants (serial pipelines
+# with the evaluation fan-out at NumCPU width) for a quick parallel-path
+# wall-clock check without recording a trajectory point.
+bench-workers:
+	$(GO) test -run '^$$' -bench 'Workers$$' -benchmem -benchtime $(BENCHTIME) .

@@ -10,6 +10,7 @@ package gnsslna
 // full-budget run.
 
 import (
+	"runtime"
 	"testing"
 
 	"gnsslna/internal/core"
@@ -291,8 +292,68 @@ func BenchmarkCMAESRosenbrock(b *testing.B) {
 		c := 1 - x[0]
 		return 100*a*a + c*c
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := optim.CMAES(f, lo, hi, &optim.CMAESOptions{Generations: 200, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel-evaluation variants (Workers = NumCPU) ---
+//
+// The Workers benchmarks drive the same pipelines with the evaluation
+// fan-out enabled. Results are identical to the serial runs by
+// construction; the benchmarks measure the wall-clock effect of the
+// worker pool at the machine's full width.
+
+func BenchmarkE2ExtractionMethodsWorkers(b *testing.B) {
+	s := experiments.NewSuite(experiments.Config{Seed: 1, Quick: true, Workers: runtime.NumCPU()})
+	if _, err := s.Dataset(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.E2ExtractionMethods(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4GoalAttainmentWorkers(b *testing.B) {
+	s := experiments.NewSuite(experiments.Config{Seed: 1, Quick: true, Workers: runtime.NumCPU()})
+	if _, err := s.Design(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.E4GoalAttainment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5DesignFlowWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Config{Seed: 1, Quick: true, Workers: runtime.NumCPU()})
+		if _, err := s.E5DesignFlow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCMAESRosenbrockWorkers(b *testing.B) {
+	lo := []float64{-2, -2}
+	hi := []float64{2, 2}
+	f := func(x []float64) float64 {
+		a := x[1] - x[0]*x[0]
+		c := 1 - x[0]
+		return 100*a*a + c*c
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := &optim.CMAESOptions{Generations: 200, Seed: int64(i + 1), Workers: runtime.NumCPU()}
+		if _, err := optim.CMAES(f, lo, hi, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -58,6 +58,7 @@ func run(exp string, seed int64, quick, figs, markdown bool, session *obscli.Ses
 	s := experiments.NewSuite(experiments.Config{
 		Seed: seed, Quick: quick, Observer: session.Observer(),
 		Control: session.Controller(), Checkpoint: session.Checkpoint(), Restarts: session.Restarts(),
+		Workers: session.Workers(),
 	})
 
 	if markdown {

@@ -98,7 +98,7 @@ func run(model string, seed int64, quick bool, outDir string, session *obscli.Se
 		if err != nil {
 			return err
 		}
-		cfg := extract.Config{Seed: seed, Observer: session.Observer(), Control: session.Controller()}
+		cfg := extract.Config{Seed: seed, Observer: session.Observer(), Control: session.Controller(), Workers: session.Workers()}
 		if quick {
 			cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 		}

@@ -64,6 +64,7 @@ func run(seed int64, quick, sens bool, yieldN int, bom bool, vcc float64, sessio
 	suite := experiments.NewSuite(experiments.Config{
 		Seed: seed, Quick: quick, Observer: session.Observer(),
 		Control: session.Controller(), Checkpoint: session.Checkpoint(), Restarts: session.Restarts(),
+		Workers: session.Workers(),
 	})
 	fmt.Println("extracting pHEMT model from the synthetic measurement campaign...")
 	ex, err := suite.Extracted()

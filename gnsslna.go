@@ -87,6 +87,12 @@ type Options struct {
 	// pipeline stages are appended to and restored from on a later run
 	// with the same Seed and Quick mode, skipping recomputation.
 	Checkpoint string
+	// Workers bounds the goroutines the optimization and sweep stages use
+	// to fan out candidate evaluations. The default (0 or 1) is fully
+	// serial — exactly today's behavior — and every result is bit-identical
+	// for any worker count: all randomness stays on the driving goroutine
+	// and workers only evaluate the objective.
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -164,6 +170,7 @@ func DesignLNA(opts Options) (DesignReport, error) {
 	s := experiments.NewSuite(experiments.Config{
 		Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer(),
 		Control: opts.controller(), Checkpoint: opts.Checkpoint, Restarts: opts.Restarts,
+		Workers: opts.Workers,
 	})
 	res, err := s.Design()
 	if err != nil {
@@ -216,7 +223,7 @@ func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
 	if err != nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: campaign: %w", err)
 	}
-	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer(), Control: opts.controller()}
+	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer(), Control: opts.controller(), Workers: opts.Workers}
 	if opts.Quick {
 		cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 	}
@@ -244,6 +251,7 @@ func RunExperiment(id string, opts Options) (string, error) {
 	s := experiments.NewSuite(experiments.Config{
 		Seed: opts.seed(), Quick: opts.Quick, Observer: opts.observer(),
 		Control: opts.controller(), Checkpoint: opts.Checkpoint, Restarts: opts.Restarts,
+		Workers: opts.Workers,
 	})
 	if id == "all" {
 		tables, err := s.All()

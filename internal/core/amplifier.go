@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync/atomic"
 
 	"gnsslna/internal/device"
 	"gnsslna/internal/mathx"
@@ -82,6 +83,31 @@ type Builder struct {
 	// it to quantify what the paper's careful dispersive element equations
 	// buy over a textbook lossless design.
 	IdealPassives bool
+
+	// geom caches the substrate-derived tee geometry: the 50-ohm line width
+	// (a 100-iteration bisection) and the junction capacitance (two static
+	// microstrip fits), both functions of Sub alone. Build runs once per
+	// candidate evaluation, so recomputing them dominated the sweep hot
+	// path. The cache lives behind a plain pointer so Builder values stay
+	// copyable (ablation variants copy the builder and share the cache);
+	// inside it an atomic pointer keeps concurrent Build calls race-free,
+	// and recomputation after a Sub change is idempotent.
+	geom *geomCache
+}
+
+// geomCache holds the memoized substrate geometry (nil disables memoization,
+// for zero-value Builders that bypassed NewBuilder).
+type geomCache struct {
+	p atomic.Pointer[builderGeom]
+}
+
+// builderGeom is the memoized substrate geometry keyed by the (comparable)
+// substrate value it was derived from.
+type builderGeom struct {
+	sub rfpassive.Substrate
+	w50 float64
+	cj  float64
+	err error
 }
 
 // NewBuilder returns a builder on the default low-loss substrate.
@@ -95,6 +121,7 @@ func NewBuilder(dev *device.PHEMT) *Builder {
 		DrainDampR: 12,
 		StabR:      68,
 		StabL:      12e-9,
+		geom:       &geomCache{},
 	}
 }
 
@@ -116,12 +143,33 @@ func (b *Builder) capacitor(c float64, o rfpassive.Orientation) rfpassive.Capaci
 	return el
 }
 
+// geometry returns the memoized 50-ohm width and tee junction capacitance
+// for the builder's current substrate, computing them on first use (or after
+// Sub changed).
+func (b *Builder) geometry() (w50, cj float64, err error) {
+	if b.geom != nil {
+		if g := b.geom.p.Load(); g != nil && g.sub == b.Sub {
+			return g.w50, g.cj, g.err
+		}
+	}
+	g := &builderGeom{sub: b.Sub}
+	g.w50, g.err = b.Sub.WidthForZ0(50)
+	if g.err == nil {
+		t := rfpassive.Tee{Sub: b.Sub, WMain: g.w50, WBranch: g.w50 / 3}
+		g.cj = t.JunctionCapacitance()
+	}
+	if b.geom != nil {
+		b.geom.p.Store(g)
+	}
+	return g.w50, g.cj, g.err
+}
+
 // Build materializes the amplifier for a design vector.
 func (b *Builder) Build(d Design) (*Amplifier, error) {
 	if b.Dev == nil {
 		return nil, fmt.Errorf("core: builder has no device")
 	}
-	w50, err := b.Sub.WidthForZ0(50)
+	w50, cj, err := b.geometry()
 	if err != nil {
 		return nil, fmt.Errorf("core: substrate: %w", err)
 	}
@@ -134,9 +182,10 @@ func (b *Builder) Build(d Design) (*Amplifier, error) {
 	// the 68 nH feed isolates; below the band the damping resistor loads
 	// the gate and stabilizes the stage.
 	inputTee := rfpassive.Tee{
-		Sub:     b.Sub,
-		WMain:   w50,
-		WBranch: w50 / 3,
+		Sub:       b.Sub,
+		WMain:     w50,
+		WBranch:   w50 / 3,
+		CJunction: cj,
 		Branch: rfpassive.Chain{
 			rfpassive.NewChipInductor(68e-9, rfpassive.Series),
 			rfpassive.NewChipResistor(b.GateDampR, rfpassive.Series),
@@ -153,9 +202,10 @@ func (b *Builder) Build(d Design) (*Amplifier, error) {
 	// Output: drain bias tee (same damped-feed structure), series
 	// inductor, shunt capacitor, DC block.
 	outputTee := rfpassive.Tee{
-		Sub:     b.Sub,
-		WMain:   w50,
-		WBranch: w50 / 3,
+		Sub:       b.Sub,
+		WMain:     w50,
+		WBranch:   w50 / 3,
+		CJunction: cj,
 		Branch: rfpassive.Chain{
 			rfpassive.NewChipInductor(68e-9, rfpassive.Series),
 			rfpassive.NewChipResistor(b.DrainDampR, rfpassive.Series),

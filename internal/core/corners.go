@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"gnsslna/internal/optim"
 )
 
 // CornerResult is the band evaluation at one tolerance corner.
@@ -29,7 +31,10 @@ type CornerReport struct {
 // Corners runs the exhaustive worst-case analysis: every combination of the
 // three matching elements at +/- tol and the bias voltages at +/- vtol
 // (2^5 = 32 corners). Where the Monte Carlo yield estimates the typical
-// spread, the corner analysis bounds it.
+// spread, the corner analysis bounds it. The 32 independent band
+// evaluations fan out across d.Workers goroutines; the corner list,
+// aggregate extremes and returned error are assembled serially in corner
+// order, so the report is identical for any worker count.
 func (d *Designer) Corners(x Design, tol, vtol float64) (CornerReport, error) {
 	if tol <= 0 {
 		tol = 0.05
@@ -37,8 +42,14 @@ func (d *Designer) Corners(x Design, tol, vtol float64) (CornerReport, error) {
 	if vtol <= 0 {
 		vtol = 0.02
 	}
-	rep := CornerReport{AllPass: true, WorstGTdB: math.Inf(1), WorstNFdB: math.Inf(-1)}
 	signs := []float64{-1, 1}
+	// Enumerate the corners in the canonical nested-loop order first, then
+	// evaluate the batch.
+	type corner struct {
+		label  string
+		design Design
+	}
+	corners := make([]corner, 0, 32)
 	for _, sL1 := range signs {
 		for _, sL2 := range signs {
 			for _, sC := range signs {
@@ -50,27 +61,35 @@ func (d *Designer) Corners(x Design, tol, vtol float64) (CornerReport, error) {
 						p.COut *= 1 + sC*tol
 						p.Vgs *= 1 + sVg*vtol
 						p.Vds *= 1 + sVd*vtol
-						ev, err := d.Evaluate(p)
-						if err != nil {
-							return CornerReport{}, fmt.Errorf("core: corner: %w", err)
-						}
-						pass := ev.WorstNFdB <= d.Spec.NFMaxDB &&
-							ev.MinGTdB >= d.Spec.GTMinDB &&
-							ev.WorstS11dB <= d.Spec.S11MaxDB &&
-							ev.WorstS22dB <= d.Spec.S22MaxDB &&
-							ev.StabMargin > 0
-						rep.Corners = append(rep.Corners, CornerResult{
-							Label: cornerLabel(sL1, sL2, sC, sVg, sVd),
-							Eval:  ev,
-							Pass:  pass,
+						corners = append(corners, corner{
+							label:  cornerLabel(sL1, sL2, sC, sVg, sVd),
+							design: p,
 						})
-						rep.WorstNFdB = math.Max(rep.WorstNFdB, ev.WorstNFdB)
-						rep.WorstGTdB = math.Min(rep.WorstGTdB, ev.MinGTdB)
-						rep.AllPass = rep.AllPass && pass
 					}
 				}
 			}
 		}
+	}
+	evs := make([]Evaluation, len(corners))
+	errs := make([]error, len(corners))
+	optim.NewEvalPool(d.Workers).Each(len(corners), func(i int) {
+		evs[i], errs[i] = d.Evaluate(corners[i].design)
+	})
+	rep := CornerReport{AllPass: true, WorstGTdB: math.Inf(1), WorstNFdB: math.Inf(-1)}
+	for i, c := range corners {
+		if errs[i] != nil {
+			return CornerReport{}, fmt.Errorf("core: corner: %w", errs[i])
+		}
+		ev := evs[i]
+		pass := ev.WorstNFdB <= d.Spec.NFMaxDB &&
+			ev.MinGTdB >= d.Spec.GTMinDB &&
+			ev.WorstS11dB <= d.Spec.S11MaxDB &&
+			ev.WorstS22dB <= d.Spec.S22MaxDB &&
+			ev.StabMargin > 0
+		rep.Corners = append(rep.Corners, CornerResult{Label: c.label, Eval: ev, Pass: pass})
+		rep.WorstNFdB = math.Max(rep.WorstNFdB, ev.WorstNFdB)
+		rep.WorstGTdB = math.Min(rep.WorstGTdB, ev.MinGTdB)
+		rep.AllPass = rep.AllPass && pass
 	}
 	return rep, nil
 }

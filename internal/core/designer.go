@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/optim"
@@ -97,8 +98,40 @@ type Designer struct {
 	Spec Spec
 	// Z0 is the system impedance (default 50).
 	Z0 float64
+	// Workers bounds the goroutines used to fan out the independent band
+	// evaluations of the corner, sensitivity and yield sweeps, and is
+	// forwarded to the optimizer when Optimize's options leave it unset
+	// (<= 1: serial, today's exact behavior). Evaluate itself is safe for
+	// concurrent calls.
+	Workers int
 
-	evals int
+	// evals is atomic: Optimize can evaluate candidates from concurrent
+	// worker goroutines while keeping the reported tally exact.
+	evals atomic.Int64
+
+	// freqs caches the spec-derived sweep grids so each of the thousands of
+	// candidate evaluations doesn't rebuild them.
+	freqs atomic.Pointer[specFreqs]
+}
+
+// specFreqs is the memoized frequency grid keyed by the (comparable) spec
+// value it was derived from.
+type specFreqs struct {
+	spec Spec
+	pts  []float64
+	stab []float64
+}
+
+// sweepGrids returns the in-band and stability frequency lists for the
+// current spec, memoized until the spec changes. Callers must not mutate the
+// returned slices.
+func (d *Designer) sweepGrids() (pts, stab []float64) {
+	if g := d.freqs.Load(); g != nil && g.spec == d.Spec {
+		return g.pts, g.stab
+	}
+	g := &specFreqs{spec: d.Spec, pts: d.Spec.points(), stab: d.Spec.stabPoints()}
+	d.freqs.Store(g)
+	return g.pts, g.stab
 }
 
 // NewDesigner wires a designer with the default spec.
@@ -113,9 +146,12 @@ func (d *Designer) z0() float64 {
 	return d.Z0
 }
 
-// Evaluate computes the band evaluation of one design.
+// Evaluate computes the band evaluation of one design. It is safe for
+// concurrent calls (the eval tally is atomic and the builder caches are
+// race-free), which is what lets the optimizers and sweeps fan candidate
+// evaluations across workers.
 func (d *Designer) Evaluate(x Design) (Evaluation, error) {
-	d.evals++
+	d.evals.Add(1)
 	amp, err := d.Builder.Build(x)
 	if err != nil {
 		return Evaluation{}, err
@@ -125,7 +161,8 @@ func (d *Designer) Evaluate(x Design) (Evaluation, error) {
 
 // evaluateAmp aggregates the band objectives of an already-built amplifier.
 func (d *Designer) evaluateAmp(amp *Amplifier, x Design) (Evaluation, error) {
-	pts, err := amp.Sweep(d.Spec.points(), d.z0())
+	grid, stabGrid := d.sweepGrids()
+	pts, err := amp.Sweep(grid, d.z0())
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -147,7 +184,7 @@ func (d *Designer) evaluateAmp(amp *Amplifier, x Design) (Evaluation, error) {
 		ev.WorstS22dB = math.Max(ev.WorstS22dB, p.S22dB)
 		ev.StabMargin = math.Min(ev.StabMargin, p.Mu-1)
 	}
-	for _, f := range d.Spec.stabPoints() {
+	for _, f := range stabGrid {
 		m, err := amp.MetricsAt(f, d.z0())
 		if err != nil {
 			return Evaluation{}, err
@@ -212,7 +249,7 @@ type DesignResult struct {
 // or breaker) returns the best design found so far alongside the wrapped
 // *resilience.Stopped error.
 func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
-	d.evals = 0
+	d.evals.Store(0)
 	lo, hi := DesignBounds()
 	raw := func(x []float64) []float64 {
 		ev, err := d.Evaluate(DesignFromVector(x))
@@ -225,6 +262,10 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 	var o optim.AttainOptions
 	if opts != nil {
 		o = *opts
+	}
+	if o.Workers <= 1 && d.Workers > 1 {
+		o.Workers = d.Workers
+		opts = &o
 	}
 	safe := resilience.NewSafeVector(raw, 6, &resilience.SafeOptions{
 		Penalty: 99, BreakerK: 64,
@@ -245,7 +286,7 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 			// The search was stopped and even the best point cannot be
 			// graded (e.g. the fault that tripped the breaker persists):
 			// return the ungraded design with the stop reason.
-			return DesignResult{Design: best, Gamma: res.Gamma, Evals: d.evals}, stopErr
+			return DesignResult{Design: best, Gamma: res.Gamma, Evals: int(d.evals.Load())}, stopErr
 		}
 		return DesignResult{}, err
 	}
@@ -253,7 +294,7 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 	sev, err := d.evaluateGuarded(snapped)
 	if err != nil {
 		if stopErr != nil {
-			return DesignResult{Design: best, Eval: ev, Gamma: res.Gamma, Evals: d.evals}, stopErr
+			return DesignResult{Design: best, Eval: ev, Gamma: res.Gamma, Evals: int(d.evals.Load())}, stopErr
 		}
 		return DesignResult{}, err
 	}
@@ -263,7 +304,7 @@ func (d *Designer) Optimize(opts *optim.AttainOptions) (DesignResult, error) {
 		Eval:        ev,
 		SnappedEval: sev,
 		Gamma:       res.Gamma,
-		Evals:       d.evals,
+		Evals:       int(d.evals.Load()),
 	}, stopErr
 }
 

@@ -131,7 +131,7 @@ func (b *Builder) BuildDistributed(d DistributedDesign) (*Amplifier, error) {
 
 // EvaluateDistributed computes the band evaluation of a distributed design.
 func (d *Designer) EvaluateDistributed(x DistributedDesign) (Evaluation, error) {
-	d.evals++
+	d.evals.Add(1)
 	amp, err := d.Builder.BuildDistributed(x)
 	if err != nil {
 		return Evaluation{}, err
@@ -154,7 +154,7 @@ type DistributedResult struct {
 // OptimizeDistributed selects the operating point and line/stub lengths
 // with the improved goal-attainment method.
 func (d *Designer) OptimizeDistributed(opts *optim.AttainOptions) (DistributedResult, error) {
-	d.evals = 0
+	d.evals.Store(0)
 	lo, hi := DistributedBounds()
 	obj := func(x []float64) []float64 {
 		ev, err := d.EvaluateDistributed(DistributedFromVector(x))
@@ -176,7 +176,7 @@ func (d *Designer) OptimizeDistributed(opts *optim.AttainOptions) (DistributedRe
 		Design: best,
 		Eval:   ev,
 		Gamma:  res.Gamma,
-		Evals:  d.evals,
+		Evals:  int(d.evals.Load()),
 	}, nil
 }
 

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSweepsBitIdenticalAcrossWorkers pins the determinism contract of the
+// parallel corner / sensitivity / yield sweeps: the serial result and the
+// fanned-out result are bit-identical because all randomness and all
+// aggregation stay on the driving goroutine.
+func TestSweepsBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep parity skipped in -short mode")
+	}
+	serial := fastDesigner()
+	serial.Spec.NPoints = 5
+	parallel := fastDesigner()
+	parallel.Spec.NPoints = 5
+	parallel.Workers = 4
+
+	sc, err := serial.Corners(referenceDesign, 0.05, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := parallel.Corners(referenceDesign, 0.05, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Corners) != len(pc.Corners) {
+		t.Fatalf("corner count %d != %d", len(pc.Corners), len(sc.Corners))
+	}
+	for i := range sc.Corners {
+		if sc.Corners[i].Label != pc.Corners[i].Label {
+			t.Fatalf("corner %d label %q != %q", i, pc.Corners[i].Label, sc.Corners[i].Label)
+		}
+		if !bitsEqual(sc.Corners[i].Eval.WorstNFdB, pc.Corners[i].Eval.WorstNFdB) {
+			t.Fatalf("corner %d NF differs across workers", i)
+		}
+	}
+	if !bitsEqual(sc.WorstNFdB, pc.WorstNFdB) || !bitsEqual(sc.WorstGTdB, pc.WorstGTdB) || sc.AllPass != pc.AllPass {
+		t.Fatal("corner aggregates differ across workers")
+	}
+
+	ss, err := serial.Sensitivity(referenceDesign, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.Sensitivity(referenceDesign, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if ss[i].Param != ps[i].Param ||
+			!bitsEqual(ss[i].DeltaNFdB, ps[i].DeltaNFdB) ||
+			!bitsEqual(ss[i].DeltaGTdB, ps[i].DeltaGTdB) {
+			t.Fatalf("sensitivity entry %d differs across workers: %+v vs %+v", i, ss[i], ps[i])
+		}
+	}
+
+	sy, err := serial.Yield(referenceDesign, 0.05, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	py, err := parallel.Yield(referenceDesign, 0.05, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sy.Trials != py.Trials ||
+		!bitsEqual(sy.PassRate, py.PassRate) ||
+		!bitsEqual(sy.NF95dB, py.NF95dB) ||
+		!bitsEqual(sy.GT5dB, py.GT5dB) {
+		t.Fatalf("yield report differs across workers: %+v vs %+v", py, sy)
+	}
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gnsslna/internal/mathx"
+	"gnsslna/internal/optim"
 )
 
 // SensitivityEntry reports the effect of perturbing one design parameter.
@@ -18,7 +19,10 @@ type SensitivityEntry struct {
 
 // Sensitivity perturbs each design parameter by +/- relStep (e.g. 0.05 for
 // component tolerance) and reports the worst-case movement of the band
-// noise figure and gain — the robustness table of the final design.
+// noise figure and gain — the robustness table of the final design. The
+// 2 * dim perturbed evaluations fan out across d.Workers goroutines and
+// are folded into the table in a fixed (parameter, sign) order, so the
+// result is identical for any worker count.
 func (d *Designer) Sensitivity(x Design, relStep float64) ([]SensitivityEntry, error) {
 	if relStep <= 0 {
 		relStep = 0.05
@@ -29,16 +33,33 @@ func (d *Designer) Sensitivity(x Design, relStep float64) ([]SensitivityEntry, e
 	}
 	names := []string{"Vgs", "Vds", "LIn", "LDegen", "LOut", "COut"}
 	vec := x.Vector()
+	signs := []float64{-1, 1}
+	// Perturbation j covers parameter j/2 with sign j%2.
+	perturbed := make([]Design, len(vec)*len(signs))
+	p := make([]float64, len(vec))
+	for i := range vec {
+		for s, sign := range signs {
+			copy(p, vec)
+			p[i] *= 1 + sign*relStep
+			perturbed[i*len(signs)+s] = DesignFromVector(p)
+		}
+	}
+	evs := make([]Evaluation, len(perturbed))
+	errs := make([]error, len(perturbed))
+	optim.NewEvalPool(d.Workers).Each(len(perturbed), func(j int) {
+		evs[j], errs[j] = d.Evaluate(perturbed[j])
+	})
 	out := make([]SensitivityEntry, len(vec))
 	for i := range vec {
 		e := SensitivityEntry{Param: names[i]}
-		for _, sign := range []float64{-1, 1} {
-			p := append([]float64(nil), vec...)
-			p[i] *= 1 + sign*relStep
-			ev, err := d.Evaluate(DesignFromVector(p))
-			if err != nil {
+		for s := range signs {
+			j := i*len(signs) + s
+			if errs[j] != nil {
+				// An unbuildable perturbation contributes nothing, as in the
+				// serial sweep.
 				continue
 			}
+			ev := evs[j]
 			if dn := abs(ev.WorstNFdB - base.WorstNFdB); dn > e.DeltaNFdB {
 				e.DeltaNFdB = dn
 			}
@@ -63,7 +84,10 @@ type YieldReport struct {
 
 // Yield Monte-Carlo-samples component tolerances (uniform +/- tol on the
 // three chip elements, +/- 2% on bias voltages) and reports the
-// specification yield of the design.
+// specification yield of the design. All random draws happen up front on
+// the caller's goroutine in trial order; only the independent band
+// evaluations fan out across d.Workers goroutines, so the report is
+// bit-identical for any worker count.
 func (d *Designer) Yield(x Design, tol float64, trials int, seed int64) (YieldReport, error) {
 	if tol <= 0 {
 		tol = 0.05
@@ -72,19 +96,29 @@ func (d *Designer) Yield(x Design, tol float64, trials int, seed int64) (YieldRe
 		trials = 100
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var nfs, gts []float64
-	pass := 0
-	for t := 0; t < trials; t++ {
+	samples := make([]Design, trials)
+	for t := range samples {
 		p := x
 		p.LIn *= 1 + tol*(2*rng.Float64()-1)
 		p.LOut *= 1 + tol*(2*rng.Float64()-1)
 		p.COut *= 1 + tol*(2*rng.Float64()-1)
 		p.Vgs *= 1 + 0.02*(2*rng.Float64()-1)
 		p.Vds *= 1 + 0.02*(2*rng.Float64()-1)
-		ev, err := d.Evaluate(p)
-		if err != nil {
-			return YieldReport{}, fmt.Errorf("core: yield trial %d: %w", t, err)
+		samples[t] = p
+	}
+	evs := make([]Evaluation, trials)
+	errs := make([]error, trials)
+	optim.NewEvalPool(d.Workers).Each(trials, func(t int) {
+		evs[t], errs[t] = d.Evaluate(samples[t])
+	})
+	nfs := make([]float64, 0, trials)
+	gts := make([]float64, 0, trials)
+	pass := 0
+	for t := 0; t < trials; t++ {
+		if errs[t] != nil {
+			return YieldReport{}, fmt.Errorf("core: yield trial %d: %w", t, errs[t])
 		}
+		ev := evs[t]
 		nfs = append(nfs, ev.WorstNFdB)
 		gts = append(gts, ev.MinGTdB)
 		if ev.WorstNFdB <= d.Spec.NFMaxDB &&

@@ -133,14 +133,35 @@ func Embed(yInt, cyInt twoport.Mat2, ex Extrinsics, f, ta float64) (noise.TwoPor
 // SFromSmallSignal returns the embedded S-parameters of an intrinsic
 // small-signal model inside the given extrinsics, without noise bookkeeping.
 // Extraction inner loops use this fast path: the small-signal model per bias
-// is computed once and swept over frequency.
+// is computed once and swept over frequency, and the embedding works
+// directly on 2x2 immittance matrices — the same Y -> Z -> add parasitics ->
+// Y -> add pads -> S sequence as Embed, minus the noise-correlation
+// congruence transforms that are pure overhead on a zero correlation matrix.
 func SFromSmallSignal(ss SmallSignal, ex Extrinsics, f, z0 float64) (twoport.Mat2, error) {
-	y := IntrinsicY(ss, f)
-	tp, err := Embed(y, twoport.Mat2{}, ex, f, 0)
+	w := 2 * math.Pi * f
+	z, err := IntrinsicY(ss, f).Inv()
 	if err != nil {
-		return twoport.Mat2{}, err
+		return twoport.Mat2{}, fmt.Errorf("device: embed to Z: %w", err)
 	}
-	return tp.S(z0)
+	zg := complex(ex.Rg, w*ex.Lg)
+	zs := complex(ex.Rs, w*ex.Ls)
+	zd := complex(ex.Rd, w*ex.Ld)
+	// Common-lead impedance adds to every entry of Z (series feedback).
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			z[i][j] += zs
+		}
+	}
+	z[0][0] += zg
+	z[1][1] += zd
+	y, err := z.Inv()
+	if err != nil {
+		return twoport.Mat2{}, fmt.Errorf("device: embed pads: %w", err)
+	}
+	// Pad capacitances shunt the external ports (lossless).
+	y[0][0] += complex(0, w*ex.Cpg)
+	y[1][1] += complex(0, w*ex.Cpd)
+	return twoport.YToS(y, z0)
 }
 
 // FT returns the short-circuit current-gain cutoff frequency of the

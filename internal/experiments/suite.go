@@ -36,6 +36,10 @@ type Config struct {
 	// Restarts bounds the jittered multi-start recoveries of the design
 	// optimization after breaker trips (0: single attempt).
 	Restarts int
+	// Workers bounds the goroutines the optimization and sweep stages use
+	// to fan out candidate evaluations (<= 1: serial). Results are
+	// identical for any worker count.
+	Workers int
 }
 
 func (c Config) seed() int64 {
@@ -97,7 +101,7 @@ func (s *Suite) Dataset() (*vna.Dataset, error) {
 
 // extractCfg returns the extraction budget for the suite mode.
 func (s *Suite) extractCfg(seed int64) extract.Config {
-	cfg := extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60, Observer: s.obs(), Control: s.cfg.Control}
+	cfg := extract.Config{Seed: seed, DCEvals: 20000, GlobalEvals: 8000, RefineIters: 60, Observer: s.obs(), Control: s.cfg.Control, Workers: s.cfg.Workers}
 	if s.cfg.Quick {
 		cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 	}
@@ -110,6 +114,7 @@ func (s *Suite) attainOpts(seed int64) *optim.AttainOptions {
 		Seed: seed, GlobalEvals: 5000, PolishEvals: 3000,
 		Observer: s.obs(), Scope: "design.attain",
 		Control: s.cfg.Control, Restarts: s.cfg.Restarts,
+		Workers: s.cfg.Workers,
 	}
 	if s.cfg.Quick {
 		o.GlobalEvals, o.PolishEvals = 1500, 900
@@ -178,6 +183,7 @@ func (s *Suite) Designer() (*core.Designer, error) {
 		return nil, err
 	}
 	d := core.NewDesigner(core.NewBuilder(ex.Device))
+	d.Workers = s.cfg.Workers
 	if s.cfg.Quick {
 		d.Spec.NPoints = 7
 	}

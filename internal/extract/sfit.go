@@ -3,6 +3,7 @@ package extract
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gnsslna/internal/device"
 	"gnsslna/internal/vna"
@@ -65,7 +66,12 @@ type SResidualBuilder struct {
 	// fitExt, when true, appends the six series parasitics to the parameter
 	// vector (used by the DE-only baseline which has no step 1).
 	fitExt bool
-	evals  int
+	// resLen is the precomputed residual-vector length, so Residuals can
+	// allocate its output exactly once.
+	resLen int
+	// evals is atomic: the optimizers may evaluate residuals from
+	// concurrent worker goroutines.
+	evals atomic.Int64
 }
 
 // NewSResidual builds a residual evaluator for the dataset with the DC model
@@ -95,6 +101,9 @@ func NewSResidual(ds *vna.Dataset, dc device.DCModel, ext device.Extrinsics, fit
 			}
 		}
 	}
+	for _, set := range ds.Hot {
+		b.resLen += 8 * len(set.Net.Freqs)
+	}
 	return b, nil
 }
 
@@ -117,7 +126,7 @@ func (b *SResidualBuilder) Bounds() (lo, hi []float64) {
 }
 
 // Evals returns the number of residual evaluations so far.
-func (b *SResidualBuilder) Evals() int { return b.evals }
+func (b *SResidualBuilder) Evals() int { return int(b.evals.Load()) }
 
 // device materializes a candidate device from a parameter vector.
 func (b *SResidualBuilder) device(p []float64) *device.PHEMT {
@@ -134,20 +143,17 @@ func (b *SResidualBuilder) device(p []float64) *device.PHEMT {
 // Residuals returns the normalized residual vector (real and imaginary part
 // of every S-parameter entry at every frequency and bias).
 func (b *SResidualBuilder) Residuals(p []float64) []float64 {
-	b.evals++
+	b.evals.Add(1)
 	d := b.device(p)
-	var out []float64
+	out := make([]float64, 0, b.resLen)
 	for _, set := range b.ds.Hot {
 		ss := d.SmallSignalAt(set.Bias)
 		for k, f := range set.Net.Freqs {
 			got, err := device.SFromSmallSignal(ss, d.Ext, f, b.ds.Z0)
 			if err != nil {
 				// Unusable candidate: huge flat residual.
-				bad := make([]float64, 8)
-				for i := range bad {
-					bad[i] = 1e3
-				}
-				out = append(out, bad...)
+				out = append(out,
+					1e3, 1e3, 1e3, 1e3, 1e3, 1e3, 1e3, 1e3)
 				continue
 			}
 			want := set.Net.S[k]

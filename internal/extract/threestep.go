@@ -22,6 +22,10 @@ type Config struct {
 	// RefineIters budgets the step-3 Levenberg-Marquardt iterations
 	// (default 60).
 	RefineIters int
+	// Workers bounds the goroutines the global DE stages use to fan out
+	// residual evaluations (<= 1: serial). The search trajectory is
+	// identical for any worker count.
+	Workers int
 	// NoiseModel, when set, is attached to the extracted device (the S and
 	// I-V data do not constrain it; callers supply datasheet-style noise
 	// temperatures).
@@ -112,7 +116,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: cfg.Seed,
 		Observer: cfg.Observer, Scope: "extract.step2.sfit.de",
-		Control: cfg.Control,
+		Control: cfg.Control, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (RF DE): %w", err)
@@ -129,7 +133,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 3: %w", err)
 	}
-	sresJoint.evals = sres.Evals()
+	sresJoint.evals.Store(int64(sres.Evals()))
 	loJ, hiJ := sresJoint.Bounds()
 	x0 := append(append([]float64(nil), de.X...),
 		cold.Ext.Rg, cold.Ext.Rs, cold.Ext.Rd,
@@ -203,7 +207,7 @@ func RunMethod(ds *vna.Dataset, dc device.DCModel, m Method, cfg Config) (Method
 		de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 			Pop: pop, Generations: gens, Seed: cfg.Seed,
 			Observer: cfg.Observer, Scope: "extract.method.de",
-			Control: cfg.Control,
+			Control: cfg.Control, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return MethodResult{}, err

@@ -135,12 +135,29 @@ type CLU struct {
 // LUFactorize computes the LU factorization of a square matrix with partial
 // pivoting. The input matrix is not modified.
 func LUFactorize(a *CMatrix) (*CLU, error) {
+	f := &CLU{}
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize recomputes the factorization for a new matrix, reusing the
+// receiver's working storage when the order matches. The input matrix is
+// not modified. It is the workspace variant of LUFactorize for per-frequency
+// solver loops that refactor matrices of a fixed order.
+func (f *CLU) Factorize(a *CMatrix) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("mathx: LUFactorize requires a square matrix, got %dx%d", a.rows, a.cols)
+		return fmt.Errorf("mathx: LUFactorize requires a square matrix, got %dx%d", a.rows, a.cols)
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	lu := f.lu
+	if lu == nil || lu.rows != n || lu.cols != n {
+		lu = NewCMatrix(n, n)
+		f.piv = make([]int, n)
+	}
+	copy(lu.data, a.data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -154,7 +171,7 @@ func LUFactorize(a *CMatrix) (*CLU, error) {
 			}
 		}
 		if pm == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != col {
 			for j := 0; j < n; j++ {
@@ -165,26 +182,39 @@ func LUFactorize(a *CMatrix) (*CLU, error) {
 		}
 		pivot := lu.At(col, col)
 		for r := col + 1; r < n; r++ {
-			f := lu.At(r, col) / pivot
-			lu.Set(r, col, f)
-			if f == 0 {
+			fac := lu.At(r, col) / pivot
+			lu.Set(r, col, fac)
+			if fac == 0 {
 				continue
 			}
 			for j := col + 1; j < n; j++ {
-				lu.data[r*n+j] -= f * lu.data[col*n+j]
+				lu.data[r*n+j] -= fac * lu.data[col*n+j]
 			}
 		}
 	}
-	return &CLU{lu: lu, piv: piv, sign: sign}, nil
+	f.lu, f.piv, f.sign = lu, piv, sign
+	return nil
 }
 
 // Solve solves A x = b for x given the factorization of A. b is unmodified.
 func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	x := make([]complex128, f.lu.rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller-provided x (len n). b is
+// unmodified; x and b must not alias.
+func (f *CLU) SolveInto(x, b []complex128) error {
 	n := f.lu.rows
 	if len(b) != n {
-		return nil, fmt.Errorf("mathx: CLU.Solve rhs length %d does not match matrix order %d", len(b), n)
+		return fmt.Errorf("mathx: CLU.Solve rhs length %d does not match matrix order %d", len(b), n)
 	}
-	x := make([]complex128, n)
+	if len(x) != n {
+		return fmt.Errorf("mathx: CLU.Solve solution length %d does not match matrix order %d", len(x), n)
+	}
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -202,7 +232,7 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 		}
 		x[i] /= f.lu.data[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factorized matrix.

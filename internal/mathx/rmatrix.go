@@ -56,6 +56,16 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom overwrites m with the contents of src, letting hot loops reuse a
+// preallocated matrix instead of cloning. The shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mathx: CopyFrom shape mismatch %dx%d vs %dx%d",
+			m.rows, m.cols, src.rows, src.cols))
+	}
+	copy(m.data, src.data)
+}
+
 // Transpose returns the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.cols, m.rows)

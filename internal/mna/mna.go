@@ -22,11 +22,20 @@ const Ground = "0"
 // ErrNoSuchNode reports a port referencing an undefined node.
 var ErrNoSuchNode = errors.New("mna: node not defined by any element")
 
-// Circuit is a netlist of linear elements between named nodes.
+// Circuit is a netlist of linear elements between named nodes. A Circuit is
+// not safe for concurrent use: Solve reuses internal per-order scratch
+// (matrix, factorization, vectors) across calls, which is what keeps the
+// per-frequency sweep loops allocation-free.
 type Circuit struct {
 	nodeIndex map[string]int
 	nodeNames []string
 	elems     []element
+
+	// Per-order solver scratch, sized lazily on first Solve.
+	y   *mathx.CMatrix
+	lu  mathx.CLU
+	rhs []complex128
+	sol []complex128
 }
 
 // element stamps itself into the nodal admittance matrix at angular
@@ -208,15 +217,22 @@ func (c *Circuit) Netlist() []string {
 	return out
 }
 
-// assemble builds the nodal admittance matrix at frequency f (Hz).
+// assemble builds the nodal admittance matrix at frequency f (Hz), reusing
+// the circuit's scratch matrix when the order is unchanged.
 func (c *Circuit) assemble(f float64) *mathx.CMatrix {
 	n := len(c.nodeNames)
-	y := mathx.NewCMatrix(n, n)
+	if c.y == nil || c.y.Rows() != n {
+		c.y = mathx.NewCMatrix(n, n)
+		c.rhs = make([]complex128, n)
+		c.sol = make([]complex128, n)
+	} else {
+		c.y.Zero()
+	}
 	w := 2 * math.Pi * f
 	for _, e := range c.elems {
-		e.stamp(y, w)
+		e.stamp(c.y, w)
 	}
-	return y
+	return c.y
 }
 
 // Solve computes the node voltages for current injections given as a map of
@@ -226,22 +242,26 @@ func (c *Circuit) Solve(f float64, injections map[string]complex128) (map[string
 	if n == 0 {
 		return nil, errors.New("mna: empty circuit")
 	}
-	rhs := make([]complex128, n)
+	y := c.assemble(f)
+	for i := range c.rhs {
+		c.rhs[i] = 0
+	}
 	for name, i := range injections {
 		idx, ok := c.nodeIndex[name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, name)
 		}
-		rhs[idx] = i
+		c.rhs[idx] = i
 	}
-	y := c.assemble(f)
-	v, err := mathx.SolveC(y, rhs)
-	if err != nil {
+	if err := c.lu.Factorize(y); err != nil {
+		return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
+	}
+	if err := c.lu.SolveInto(c.sol, c.rhs); err != nil {
 		return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
 	}
 	out := make(map[string]complex128, n)
 	for i, name := range c.nodeNames {
-		out[name] = v[i]
+		out[name] = c.sol[i]
 	}
 	return out, nil
 }

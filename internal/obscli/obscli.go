@@ -54,6 +54,9 @@ type Flags struct {
 	// Restarts bounds the jittered multi-start recoveries after
 	// circuit-breaker trips (0: single attempt).
 	Restarts int
+	// Workers bounds the goroutines used to fan out candidate evaluations
+	// (1: serial; results are identical for any worker count).
+	Workers int
 }
 
 // Register installs the observability flags (-journal, -metrics, -pprof,
@@ -71,6 +74,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "append completed pipeline stages to this JSONL `path` and reuse matching stages already recorded there")
 	fs.StringVar(&f.Checkpoint, "resume", "", "alias of -checkpoint: resume from (and keep extending) a previous run's stage file")
 	fs.IntVar(&f.Restarts, "restarts", 0, "allow up to `N` jittered multi-start recoveries after circuit-breaker trips")
+	fs.IntVar(&f.Workers, "workers", 1, "fan candidate evaluations across `N` goroutines (results are identical for any worker count)")
 	return f
 }
 
@@ -215,6 +219,14 @@ func (s *Session) Checkpoint() string { return s.flags.Checkpoint }
 
 // Restarts returns the -restarts budget.
 func (s *Session) Restarts() int { return s.flags.Restarts }
+
+// Workers returns the -workers fan-out width (>= 1).
+func (s *Session) Workers() int {
+	if s.flags.Workers < 1 {
+		return 1
+	}
+	return s.flags.Workers
+}
 
 // Close drains the telemetry server, appends the final metrics snapshot to
 // the journal, flushes and closes it, and prints the snapshot to stdout when

@@ -21,6 +21,12 @@ type CMAESOptions struct {
 	Sigma0 float64
 	// Seed seeds the deterministic RNG (default 1).
 	Seed int64
+	// Workers bounds the goroutines used to evaluate each generation's
+	// sample batch (<= 1: serial). Sampling stays on the driver goroutine
+	// and selection consumes results in index order, so the run is
+	// bit-identical for any worker count; f must be safe for concurrent
+	// calls when Workers > 1.
+	Workers int
 	// Observer receives per-generation convergence events (nil: disabled).
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.cmaes").
@@ -46,7 +52,7 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 		}
 	}
 	lambda := 4 + int(3*math.Log(float64(n)))
-	gens, sigmaRel, seed := 300, 0.3, int64(1)
+	gens, sigmaRel, seed, workers := 300, 0.3, int64(1), 1
 	var observer obs.Observer
 	var ctrl *resilience.RunController
 	scope := ""
@@ -63,24 +69,24 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 		if opts.Seed != 0 {
 			seed = opts.Seed
 		}
+		workers = opts.Workers
 		observer, scope = opts.Observer, opts.Scope
 		ctrl = opts.Control
 	}
 	em := newEmitter(observer, scope, scopeCMAES)
 	rng := newRand(seed)
 	c := &counter{f: f, ctrl: ctrl}
+	pool := NewEvalPool(workers)
 
 	// Work in normalized coordinates u in [0,1]^n. Out-of-box samples are
 	// evaluated at the clamped point plus a quadratic boundary penalty so
 	// the selection gradient keeps pointing inward (plain clamping makes
 	// the boundary flat and stalls the covariance adaptation).
-	toX := func(u []float64) []float64 {
-		x := make([]float64, n)
+	toXInto := func(x, u []float64) {
 		for i := range x {
 			v := mathx.Clamp(u[i], 0, 1)
 			x[i] = lo[i] + v*(hi[i]-lo[i])
 		}
-		return x
 	}
 	boundaryPenalty := func(u []float64) float64 {
 		var p float64
@@ -129,14 +135,34 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 	ps := make([]float64, n)
 	pc := make([]float64, n)
 
-	bestX := toX(mean)
+	bestX := make([]float64, n)
+	toXInto(bestX, mean)
 	bestF := c.eval(bestX)
 
-	type cand struct {
-		u []float64
-		z []float64
-		f float64
+	// All per-generation working storage is allocated once and recycled:
+	// the eigendecomposition workspace, the sample/candidate matrices and
+	// the path/mean temporaries. Nothing below is retained across
+	// generations except through explicit copies (bestX).
+	eigWork := mathx.NewMatrix(n, n)
+	b := mathx.NewMatrix(n, n)
+	d := make([]float64, n)
+	us := make([][]float64, lambda)
+	xs := make([][]float64, lambda)
+	ubuf := make([]float64, lambda*n)
+	xbuf := make([]float64, lambda*n)
+	for k := range us {
+		us[k] = ubuf[k*n : (k+1)*n : (k+1)*n]
+		xs[k] = xbuf[k*n : (k+1)*n : (k+1)*n]
 	}
+	rawf := make([]float64, lambda)
+	penf := make([]float64, lambda)
+	order := make([]int, lambda)
+	z := make([]float64, n)
+	y := make([]float64, n)
+	oldMean := make([]float64, n)
+	dm := make([]float64, n)
+	cInvSqrtDM := make([]float64, n)
+	tvec := make([]float64, n)
 
 	for g := 0; g < gens; g++ {
 		if err := ctrl.Check(); err != nil {
@@ -144,15 +170,12 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 			return Result{X: bestX, F: bestF, Evals: c.n, Converged: false}, err
 		}
 		// Eigendecomposition of cov: B D^2 B^T via Jacobi.
-		b, d := jacobiEigen(cov)
-		cands := make([]cand, lambda)
+		jacobiEigenInto(cov, eigWork, b, d)
 		for k := 0; k < lambda; k++ {
-			z := make([]float64, n)
 			for i := range z {
 				z[i] = rng.NormFloat64()
 			}
 			// y = B * D * z
-			y := make([]float64, n)
 			for i := 0; i < n; i++ {
 				var s float64
 				for j := 0; j < n; j++ {
@@ -160,46 +183,47 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 				}
 				y[i] = s
 			}
-			u := make([]float64, n)
+			u := us[k]
 			for i := range u {
 				u[i] = mean[i] + sigma*y[i]
 			}
-			x := toX(u)
-			raw := c.eval(x)
-			fx := raw
-			if p := boundaryPenalty(u); p > 0 {
-				fx += (1 + math.Abs(raw)) * p * 100
-			}
-			cands[k] = cand{u: u, z: z, f: fx}
-			if raw < bestF && boundaryPenalty(u) == 0 {
-				bestF = raw
-				bestX = x
-			}
+			toXInto(xs[k], u)
 		}
-		sort.Slice(cands, func(a, bI int) bool { return cands[a].f < cands[bI].f })
+		c.evalBatch(pool, xs, rawf)
+		for k := 0; k < lambda; k++ {
+			raw := rawf[k]
+			fx := raw
+			if p := boundaryPenalty(us[k]); p > 0 {
+				fx += (1 + math.Abs(raw)) * p * 100
+			} else if raw < bestF {
+				bestF = raw
+				copy(bestX, xs[k])
+			}
+			penf[k] = fx
+			order[k] = k
+		}
+		sort.Slice(order, func(a, bI int) bool { return penf[order[a]] < penf[order[bI]] })
 
-		oldMean := append([]float64(nil), mean...)
+		copy(oldMean, mean)
 		for i := range mean {
 			mean[i] = 0
 			for k := 0; k < mu; k++ {
-				mean[i] += weights[k] * cands[k].u[i]
+				mean[i] += weights[k] * us[order[k]][i]
 			}
 		}
 		// Evolution paths.
 		// C^(-1/2) * (mean-oldMean)/sigma = B * D^-1 * B^T * dm
-		dm := make([]float64, n)
 		for i := range dm {
 			dm[i] = (mean[i] - oldMean[i]) / sigma
 		}
-		cInvSqrtDM := make([]float64, n)
 		{
 			// t = B^T dm; t_i /= d_i; out = B t
-			tvec := make([]float64, n)
 			for i := 0; i < n; i++ {
 				var s float64
 				for j := 0; j < n; j++ {
 					s += b.At(j, i) * dm[j]
 				}
+				tvec[i] = 0
 				if d[i] > 1e-12 {
 					tvec[i] = s / d[i]
 				}
@@ -231,8 +255,8 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 				v := (1 - c1 - cmu) * cov.At(i, j)
 				v += c1 * (pc[i]*pc[j] + (1-hsig)*cc*(2-cc)*cov.At(i, j))
 				for k := 0; k < mu; k++ {
-					yi := (cands[k].u[i] - oldMean[i]) / sigma
-					yj := (cands[k].u[j] - oldMean[j]) / sigma
+					yi := (us[order[k]][i] - oldMean[i]) / sigma
+					yj := (us[order[k]][j] - oldMean[j]) / sigma
 					v += cmu * weights[k] * yi * yj
 				}
 				cov.Set(i, j, v)
@@ -253,10 +277,27 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 // the square roots of the (clamped-positive) eigenvalues.
 func jacobiEigen(a *mathx.Matrix) (*mathx.Matrix, []float64) {
 	n := a.Rows()
-	m := a.Clone()
 	v := mathx.NewMatrix(n, n)
+	d := make([]float64, n)
+	jacobiEigenInto(a, mathx.NewMatrix(n, n), v, d)
+	return v, d
+}
+
+// jacobiEigenInto is jacobiEigen with caller-provided workspaces so hot
+// loops can recycle them: m (clobbered working copy of a) and v must be
+// n-by-n, d length n. On return v holds the eigenvectors and d the
+// square-rooted eigenvalues.
+func jacobiEigenInto(a, m, v *mathx.Matrix, d []float64) {
+	n := a.Rows()
+	m.CopyFrom(a)
 	for i := 0; i < n; i++ {
-		v.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				v.Set(i, j, 1)
+			} else {
+				v.Set(i, j, 0)
+			}
+		}
 	}
 	for sweep := 0; sweep < 30; sweep++ {
 		var off float64
@@ -302,7 +343,6 @@ func jacobiEigen(a *mathx.Matrix) (*mathx.Matrix, []float64) {
 			}
 		}
 	}
-	d := make([]float64, n)
 	for i := 0; i < n; i++ {
 		ev := m.At(i, i)
 		if ev < 1e-14 {
@@ -310,5 +350,4 @@ func jacobiEigen(a *mathx.Matrix) (*mathx.Matrix, []float64) {
 		}
 		d[i] = math.Sqrt(ev)
 	}
-	return v, d
 }

@@ -117,14 +117,17 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 		fv[i] = c.eval(p)
 	}
 
+	// Sorting and trial-point scratch is hoisted out of the loop: the polish
+	// stages run tens of thousands of simplex iterations, and per-iteration
+	// slices were the dominant allocation churn of the local searches.
+	idx := make([]int, n+1)
+	ns := make([][]float64, n+1)
+	nv := make([]float64, n+1)
 	order := func() {
-		idx := make([]int, n+1)
 		for i := range idx {
 			idx[i] = i
 		}
 		sort.Slice(idx, func(a, b int) bool { return fv[idx[a]] < fv[idx[b]] })
-		ns := make([][]float64, n+1)
-		nv := make([]float64, n+1)
 		for i, j := range idx {
 			ns[i], nv[i] = simplex[j], fv[j]
 		}
@@ -133,12 +136,20 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 	}
 
 	centroid := make([]float64, n)
-	point := func(base []float64, coef float64, away []float64) []float64 {
-		p := make([]float64, n)
+	pointInto := func(p, base []float64, coef float64, away []float64) {
 		for i := range p {
 			p[i] = base[i] + coef*(base[i]-away[i])
 		}
-		return p
+	}
+	// Two recycled trial buffers; when a trial is accepted it is swapped
+	// into the simplex and the displaced worst vertex becomes the new spare,
+	// so accepted points are retained without copying or allocating.
+	xr := make([]float64, n)
+	xt := make([]float64, n)
+	accept := func(buf []float64, f float64) []float64 {
+		old := simplex[n]
+		simplex[n], fv[n] = buf, f
+		return old
 	}
 
 	for c.n < o.MaxEvals {
@@ -159,29 +170,28 @@ func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 			}
 			centroid[i] /= nf
 		}
-		xr := point(centroid, alpha, simplex[n])
+		pointInto(xr, centroid, alpha, simplex[n])
 		fr := c.eval(xr)
 		switch {
 		case fr < fv[0]:
 			// Try expansion.
-			xe := point(centroid, alpha*beta, simplex[n])
-			if fe := c.eval(xe); fe < fr {
-				simplex[n], fv[n] = xe, fe
+			pointInto(xt, centroid, alpha*beta, simplex[n])
+			if fe := c.eval(xt); fe < fr {
+				xt = accept(xt, fe)
 			} else {
-				simplex[n], fv[n] = xr, fr
+				xr = accept(xr, fr)
 			}
 		case fr < fv[n-1]:
-			simplex[n], fv[n] = xr, fr
+			xr = accept(xr, fr)
 		default:
 			// Contraction.
-			var xc []float64
 			if fr < fv[n] {
-				xc = point(centroid, alpha*gamma, simplex[n])
+				pointInto(xt, centroid, alpha*gamma, simplex[n])
 			} else {
-				xc = point(centroid, -gamma, simplex[n])
+				pointInto(xt, centroid, -gamma, simplex[n])
 			}
-			if fc := c.eval(xc); fc < math.Min(fr, fv[n]) {
-				simplex[n], fv[n] = xc, fc
+			if fc := c.eval(xt); fc < math.Min(fr, fv[n]) {
+				xt = accept(xt, fc)
 			} else {
 				// Shrink toward the best vertex.
 				for j := 1; j <= n; j++ {

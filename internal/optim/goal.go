@@ -3,6 +3,7 @@ package optim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gnsslna/internal/obs"
 	"gnsslna/internal/resilience"
@@ -68,6 +69,11 @@ type AttainOptions struct {
 	// method after a circuit-breaker stop (0: single attempt). Stops for
 	// external reasons (cancellation, deadline, budget) never restart.
 	Restarts int
+	// Workers bounds the goroutines used to evaluate candidate batches in
+	// the scale probe and the nested DE stage (<= 1: serial). Randomness
+	// stays on the driver goroutine, so results are bit-identical for any
+	// worker count; obj must be safe for concurrent calls when Workers > 1.
+	Workers int
 }
 
 func (o *AttainOptions) defaults() AttainOptions {
@@ -84,6 +90,9 @@ func (o *AttainOptions) defaults() AttainOptions {
 		}
 		if o.Restarts > 0 {
 			out.Restarts = o.Restarts
+		}
+		if o.Workers > 1 {
+			out.Workers = o.Workers
 		}
 		out.Observer, out.Scope, out.Control = o.Observer, o.Scope, o.Control
 	}
@@ -133,9 +142,11 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	}
 	o := opts.defaults()
 	em := newEmitter(o.Observer, o.Scope, scopeAttain)
-	evals := 0
+	// The scalarized objective is handed to DE, whose workers may call it
+	// concurrently — the tally must be atomic to stay exact.
+	var evals atomic.Int64
 	scalar := func(x []float64) float64 {
-		evals++
+		evals.Add(1)
 		return gammaOf(obj(x), goals)
 	}
 	pop := 10 * len(lo)
@@ -147,12 +158,12 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 		gens = 1
 	}
 	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
-		Pop: pop, Generations: gens, Seed: o.Seed,
+		Pop: pop, Generations: gens, Seed: o.Seed, Workers: o.Workers,
 		Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
 	})
 	if err != nil {
 		if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
-			return attainFinish(obj, goals, lo, hi, o, &em, de.X, evals, de.Evals, err)
+			return attainFinish(obj, goals, lo, hi, o, &em, de.X, int(evals.Load()), de.Evals, err)
 		}
 		return AttainResult{}, err
 	}
@@ -162,11 +173,11 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	})
 	if err != nil {
 		if _, ok := resilience.AsStopped(err); ok && len(nm.X) > 0 {
-			return attainFinish(obj, goals, lo, hi, o, &em, nm.X, evals, de.Evals+nm.Evals, err)
+			return attainFinish(obj, goals, lo, hi, o, &em, nm.X, int(evals.Load()), de.Evals+nm.Evals, err)
 		}
 		return AttainResult{}, err
 	}
-	return attainFinish(obj, goals, lo, hi, o, &em, nm.X, evals, de.Evals+nm.Evals, nil)
+	return attainFinish(obj, goals, lo, hi, o, &em, nm.X, int(evals.Load()), de.Evals+nm.Evals, nil)
 }
 
 // attainFinish clamps and evaluates the final (possibly best-so-far) design,
@@ -252,14 +263,20 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o AttainOptions, variant ImprovedVariant, seed int64) (AttainResult, error) {
 	o.Seed = seed
 	em := newEmitter(o.Observer, o.Scope, scopeAttain)
-	evals := 0
+	// The smoothed objectives are handed to DE, whose workers may call them
+	// concurrently — the tally must be atomic to stay exact.
+	var evals atomic.Int64
 	eval := func(x []float64) []float64 {
-		evals++
+		evals.Add(1)
 		return obj(x)
 	}
 	nested := 0 // evals reported by nested stages' own done events
+	pool := NewEvalPool(o.Workers)
 
-	// Stage 0: probe the box to learn objective scales.
+	// Stage 0: probe the box to learn objective scales. All probe points
+	// are drawn first (keeping the RNG stream on the driver), then the
+	// batch is evaluated through the pool and the spans are scanned in
+	// index order — bit-identical for any worker count.
 	scaled := make([]Goal, len(goals))
 	copy(scaled, goals)
 	if !variant.DisableNormalization {
@@ -272,15 +289,21 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 			rngSpan[i] = [2]float64{math.Inf(1), math.Inf(-1)}
 		}
 		rng := newRand(o.Seed)
-		x := make([]float64, len(lo))
-		for p := 0; p < probePop; p++ {
+		px := make([][]float64, probePop)
+		pf := make([][]float64, probePop)
+		for p := range px {
+			x := make([]float64, len(lo))
 			for j := range x {
 				x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
 			}
-			// Probe evaluations are direct (not routed through a nested
-			// solver's counter), so account them here.
-			o.Control.AddEvals(1)
-			f := eval(x)
+			px[p] = x
+		}
+		// Probe evaluations are direct (not routed through a nested
+		// solver's counter), so account them here, on the driver.
+		o.Control.AddEvals(probePop)
+		evals.Add(int64(probePop))
+		pool.MapVector(obj, px, pf)
+		for _, f := range pf {
 			for i, v := range f {
 				if v < rngSpan[i][0] {
 					rngSpan[i][0] = v
@@ -303,21 +326,22 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 	ks := func(rho float64) Objective {
 		return func(x []float64) float64 {
 			f := eval(x)
-			// KS envelope with max-shift for numerical stability.
+			// KS envelope with max-shift for numerical stability. Two
+			// passes over f avoid a per-call scratch slice, which also
+			// keeps the closure safe for concurrent workers.
 			zmax := math.Inf(-1)
-			z := make([]float64, len(f))
 			for i := range f {
-				z[i] = (f[i] - scaled[i].Target) / scaled[i].Weight
-				if z[i] > zmax {
-					zmax = z[i]
+				if z := (f[i] - scaled[i].Target) / scaled[i].Weight; z > zmax {
+					zmax = z
 				}
 			}
 			if variant.DisableKS {
 				return zmax
 			}
 			var s float64
-			for _, v := range z {
-				s += math.Exp(rho * (v - zmax))
+			for i := range f {
+				z := (f[i] - scaled[i].Target) / scaled[i].Weight
+				s += math.Exp(rho * (z - zmax))
 			}
 			return zmax + math.Log(s)/rho
 		}
@@ -341,13 +365,13 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 			gens = 1
 		}
 		de, err := DifferentialEvolution(ks(5), lo, hi, &DEOptions{
-			Pop: pop, Generations: gens, Seed: o.Seed,
+			Pop: pop, Generations: gens, Seed: o.Seed, Workers: o.Workers,
 			Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
 		})
 		nested += de.Evals
 		if err != nil {
 			if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
-				return attainFinish(obj, goals, lo, hi, o, &em, de.X, evals, nested, err)
+				return attainFinish(obj, goals, lo, hi, o, &em, de.X, int(evals.Load()), nested, err)
 			}
 			return AttainResult{}, err
 		}
@@ -378,14 +402,14 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 		}
 		x = clampBox(nm.X, lo, hi)
 	}
-	return attainFinish(obj, goals, lo, hi, o, &em, x, evals, nested, stopErr)
+	return attainFinish(obj, goals, lo, hi, o, &em, x, int(evals.Load()), nested, stopErr)
 }
 
 // scalarizedAttain runs the shared DE-then-Nelder-Mead pipeline of the
 // scalarization baselines, finishing with the NaN-gamma sentinel (see
 // AttainResult.Gamma). A resilience stop returns the best-so-far design
 // alongside the *resilience.Stopped error.
-func scalarizedAttain(obj VectorObjective, scalar Objective, evals *int, lo, hi []float64, o AttainOptions, scope string) (AttainResult, error) {
+func scalarizedAttain(obj VectorObjective, scalar Objective, evals *atomic.Int64, lo, hi []float64, o AttainOptions, scope string) (AttainResult, error) {
 	pop := 10 * len(lo)
 	if pop < 20 {
 		pop = 20
@@ -402,10 +426,10 @@ func scalarizedAttain(obj VectorObjective, scalar Objective, evals *int, lo, hi 
 		// factor, and the sentinel keeps the result shape uniform across
 		// the multi-objective solvers. Callers must test it with
 		// math.IsNaN, never with ==.
-		return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: *evals + 1}, stopErr
+		return AttainResult{X: x, Gamma: math.NaN(), F: f, Evals: int(evals.Load()) + 1}, stopErr
 	}
 	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
-		Pop: pop, Generations: gens, Seed: o.Seed,
+		Pop: pop, Generations: gens, Seed: o.Seed, Workers: o.Workers,
 		Observer: o.Observer, Scope: scope + ".de", Control: o.Control,
 	})
 	if err != nil {
@@ -436,9 +460,9 @@ func WeightedSum(obj VectorObjective, weights []float64, lo, hi []float64, opts 
 		return AttainResult{}, ErrBadInput
 	}
 	o := opts.defaults()
-	evals := 0
+	var evals atomic.Int64
 	scalar := func(x []float64) float64 {
-		evals++
+		evals.Add(1)
 		f := obj(x)
 		var s float64
 		for i, w := range weights {
@@ -458,10 +482,10 @@ func EpsilonConstraint(obj VectorObjective, primary int, eps []float64, lo, hi [
 		return AttainResult{}, ErrBadInput
 	}
 	o := opts.defaults()
-	evals := 0
+	var evals atomic.Int64
 	const penalty = 1e4
 	scalar := func(x []float64) float64 {
-		evals++
+		evals.Add(1)
 		f := obj(x)
 		s := f[primary]
 		for i, e := range eps {

@@ -23,6 +23,11 @@ type DEOptions struct {
 	// Tol stops early when the population's objective spread falls below it
 	// (default 0: run all generations).
 	Tol float64
+	// Workers bounds the goroutines used to evaluate each generation's trial
+	// batch (<= 1: serial). All randomness stays on the driver goroutine and
+	// results are consumed in index order, so the run is bit-identical for
+	// any worker count; f must be safe for concurrent calls when Workers > 1.
+	Workers int
 	// Observer receives per-generation convergence events (nil: disabled).
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.de").
@@ -70,7 +75,10 @@ func snapshotDE(gen int, xs [][]float64, fs []float64, best int, draws uint64, e
 }
 
 // DifferentialEvolution minimizes f over the box [lo, hi] with the
-// rand/1/bin strategy.
+// rand/1/bin strategy. The update is generational (batch-synchronous): every
+// trial is built from the parent population, the whole batch is evaluated —
+// across Workers goroutines when configured — and acceptance runs in index
+// order, so the trajectory is bit-identical for any worker count.
 func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
@@ -85,13 +93,14 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 	if pop < 20 {
 		pop = 20
 	}
-	gens, fw, cr, seed, tol := 300, 0.7, 0.9, int64(1), 0.0
+	gens, fw, cr, seed, tol, workers := 300, 0.7, 0.9, int64(1), 0.0, 1
 	var observer obs.Observer
 	var ctrl *resilience.RunController
 	var checkpoint func(DEState)
 	var resume *DEState
 	scope := ""
 	if opts != nil {
+		workers = opts.Workers
 		if opts.Pop > 3 {
 			pop = opts.Pop
 		}
@@ -117,6 +126,7 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 	src := resilience.NewCountedSource(seed)
 	rng := rand.New(src)
 	c := &counter{f: f, ctrl: ctrl}
+	pool := NewEvalPool(workers)
 
 	var xs [][]float64
 	var fs []float64
@@ -143,8 +153,8 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 			for j := range xs[i] {
 				xs[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
 			}
-			fs[i] = c.eval(xs[i])
 		}
+		c.evalBatch(pool, xs, fs)
 		for i := range fs {
 			if fs[i] < fs[best] {
 				best = i
@@ -152,7 +162,15 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 		}
 	}
 
-	trial := make([]float64, n)
+	// One flat backing array holds every trial: the rows never alias and the
+	// whole matrix is recycled across generations (nothing here is retained —
+	// accepted trials are copied into xs).
+	trials := make([][]float64, pop)
+	tbuf := make([]float64, pop*n)
+	for i := range trials {
+		trials[i] = tbuf[i*n : (i+1)*n : (i+1)*n]
+	}
+	tfs := make([]float64, pop)
 	for g := startGen; g < gens; g++ {
 		if err := ctrl.Check(); err != nil {
 			em.done(c.n, fs[best])
@@ -180,6 +198,7 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 				}
 			}
 			jr := rng.Intn(n)
+			trial := trials[i]
 			for j := 0; j < n; j++ {
 				if j == jr || rng.Float64() < cr {
 					v := xs[a][j] + fw*(xs[b][j]-xs[cc][j])
@@ -201,11 +220,13 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 					trial[j] = xs[i][j]
 				}
 			}
-			ft := c.eval(trial)
-			if ft <= fs[i] {
-				copy(xs[i], trial)
-				fs[i] = ft
-				if ft < fs[best] {
+		}
+		c.evalBatch(pool, trials, tfs)
+		for i := 0; i < pop; i++ {
+			if tfs[i] <= fs[i] {
+				copy(xs[i], trials[i])
+				fs[i] = tfs[i]
+				if fs[i] < fs[best] {
 					best = i
 				}
 			}
@@ -238,6 +259,12 @@ type PSOOptions struct {
 	Iterations int
 	// Seed seeds the deterministic RNG (default 1).
 	Seed int64
+	// Workers bounds the goroutines used to evaluate each iteration's
+	// position batch (<= 1: serial). Randomness stays on the driver and
+	// personal/global bests are updated in index order after the batch, so
+	// the run is bit-identical for any worker count; f must be safe for
+	// concurrent calls when Workers > 1.
+	Workers int
 	// Observer receives per-iteration convergence events (nil: disabled).
 	Observer obs.Observer
 	// Scope labels emitted events (default "optim.pso").
@@ -273,15 +300,33 @@ type PSOState struct {
 }
 
 func copyMat(m [][]float64) [][]float64 {
-	out := make([][]float64, len(m))
-	for i := range m {
-		out[i] = append([]float64(nil), m[i]...)
+	return copyMatInto(nil, m)
+}
+
+// copyMatInto deep-copies src into dst, reusing dst's rows when the shapes
+// already match so hot loops that copy repeatedly (resume restoration,
+// non-retained working state) stop churning allocations. Checkpoint
+// snapshots handed to callers still go through a nil dst — they must stay
+// defensive copies because the callback may retain them.
+func copyMatInto(dst, src [][]float64) [][]float64 {
+	if len(dst) != len(src) {
+		dst = make([][]float64, len(src))
 	}
-	return out
+	for i := range src {
+		if len(dst[i]) != len(src[i]) {
+			dst[i] = make([]float64, len(src[i]))
+		}
+		copy(dst[i], src[i])
+	}
+	return dst
 }
 
 // ParticleSwarm minimizes f over the box [lo, hi] with a standard
-// constricted-velocity swarm.
+// constricted-velocity swarm. The update is batch-synchronous: every
+// particle moves against the previous iteration's global best, the whole
+// swarm is evaluated as one batch — across Workers goroutines when
+// configured — and bests are updated in index order, so the trajectory is
+// bit-identical for any worker count.
 func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
@@ -291,13 +336,14 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 	if pop < 20 {
 		pop = 20
 	}
-	iters, seed := 300, int64(1)
+	iters, seed, workers := 300, int64(1), 1
 	var observer obs.Observer
 	var ctrl *resilience.RunController
 	var checkpoint func(PSOState)
 	var resume *PSOState
 	scope := ""
 	if opts != nil {
+		workers = opts.Workers
 		if opts.Pop > 1 {
 			pop = opts.Pop
 		}
@@ -314,6 +360,7 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 	src := resilience.NewCountedSource(seed)
 	rng := rand.New(src)
 	c := &counter{f: f, ctrl: ctrl}
+	pool := NewEvalPool(workers)
 	const (
 		w  = 0.7298 // constriction
 		c1 = 1.4962
@@ -348,13 +395,16 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 				v[i][j] = (rng.Float64()*2 - 1) * span * 0.1
 			}
 			pb[i] = append([]float64(nil), x[i]...)
-			pf[i] = c.eval(x[i])
+		}
+		c.evalBatch(pool, x, pf)
+		for i := range pf {
 			if pf[i] < gf {
 				gf = pf[i]
 				copy(gb, x[i])
 			}
 		}
 	}
+	fxs := make([]float64, pop)
 	for it := startIt; it < iters; it++ {
 		if err := ctrl.Check(); err != nil {
 			em.done(c.n, gf)
@@ -375,12 +425,14 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 					v[i][j] = -0.5 * v[i][j]
 				}
 			}
-			fx := c.eval(x[i])
-			if fx < pf[i] {
-				pf[i] = fx
+		}
+		c.evalBatch(pool, x, fxs)
+		for i := 0; i < pop; i++ {
+			if fxs[i] < pf[i] {
+				pf[i] = fxs[i]
 				copy(pb[i], x[i])
-				if fx < gf {
-					gf = fx
+				if fxs[i] < gf {
+					gf = fxs[i]
 					copy(gb, x[i])
 				}
 			}

@@ -21,6 +21,12 @@ type NSGA2Options struct {
 	CrossoverEta, MutationEta float64
 	// MutationProb is the per-gene mutation probability (default 1/dim).
 	MutationProb float64
+	// Workers bounds the goroutines used to evaluate each generation's
+	// offspring batch (<= 1: serial). Variation draws stay on the driver
+	// goroutine and offspring are evaluated as one batch written back by
+	// index, so the run is bit-identical for any worker count; obj must be
+	// safe for concurrent calls when Workers > 1.
+	Workers int
 	// Observer receives per-generation convergence events; Best carries
 	// the minimum of the first objective over the current parents, a cheap
 	// scalar proxy for front progress (nil: disabled).
@@ -56,7 +62,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	if obj == nil || n == 0 || len(hi) != n {
 		return NSGA2Result{}, ErrBadInput
 	}
-	pop, gens, seed := 80, 100, int64(1)
+	pop, gens, seed, workers := 80, 100, int64(1), 1
 	etaC, etaM := 15.0, 20.0
 	pm := 1.0 / float64(n)
 	var observer obs.Observer
@@ -65,6 +71,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	if opts != nil {
 		observer, scope = opts.Observer, opts.Scope
 		ctrl = opts.Control
+		workers = opts.Workers
 		if opts.Pop > 3 {
 			pop = opts.Pop
 		}
@@ -89,20 +96,30 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	}
 	em := newEmitter(observer, scope, scopeNSGA2)
 	rng := newRand(seed)
+	pl := NewEvalPool(workers)
 	evals := 0
-	eval := func(x []float64) []float64 {
-		evals++
-		ctrl.AddEvals(1)
-		return obj(x)
+	// evalBatch charges the eval tally on the driver once per candidate and
+	// fans the objective calls across the pool, writing back by index.
+	evalBatch := func(xs [][]float64, out [][]float64) {
+		evals += len(xs)
+		ctrl.AddEvals(len(xs))
+		pl.MapVector(obj, xs, out)
 	}
 
 	parents := make([]nsgaInd, pop)
+	batchX := make([][]float64, 0, pop)
+	batchF := make([][]float64, pop)
 	for i := range parents {
 		x := make([]float64, n)
 		for j := range x {
 			x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
 		}
-		parents[i] = nsgaInd{x: x, f: eval(x)}
+		parents[i] = nsgaInd{x: x}
+		batchX = append(batchX, x)
+	}
+	evalBatch(batchX, batchF)
+	for i := range parents {
+		parents[i].f = batchF[i]
 	}
 	rankAndCrowd(parents)
 
@@ -111,16 +128,21 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 			em.done(evals, minFirstObjective(parents))
 			return frontOf(parents, evals), err
 		}
-		children := make([]nsgaInd, 0, pop)
-		for len(children) < pop {
+		// Variation first (all RNG draws, in index order), then one batch
+		// evaluation of the offspring.
+		batchX = batchX[:0]
+		for len(batchX) < pop {
 			p1 := tournament(parents, rng)
 			p2 := tournament(parents, rng)
 			c1, c2 := sbx(p1.x, p2.x, lo, hi, etaC, rng)
 			mutate(c1, lo, hi, etaM, pm, rng)
 			mutate(c2, lo, hi, etaM, pm, rng)
-			children = append(children,
-				nsgaInd{x: c1, f: eval(c1)},
-				nsgaInd{x: c2, f: eval(c2)})
+			batchX = append(batchX, c1, c2)
+		}
+		evalBatch(batchX, batchF)
+		children := make([]nsgaInd, pop)
+		for i := range children {
+			children[i] = nsgaInd{x: batchX[i], f: batchF[i]}
 		}
 		union := append(parents, children...)
 		rankAndCrowd(union)

@@ -1,0 +1,133 @@
+package optim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EvalPool fans a batch of independent candidate evaluations across a fixed
+// number of worker goroutines and writes each result back by index, so a
+// generational solver can evaluate its population concurrently without
+// disturbing the serial algorithm: all randomness stays on the driver
+// goroutine, workers only call the objective, and the driver consumes the
+// results in the same index order it would have produced them serially. The
+// trajectory (RNG stream, selection order, best-so-far) is therefore
+// bit-identical for any worker count.
+//
+// Workers <= 1 (including a nil pool) evaluates on the calling goroutine,
+// byte-for-byte today's serial behavior with zero goroutine overhead.
+//
+// Objectives handed to a pool with Workers > 1 must be safe for concurrent
+// calls. resilience.Safe / resilience.SafeVector wrappers qualify: their
+// fault gate is built on atomics, so panic quarantine, NaN/Inf penalties and
+// circuit-breaker counts merge race-free across workers. A panic that
+// escapes the objective itself is captured, the remaining evaluations of the
+// batch finish, and the panic is re-raised on the driver goroutine — the
+// pool never deadlocks and never loses a batch.
+type EvalPool struct {
+	workers int
+}
+
+// NewEvalPool returns a pool that runs batches on up to workers goroutines.
+// Values <= 1 yield a serial pool.
+func NewEvalPool(workers int) *EvalPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &EvalPool{workers: workers}
+}
+
+// Workers reports the pool's worker count (1 for a nil or serial pool).
+func (p *EvalPool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Each runs fn(i) for every i in [0, n), fanning the calls across the pool's
+// workers. Indices are claimed from an atomic cursor, so each is evaluated
+// exactly once; fn must write its result into caller-owned storage at slot i.
+// The first panic raised by fn is re-thrown on the calling goroutine after
+// all workers have drained.
+func (p *EvalPool) Each(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+		sawPanic bool
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !sawPanic {
+								sawPanic = true
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if sawPanic {
+		panic(panicked)
+	}
+}
+
+// Map evaluates f at every xs[i] and stores f(xs[i]) in out[i]. The xs rows
+// must not alias each other when Workers > 1.
+func (p *EvalPool) Map(f Objective, xs [][]float64, out []float64) {
+	p.Each(len(xs), func(i int) { out[i] = f(xs[i]) })
+}
+
+// MapVector evaluates the vector objective at every xs[i] and stores the
+// returned slice in out[i].
+func (p *EvalPool) MapVector(f VectorObjective, xs [][]float64, out [][]float64) {
+	p.Each(len(xs), func(i int) { out[i] = f(xs[i]) })
+}
+
+// evalBatch evaluates the batch through the pool while keeping every piece
+// of counter bookkeeping on the driver goroutine: workers only call the raw
+// objective, and the eval tally (local count plus controller budget) is
+// charged exactly once per candidate before the batch runs — the same total,
+// in the same generation, as the serial loop. With a serial pool it is
+// exactly the historical eval-per-candidate loop.
+func (c *counter) evalBatch(p *EvalPool, xs [][]float64, out []float64) {
+	if p.Workers() <= 1 {
+		for i := range xs {
+			out[i] = c.eval(xs[i])
+		}
+		return
+	}
+	c.n += len(xs)
+	c.ctrl.AddEvals(len(xs))
+	p.Map(c.f, xs, out)
+}

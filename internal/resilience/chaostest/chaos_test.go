@@ -145,6 +145,101 @@ func TestRestartPolicyHealsTransientChaos(t *testing.T) {
 	}
 }
 
+// TestParallelSolversSurviveChaos drives the population solvers with the
+// evaluation fan-out enabled over a panicking, NaN-spewing objective behind
+// the quarantine wrapper: every fault must be quarantined in whichever
+// worker goroutine evaluates it, no panic may escape, no batch may be lost,
+// and the run must terminate (no deadlock).
+func TestParallelSolversSurviveChaos(t *testing.T) {
+	lo, hi := box(3)
+	const workers = 4
+	solvers := []struct {
+		name string
+		run  func(obj func([]float64) float64) (optim.Result, error)
+	}{
+		{"de", func(obj func([]float64) float64) (optim.Result, error) {
+			return optim.DifferentialEvolution(obj, lo, hi, &optim.DEOptions{
+				Pop: 20, Generations: 30, Seed: 1, Workers: workers,
+			})
+		}},
+		{"pso", func(obj func([]float64) float64) (optim.Result, error) {
+			return optim.ParticleSwarm(obj, lo, hi, &optim.PSOOptions{
+				Pop: 20, Iterations: 30, Seed: 1, Workers: workers,
+			})
+		}},
+		{"cmaes", func(obj func([]float64) float64) (optim.Result, error) {
+			return optim.CMAES(obj, lo, hi, &optim.CMAESOptions{
+				Generations: 60, Seed: 1, Workers: workers,
+			})
+		}},
+	}
+	for _, s := range solvers {
+		t.Run(s.name, func(t *testing.T) {
+			in := &chaostest.Injector{PanicEvery: 11, NaNEvery: 7}
+			safe := resilience.NewSafe(in.Wrap(sphere), &resilience.SafeOptions{Penalty: 1e6})
+			res, err := s.run(safe.Objective())
+			if err != nil {
+				t.Fatalf("solver failed under parallel chaos: %v", err)
+			}
+			if len(res.X) == 0 || math.IsNaN(res.F) || math.IsInf(res.F, 0) {
+				t.Fatalf("unusable result under parallel chaos: %+v", res)
+			}
+			if safe.Panics() == 0 && safe.NonFinite() == 0 {
+				t.Error("injector never fired: parallel chaos sweep vacuous")
+			}
+		})
+	}
+}
+
+// TestParallelPanicPropagatesUnwrapped pins the worker-pool contract for an
+// objective with no quarantine wrapper: a panic in a worker is re-raised on
+// the driving goroutine after the batch drains — never a deadlock, never a
+// silently lost batch.
+func TestParallelPanicPropagatesUnwrapped(t *testing.T) {
+	lo, hi := box(2)
+	in := &chaostest.Injector{PanicEvery: 13}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		_, _ = optim.DifferentialEvolution(in.Wrap(sphere), lo, hi, &optim.DEOptions{
+			Pop: 20, Generations: 50, Seed: 1, Workers: 4,
+		})
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("injected panic vanished: neither propagated nor deadlocked")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel solver deadlocked on a panicking objective")
+	}
+}
+
+// TestParallelDeadlineStopsStalledWorkers verifies the controller still
+// stops a run whose evaluations stall inside worker goroutines.
+func TestParallelDeadlineStopsStalledWorkers(t *testing.T) {
+	in := &chaostest.Injector{SlowEvery: 1, SlowFor: 2 * time.Millisecond}
+	ctrl := resilience.NewController(resilience.ControllerOptions{
+		Deadline: time.Now().Add(25 * time.Millisecond),
+	})
+	lo, hi := box(3)
+	start := time.Now()
+	res, err := optim.DifferentialEvolution(in.Wrap(sphere), lo, hi, &optim.DEOptions{
+		Pop: 20, Generations: 10000, Seed: 1, Control: ctrl, Workers: 4,
+	})
+	st, ok := resilience.AsStopped(err)
+	if !ok || st.Reason != resilience.StopDeadline {
+		t.Fatalf("want deadline stop, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+	if len(res.X) == 0 {
+		t.Error("no best-so-far point returned")
+	}
+}
+
 // TestAllSolversSurviveChaos sweeps every scalar solver over a panicking,
 // NaN-spewing objective behind the quarantine wrapper: no panic may escape
 // and every solver must return a usable point.

@@ -28,13 +28,24 @@ type Tee struct {
 	// BranchLoad terminates the far end of the branch (ohms); use a large
 	// value for an open and a small one for a short/decoupled rail.
 	BranchLoad complex128
+	// CJunction, when positive, is a precomputed junction capacitance in
+	// farads that short-circuits the per-call Hammerstad fit. The
+	// capacitance depends only on geometry and substrate — never on
+	// frequency — so builders that evaluate the tee at many frequencies set
+	// it once from JunctionCapacitance (0: compute from geometry on every
+	// call, the safe default).
+	CJunction float64
 }
 
 var _ Element = Tee{}
 
 // JunctionCapacitance returns the Hammerstad excess capacitance of the
-// T-junction in farads, an empirical function of geometry and permittivity.
+// T-junction in farads, an empirical function of geometry and permittivity
+// (precomputed when CJunction is set).
 func (t Tee) JunctionCapacitance() float64 {
+	if t.CJunction > 0 {
+		return t.CJunction
+	}
 	_, z0m := t.Sub.StaticParams(t.WMain)
 	// Hammerstad's empirical shunt capacitance for a tee: C/W [pF/m] =
 	// sqrt(er)*(100/tan(...)) style fits reduce, for our purposes, to an
