@@ -1,11 +1,13 @@
 GO ?= go
 BENCHTIME ?= 0.2s
+FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet build test race bench bench-gate bench-workers chaos
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos verify-invariants fuzz-smoke
 
-# verify is the tier-1 gate: formatting, vet, build, the full test suite,
-# and a race pass over the concurrently-exercised packages.
-verify: fmt vet build test race
+# verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
+# build, the full test suite, and a race pass over the concurrently-exercised
+# packages.
+verify: fmt vet staticcheck build test race
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -16,6 +18,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when the binary is on PATH, skip
+# (loudly) when it is not, so the gate works in hermetic containers.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 build:
 	$(GO) build ./...
 
@@ -23,7 +34,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments
+	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments ./internal/verify
+
+# verify-invariants runs the correctness harness: the physics-invariant
+# sweeps and differential cross-checks of internal/verify, plus the
+# regression tests for every bug the harness has found so far (-count=1
+# defeats the cache so the sweeps really execute).
+verify-invariants:
+	$(GO) test -count=1 ./internal/verify/ ./internal/twoport/ ./internal/mna/ ./internal/touchstone/ ./internal/units/ ./internal/mathx/ ./internal/rfpassive/
+
+# fuzz-smoke gives each native fuzz target a bounded budget (FUZZTIME per
+# target) on top of the committed seed corpora. Go allows one fuzz target
+# per invocation, hence the three runs.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/touchstone/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/units/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/obs/replay/
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.

@@ -10,8 +10,24 @@ import (
 // increasing.
 var errUnsortedKnots = errors.New("mathx: interpolation knots must be strictly increasing")
 
+// Out-of-range contract. The package offers both behaviors explicitly and
+// callers choose by name — never by accident:
+//
+//   - LinearInterp and Spline.Eval EXTRAPOLATE: outside the knot range the
+//     boundary segment (or boundary cubic piece) is extended. Use these for
+//     smooth physical models where the trend is trustworthy slightly past
+//     the fitted range (e.g. small-signal parameter fits).
+//   - LinearInterpClamped CLAMPS: outside the knot range the nearest
+//     endpoint value holds. Use this for measured/datasheet tables
+//     (dispersion curves, Q tables) where extending the boundary slope
+//     fabricates data — a clamped table is at worst stale, an extrapolated
+//     one can go negative or non-passive.
+//
+// rfpassive's tabulated dispersion data uses the clamped form throughout.
+
 // LinearInterp evaluates a piecewise-linear interpolant through (xs, ys) at
-// x. Outside the knot range the boundary segments are extrapolated.
+// x. Outside the knot range the boundary segments are extrapolated (see the
+// out-of-range contract above; LinearInterpClamped is the clamping variant).
 func LinearInterp(xs, ys []float64, x float64) float64 {
 	n := len(xs)
 	if n == 0 || n != len(ys) {
@@ -34,6 +50,23 @@ func LinearInterp(xs, ys []float64, x float64) float64 {
 	}
 	t := (x - x0) / (x1 - x0)
 	return y0 + t*(y1-y0)
+}
+
+// LinearInterpClamped evaluates the piecewise-linear interpolant through
+// (xs, ys) at x, holding the endpoint values outside the knot range instead
+// of extrapolating (see the out-of-range contract above).
+func LinearInterpClamped(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		panic("mathx: LinearInterpClamped requires equal, non-empty xs and ys")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	return LinearInterp(xs, ys, x)
 }
 
 // Spline is a natural cubic spline interpolant.

@@ -28,6 +28,36 @@ func TestLinearInterpMidpoint(t *testing.T) {
 	}
 }
 
+// TestLinearInterpClampedContract pins the out-of-range contract: the
+// clamped variant holds the endpoint values where the plain variant extends
+// the boundary segments, and both agree exactly inside the knot range.
+func TestLinearInterpClampedContract(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	ys := []float64{10, 30, 20}
+	// Below and above the range: endpoint values, not extended slopes.
+	if got := LinearInterpClamped(xs, ys, 0); got != 10 {
+		t.Errorf("clamped below range = %g, want 10", got)
+	}
+	if got := LinearInterpClamped(xs, ys, 100); got != 20 {
+		t.Errorf("clamped above range = %g, want 20", got)
+	}
+	// The extrapolating variant genuinely differs out of range.
+	if got := LinearInterp(xs, ys, 0); !Close(got, -10, 1e-12) {
+		t.Errorf("extrapolated below range = %g, want -10", got)
+	}
+	// Inside the range the two variants agree exactly.
+	for _, x := range Linspace(1, 4, 13) {
+		a, b := LinearInterp(xs, ys, x), LinearInterpClamped(xs, ys, x)
+		if a != b {
+			t.Errorf("variants disagree in range at %g: %g vs %g", x, a, b)
+		}
+	}
+	// Single-knot table is constant everywhere.
+	if got := LinearInterpClamped([]float64{2}, []float64{7}, -5); got != 7 {
+		t.Errorf("single-knot clamp = %g, want 7", got)
+	}
+}
+
 func TestSplineReproducesLine(t *testing.T) {
 	// A natural cubic spline through collinear points is exactly the line.
 	xs := Linspace(0, 10, 8)

@@ -289,20 +289,49 @@ func (c *Circuit) ZParams(f float64, ports []string) (*mathx.CMatrix, error) {
 
 // SParams2 computes two-port S-parameters between the two named port nodes
 // over the frequency list, referenced to z0.
+//
+// The ports are driven terminated, not open-circuited: z0 is stamped at both
+// port nodes and each column of S comes from one solve with a 1 V source
+// behind z0 (S_ij = 2 V_i - delta_ij). Unlike the earlier Z-parameter
+// reduction this stays well-posed for networks whose open-circuit parameters
+// do not exist — a series-only ladder with no DC path to ground, or both
+// ports on the same node — and it factorizes once per frequency instead of
+// once per port.
 func (c *Circuit) SParams2(freqs []float64, portIn, portOut string, z0 float64) (*twoport.Network, error) {
+	in, ok := c.nodeIndex[portIn]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, portIn)
+	}
+	out, ok := c.nodeIndex[portOut]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, portOut)
+	}
+	ports := [2]int{in, out}
+	g0 := complex(1/z0, 0)
 	mats := make([]twoport.Mat2, len(freqs))
 	for k, f := range freqs {
-		z, err := c.ZParams(f, []string{portIn, portOut})
-		if err != nil {
-			return nil, err
+		y := c.assemble(f)
+		for _, p := range ports {
+			y.Add(p, p, g0)
 		}
-		zm := twoport.Mat2{
-			{z.At(0, 0), z.At(0, 1)},
-			{z.At(1, 0), z.At(1, 1)},
+		if err := c.lu.Factorize(y); err != nil {
+			return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
 		}
-		s, err := twoport.ZToS(zm, z0)
-		if err != nil {
-			return nil, fmt.Errorf("mna: Z->S at %g Hz: %w", f, err)
+		var s twoport.Mat2
+		for j := 0; j < 2; j++ {
+			for i := range c.rhs {
+				c.rhs[i] = 0
+			}
+			c.rhs[ports[j]] += g0 // Norton equivalent of 1 V behind z0
+			if err := c.lu.SolveInto(c.sol, c.rhs); err != nil {
+				return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
+			}
+			for i := 0; i < 2; i++ {
+				s[i][j] = 2 * c.sol[ports[i]]
+				if i == j {
+					s[i][j] -= 1
+				}
+			}
 		}
 		mats[k] = s
 	}

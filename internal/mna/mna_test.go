@@ -206,3 +206,44 @@ func TestNetlistDescribesElements(t *testing.T) {
 		t.Errorf("nodes = %d, want 2", c.NumNodes())
 	}
 }
+
+// TestSParams2SeriesOnlyNetwork is the regression for a bug the verify
+// harness found: SParams2 reduced open-circuit Z-parameters, which do not
+// exist for a network with no DC path to ground, so a lone series resistor
+// failed with a singular solve. The terminated-drive formulation must return
+// the textbook S-matrix: S11 = R/(R+2Z0), S21 = 2Z0/(R+2Z0).
+func TestSParams2SeriesOnlyNetwork(t *testing.T) {
+	c := New()
+	c.AddR("in", "out", 50)
+	n, err := c.SParams2([]float64{1e9}, "in", "out", 50)
+	if err != nil {
+		t.Fatalf("series-only network: %v", err)
+	}
+	s := n.S[0]
+	if d := cmplx.Abs(s[0][0] - complex(1.0/3, 0)); d > 1e-12 {
+		t.Errorf("S11 = %v, want 1/3", s[0][0])
+	}
+	if d := cmplx.Abs(s[1][0] - complex(2.0/3, 0)); d > 1e-12 {
+		t.Errorf("S21 = %v, want 2/3", s[1][0])
+	}
+}
+
+// TestSParams2PortsOnSameNode drives the degenerate two-port whose ports
+// share one node: a thru in parallel with a shunt load. For a bare 100-ohm
+// shunt R at Z0 = 50: S11 = S21 - 1 = -z0/(z0 + 2R).
+func TestSParams2PortsOnSameNode(t *testing.T) {
+	c := New()
+	c.AddR("in", Ground, 100)
+	n, err := c.SParams2([]float64{1e9}, "in", "in", 50)
+	if err != nil {
+		t.Fatalf("same-node ports: %v", err)
+	}
+	s := n.S[0]
+	want := complex(-50.0/250, 0)
+	if d := cmplx.Abs(s[0][0] - want); d > 1e-12 {
+		t.Errorf("S11 = %v, want %v", s[0][0], want)
+	}
+	if d := cmplx.Abs(s[1][0] - (1 + want)); d > 1e-12 {
+		t.Errorf("S21 = %v, want %v", s[1][0], 1+want)
+	}
+}

@@ -1,0 +1,55 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"gnsslna/internal/obs"
+)
+
+// FuzzParse drives the journal reader with arbitrary bytes and cross-checks
+// it against obs.ReadJournal, the independent read path the checkpoints use.
+// Properties: Parse never panics; the two readers accept exactly the same
+// streams; on success they agree record for record; and on a corrupt tail
+// Parse still returns every record the strict reader saw before failing.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"t_ms":0.5,"event":"generation","scope":"de","gen":1,"evals":40,"best":1.5}` + "\n"))
+	f.Add([]byte(`{"seq":1,"event":"metrics","fields":{"a":1,"b":-2.5}}` + "\n\n" +
+		`{"seq":2,"event":"done","evals":100}` + "\n"))
+	f.Add([]byte(`{"seq":1,"event":"span-begin","scope":"extract"}` + "\n" + `{"truncated`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := Parse(bytes.NewReader(data))
+		recs, jerr := obs.ReadJournal(bytes.NewReader(data))
+		if (err == nil) != (jerr == nil) {
+			t.Fatalf("readers disagree: replay err %v, obs err %v", err, jerr)
+		}
+		if run == nil {
+			t.Fatal("Parse returned a nil run")
+		}
+		if err != nil {
+			if _, ok := AsTailError(err); !ok {
+				t.Fatalf("Parse error is not a TailError: %v", err)
+			}
+		}
+		// Both readers stop at the same line, so the parsed prefixes match.
+		if len(run.Records) != len(recs) {
+			t.Fatalf("record counts diverge: replay %d, obs %d", len(run.Records), len(recs))
+		}
+		for i := range recs {
+			a, b := run.Records[i], recs[i]
+			if a.Seq != b.Seq || a.Event != b.Event || a.Scope != b.Scope ||
+				a.Gen != b.Gen || a.Evals != b.Evals ||
+				!sameFloat(a.Best, b.Best) || !sameFloat(a.TMs, b.TMs) ||
+				!sameFloat(a.WallMs, b.WallMs) || len(a.Fields) != len(b.Fields) {
+				t.Fatalf("record %d diverges: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// sameFloat compares floats treating NaN as equal to itself (JSON numbers
+// cannot encode NaN, but both readers must still agree on whatever they
+// produced).
+func sameFloat(a, b float64) bool { return a == b || (a != a && b != b) }

@@ -48,6 +48,10 @@ type Inductor struct {
 	Orient Orientation
 	// Temp is the physical temperature (290 K if zero).
 	Temp float64
+	// ESRTable, when non-nil, replaces the closed-form dispersive series
+	// resistance with a measured/datasheet ESR-vs-frequency curve (clamped
+	// outside its grid, per the mathx tabulated-data contract).
+	ESRTable *DispersionTable
 }
 
 var _ Element = Inductor{}
@@ -68,8 +72,12 @@ func NewChipInductor(l float64, o Orientation) Inductor {
 	}
 }
 
-// seriesR returns the dispersive series resistance at f.
+// seriesR returns the dispersive series resistance at f: the tabulated ESR
+// curve when one is attached, otherwise the RDC + skin-effect closed form.
 func (l Inductor) seriesR(f float64) float64 {
+	if l.ESRTable != nil {
+		return l.ESRTable.At(f)
+	}
 	if f <= 0 || l.QRef <= 0 || l.FRef <= 0 {
 		return l.RDC
 	}
@@ -159,6 +167,10 @@ type Capacitor struct {
 	Orient Orientation
 	// Temp is the physical temperature (290 K if zero).
 	Temp float64
+	// ESRTable, when non-nil, replaces the closed-form ESR dispersion with
+	// a measured/datasheet ESR-vs-frequency curve (clamped outside its
+	// grid, per the mathx tabulated-data contract).
+	ESRTable *DispersionTable
 }
 
 var _ Element = Capacitor{}
@@ -177,9 +189,13 @@ func NewChipCapacitor(c float64, o Orientation) Capacitor {
 	}
 }
 
-// ESR returns the dispersive effective series resistance at f: electrode
-// metal loss growing as sqrt(f) plus dielectric loss falling as 1/f.
+// ESR returns the dispersive effective series resistance at f: the
+// tabulated curve when one is attached, otherwise electrode metal loss
+// growing as sqrt(f) plus dielectric loss falling as 1/f.
 func (c Capacitor) ESR(f float64) float64 {
+	if c.ESRTable != nil {
+		return c.ESRTable.At(f)
+	}
 	if f <= 0 {
 		return c.RS0
 	}

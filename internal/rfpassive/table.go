@@ -1,0 +1,41 @@
+package rfpassive
+
+import (
+	"fmt"
+
+	"gnsslna/internal/mathx"
+)
+
+// DispersionTable is a measured or datasheet frequency curve for a component
+// parameter: F holds the sample frequencies in Hz (strictly increasing) and
+// V the parameter values. Lookups follow the mathx out-of-range contract for
+// tabulated data — clamped, never extrapolated: below F[0] the first value
+// holds, above F[len-1] the last one. Extending a datasheet ESR curve's
+// boundary slope can fabricate a negative resistance and with it an active
+// "passive" element; clamping is at worst stale.
+type DispersionTable struct {
+	// F is the sample frequency grid in Hz, strictly increasing.
+	F []float64
+	// V holds the parameter value at each frequency.
+	V []float64
+}
+
+// Validate checks the table shape: equal non-empty lengths and a strictly
+// increasing frequency grid.
+func (t *DispersionTable) Validate() error {
+	if len(t.F) == 0 || len(t.F) != len(t.V) {
+		return fmt.Errorf("rfpassive: dispersion table needs equal, non-empty F and V (got %d/%d)", len(t.F), len(t.V))
+	}
+	for i := 1; i < len(t.F); i++ {
+		if t.F[i] <= t.F[i-1] {
+			return fmt.Errorf("rfpassive: dispersion table frequencies must be strictly increasing (index %d)", i)
+		}
+	}
+	return nil
+}
+
+// At returns the tabulated value at frequency f in Hz, linearly interpolated
+// between samples and clamped to the endpoint values outside the grid.
+func (t *DispersionTable) At(f float64) float64 {
+	return mathx.LinearInterpClamped(t.F, t.V, f)
+}

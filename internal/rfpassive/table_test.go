@@ -1,0 +1,101 @@
+package rfpassive
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+func TestDispersionTableValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  DispersionTable
+		ok   bool
+	}{
+		{"good", DispersionTable{F: []float64{1e9, 2e9}, V: []float64{0.1, 0.2}}, true},
+		{"single", DispersionTable{F: []float64{1e9}, V: []float64{0.1}}, true},
+		{"empty", DispersionTable{}, false},
+		{"mismatch", DispersionTable{F: []float64{1e9}, V: []float64{0.1, 0.2}}, false},
+		{"unsorted", DispersionTable{F: []float64{2e9, 1e9}, V: []float64{0.1, 0.2}}, false},
+		{"duplicate", DispersionTable{F: []float64{1e9, 1e9}, V: []float64{0.1, 0.2}}, false},
+	}
+	for _, c := range cases {
+		if err := c.tab.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestDispersionTableClamps pins the tabulated-data contract: interpolated
+// inside the grid, endpoint values held outside — never the extended
+// boundary slope, which for a falling ESR curve would go negative.
+func TestDispersionTableClamps(t *testing.T) {
+	tab := DispersionTable{F: []float64{1e9, 2e9, 3e9}, V: []float64{0.3, 0.1, 0.05}}
+	if got := tab.At(1.5e9); !mathx.Close(got, 0.2, 1e-12) {
+		t.Errorf("At(1.5 GHz) = %g, want 0.2", got)
+	}
+	if got := tab.At(0.1e9); got != 0.3 {
+		t.Errorf("At below grid = %g, want clamped 0.3", got)
+	}
+	// The extended first segment would reach 0.3-0.2*... negative well
+	// above the grid; clamping keeps the last sample.
+	if got := tab.At(30e9); got != 0.05 {
+		t.Errorf("At above grid = %g, want clamped 0.05", got)
+	}
+}
+
+// TestTabulatedESRElementsStayPassive attaches datasheet-style ESR curves to
+// a chip inductor and capacitor and checks the elements track the table and
+// remain passive over and beyond the tabulated range.
+func TestTabulatedESRElementsStayPassive(t *testing.T) {
+	ltab := &DispersionTable{
+		F: []float64{0.5e9, 1e9, 2e9, 4e9},
+		V: []float64{0.4, 0.6, 1.1, 2.4},
+	}
+	if err := ltab.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	ind := NewChipInductor(6.8e-9, Series)
+	ind.ESRTable = ltab
+	// Without the self-capacitance transformation, Re(Z) is exactly the
+	// tabulated series resistance.
+	bare := ind
+	bare.Cp = 0
+	if got := bare.ESR(1e9); !mathx.Close(got, 0.6, 1e-9) {
+		t.Errorf("tabulated inductor ESR(1 GHz) = %g, want 0.6", got)
+	}
+	if got := bare.ESR(20e9); !mathx.Close(got, 2.4, 1e-9) {
+		t.Errorf("tabulated inductor ESR above grid = %g, want clamped 2.4", got)
+	}
+
+	ctab := &DispersionTable{
+		F: []float64{0.5e9, 1e9, 3e9},
+		V: []float64{0.15, 0.08, 0.12},
+	}
+	cap := NewChipCapacitor(5.6e-12, Shunt)
+	cap.ESRTable = ctab
+	if got := cap.ESR(1e9); !mathx.Close(got, 0.08, 1e-9) {
+		t.Errorf("tabulated capacitor ESR(1 GHz) = %g, want 0.08", got)
+	}
+
+	ch := Chain{ind, cap}
+	// Sample inside, between and far beyond the tables: the clamped curves
+	// keep resistances positive, so the chain must stay passive and
+	// reciprocal everywhere.
+	for _, f := range []float64{0.1e9, 0.7e9, 1.575e9, 5e9, 20e9} {
+		s, err := twoport.ABCDToS(ch.ABCD(f), 50)
+		if err != nil {
+			t.Fatalf("ABCDToS at %g: %v", f, err)
+		}
+		if d := cmplx.Abs(s[0][1] - s[1][0]); d > 1e-9 {
+			t.Errorf("tabulated chain not reciprocal at %g Hz (|S12-S21| = %g)", f, d)
+		}
+		p1 := abs2(s[0][0]) + abs2(s[1][0])
+		p2 := abs2(s[0][1]) + abs2(s[1][1])
+		if p1 > 1+1e-9 || p2 > 1+1e-9 {
+			t.Errorf("tabulated chain not passive at %g Hz (col powers %g, %g)", f, p1, p2)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package touchstone
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the Touchstone parser with arbitrary bytes. Properties:
+// Read never panics; a successfully parsed network contains only finite
+// values on a strictly increasing grid (the parser's contract); and writing
+// it back in every format re-reads to the same network.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("# GHZ S MA R 50\n1.0 0.5 -30 2.0 100 0.05 60 0.4 -45\n"))
+	f.Add([]byte("# MHZ S RI R 75\n100 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8\n200 0 0 0 0 0 0 0 0\n"))
+	f.Add([]byte("# HZ S DB R 50\n1e9 -3 0 -400 90 -400 -90 -3 180\n"))
+	f.Add([]byte("! comment only\n"))
+	f.Add([]byte("# GHZ S MA R 50\n1 0 0 0 0 0 0 0 0\n2 1 0 1 0 1 0 1 0\n"))
+	f.Add([]byte("# GHZ S DB R 50\n1 7000 0 0 0 0 0 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n.Len() == 0 {
+			return
+		}
+		for i := 1; i < n.Len(); i++ {
+			if n.Freqs[i] <= n.Freqs[i-1] {
+				t.Fatalf("parsed grid not strictly increasing: %v", n.Freqs)
+			}
+		}
+		for i, s := range n.S {
+			for r := 0; r < 2; r++ {
+				for c := 0; c < 2; c++ {
+					if cmplx.IsNaN(s[r][c]) || cmplx.IsInf(s[r][c]) {
+						t.Fatalf("parsed S[%d][%d][%d] = %v is not finite", i, r, c, s[r][c])
+					}
+				}
+			}
+		}
+		// Frequencies above ~1e300 GHz lose the grid ordering when written
+		// back with 9 significant digits; keep the round trip meaningful.
+		if n.Freqs[n.Len()-1] > 1e300 {
+			return
+		}
+		for _, format := range []Format{FormatMA, FormatDB, FormatRI} {
+			var buf bytes.Buffer
+			if err := Write(&buf, n, format, "fuzz round trip"); err != nil {
+				t.Fatalf("%v: write: %v", format, err)
+			}
+			if strings.Contains(buf.String(), "Inf") || strings.Contains(buf.String(), "NaN") {
+				t.Fatalf("%v: wrote non-finite tokens:\n%s", format, buf.String())
+			}
+			back, err := Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				// A %.9g rewrite can collapse two frequencies closer than
+				// one part in 1e9 onto the same value; that legitimate
+				// precision loss is the only acceptable re-read failure.
+				if closeFreqs(n.Freqs) {
+					continue
+				}
+				t.Fatalf("%v: re-read failed: %v\ninput:\n%s", format, err, buf.String())
+			}
+			if back.Len() != n.Len() {
+				t.Fatalf("%v: round trip changed length %d -> %d", format, n.Len(), back.Len())
+			}
+			for i := range n.S {
+				for r := 0; r < 2; r++ {
+					for c := 0; c < 2; c++ {
+						a, b := n.S[i][r][c], back.S[i][r][c]
+						// The dB floor clamps magnitudes below 1e-20 to
+						// exactly 0-ish; compare against that contract.
+						if format == FormatDB && cmplx.Abs(a) < 1e-19 {
+							if cmplx.Abs(b) > 1e-19 {
+								t.Fatalf("DB: sub-floor magnitude grew: %v -> %v", a, b)
+							}
+							continue
+						}
+						if d := cmplx.Abs(a - b); d > 1e-6*(1+cmplx.Abs(a)) {
+							t.Fatalf("%v: S[%d][%d][%d] round trip %v -> %v (diff %g)",
+								format, i, r, c, a, b, d)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// closeFreqs reports whether any adjacent grid pair is within one part in
+// 1e8 — too close to survive a 9-significant-digit rewrite.
+func closeFreqs(freqs []float64) bool {
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i]-freqs[i-1] <= 1e-8*math.Abs(freqs[i]) {
+			return true
+		}
+	}
+	return false
+}

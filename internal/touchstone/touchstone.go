@@ -118,12 +118,19 @@ func Read(r io.Reader) (*twoport.Network, error) {
 			vals[i] = v
 		}
 		freqs = append(freqs, vals[0]*unit)
-		// Touchstone 2-port ordering: S11 S21 S12 S22.
-		s11 := decode(vals[1], vals[2], format)
-		s21 := decode(vals[3], vals[4], format)
-		s12 := decode(vals[5], vals[6], format)
-		s22 := decode(vals[7], vals[8], format)
-		mats = append(mats, twoport.Mat2{{s11, s12}, {s21, s22}})
+		// Touchstone 2-port ordering: S11 S21 S12 S22. A finite token pair
+		// can still decode to a non-finite value (a dB magnitude beyond
+		// ~6156 dB overflows 10^(a/20)), so the decoded value is checked
+		// against the same ErrNonFinite contract as the raw fields.
+		var m twoport.Mat2
+		for _, p := range [4]struct{ col, r, c int }{{1, 0, 0}, {3, 1, 0}, {5, 0, 1}, {7, 1, 1}} {
+			v := decode(vals[p.col], vals[p.col+1], format)
+			if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+				return nil, &FieldError{Line: lineNo, Col: p.col + 1, Token: fields[p.col], Err: ErrNonFinite}
+			}
+			m[p.r][p.c] = v
+		}
+		mats = append(mats, m)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("touchstone: %w", err)
@@ -184,12 +191,23 @@ func decode(a, b float64, f Format) complex128 {
 	}
 }
 
+// dbFloor is the magnitude floor used when encoding in FormatDB: dB of an
+// exactly-zero magnitude is -Inf, which Read rejects under its own
+// ErrNonFinite contract, so Write clamps to this finite floor instead. At
+// -400 dB (|S| = 1e-20) the round-trip error is far below any measurable
+// S-parameter yet every written record stays parseable.
+const dbFloor = -400.0
+
 func encode(v complex128, f Format) (a, b float64) {
 	switch f {
 	case FormatRI:
 		return real(v), imag(v)
 	case FormatDB:
-		return 20 * math.Log10(cmplx.Abs(v)), cmplx.Phase(v) * 180 / math.Pi
+		db := 20 * math.Log10(cmplx.Abs(v))
+		if db < dbFloor {
+			db = dbFloor
+		}
+		return db, cmplx.Phase(v) * 180 / math.Pi
 	default:
 		return cmplx.Abs(v), cmplx.Phase(v) * 180 / math.Pi
 	}

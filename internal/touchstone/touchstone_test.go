@@ -54,6 +54,48 @@ func TestWriteReadRoundTripAllFormats(t *testing.T) {
 	}
 }
 
+// TestWriteZeroMagnitudeRoundTripAllFormats is the regression test for the
+// FormatDB encoding of an exactly-zero S-parameter: dB(0) = -Inf used to be
+// written verbatim, so a file produced by Write violated Read's own
+// ErrNonFinite contract. The clamped floor must round-trip in every format.
+func TestWriteZeroMagnitudeRoundTripAllFormats(t *testing.T) {
+	freqs := []float64{1.2e9, 1.6e9}
+	s := []twoport.Mat2{
+		// S12 exactly zero (a perfectly unilateral idealization), plus a
+		// zero S11 to exercise more than one zero per record.
+		{{0, 0}, {cmplx.Rect(4.0, 1.0), cmplx.Rect(0.3, -0.5)}},
+		{{cmplx.Rect(0.4, 2.0), 0}, {cmplx.Rect(3.5, 0.8), cmplx.Rect(0.28, -0.6)}},
+	}
+	n, err := twoport.NewNetwork(50, freqs, s)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for _, f := range []Format{FormatMA, FormatDB, FormatRI} {
+		var buf bytes.Buffer
+		if err := Write(&buf, n, f, ""); err != nil {
+			t.Fatalf("Write(%v): %v", f, err)
+		}
+		if strings.Contains(buf.String(), "Inf") || strings.Contains(buf.String(), "NaN") {
+			t.Fatalf("format %v wrote a non-finite field:\n%s", f, buf.String())
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(%v) of our own Write output: %v", f, err)
+		}
+		for i := range n.Freqs {
+			// The clamped zero must come back as a numerically-zero value
+			// (|S| <= 1e-20, the -400 dB floor), everything else exact to
+			// the usual round-trip tolerance.
+			if d := twoport.MaxAbsDiff(got.S[i], n.S[i]); d > 1e-6 {
+				t.Errorf("format %v: S[%d] differs by %g", f, i, d)
+			}
+		}
+		if mag := cmplx.Abs(got.S[0][0][1]); mag > 1e-20 {
+			t.Errorf("format %v: zero S12 came back with |S| = %g, want <= 1e-20", f, mag)
+		}
+	}
+}
+
 func TestReadHandCraftedMA(t *testing.T) {
 	src := `! demo file
 # MHz S MA R 50

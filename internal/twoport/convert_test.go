@@ -230,3 +230,40 @@ func TestReciprocalPropertyPreserved(t *testing.T) {
 }
 
 func closeC(a, b complex128, tol float64) bool { return cmplx.Abs(a-b) <= tol }
+
+// TestSeriesElementZParamsSingular is the regression for a bug the verify
+// harness found: S->Z of an ideal series element "succeeded" because I-S is
+// singular only up to rounding (det ~ 1e-17), returning a ~1e17-ohm garbage
+// Z-matrix whose round trip back to S lost every digit. Inv now applies a
+// scale-invariant singularity test, so the conversion must report
+// ErrSingularNetwork instead.
+func TestSeriesElementZParamsSingular(t *testing.T) {
+	s, err := ABCDToS(SeriesZ(50), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SToZ(s, 50); err == nil {
+		t.Error("S->Z of a pure series element must be singular")
+	}
+	// The dual: S->Y of a pure shunt element (I+S singular).
+	s, err = ABCDToS(ShuntY(0.02), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SToY(s, 50); err == nil {
+		t.Error("S->Y of a pure shunt element must be singular")
+	}
+	// Well-conditioned conversions still work.
+	att := Mat2{{0.05, 0.5}, {0.5, 0.05}}
+	z, err := SToZ(att, 50)
+	if err != nil {
+		t.Fatalf("attenuator S->Z: %v", err)
+	}
+	back, err := ZToS(z, 50)
+	if err != nil {
+		t.Fatalf("attenuator Z->S: %v", err)
+	}
+	if d := MaxAbsDiff(att, back); d > 1e-12 {
+		t.Errorf("attenuator round trip diverges by %g", d)
+	}
+}

@@ -53,10 +53,17 @@ func (m Mat2) Det() complex128 {
 	return m[0][0]*m[1][1] - m[0][1]*m[1][0]
 }
 
-// Inv returns the matrix inverse of m.
+// Inv returns the matrix inverse of m. A matrix that is singular to working
+// precision — not only an exactly zero determinant — returns
+// ErrSingularNetwork: Hadamard's bound gives |det| <= ||row1||*||row2||, so a
+// determinant many orders below that bound is pure cancellation noise and the
+// cofactor inverse would amplify it into garbage (e.g. S->Z of an ideal
+// series element, where I-S is rank one up to rounding).
 func (m Mat2) Inv() (Mat2, error) {
 	d := m.Det()
-	if d == 0 {
+	r1 := cmplx.Abs(m[0][0]) + cmplx.Abs(m[0][1])
+	r2 := cmplx.Abs(m[1][0]) + cmplx.Abs(m[1][1])
+	if cmplx.Abs(d) <= 1e-12*r1*r2 {
 		return Mat2{}, ErrSingularNetwork
 	}
 	return Mat2{

@@ -42,9 +42,16 @@ func NewNetwork(z0 float64, freqs []float64, s []Mat2) (*Network, error) {
 func (n *Network) Len() int { return len(n.Freqs) }
 
 // At returns the S-matrix at frequency f, linearly interpolating between
-// samples (and extrapolating the boundary segments outside the range).
+// samples (and extrapolating the boundary segments outside the range): for
+// f below Freqs[0] the first segment's slope extends leftward, above
+// Freqs[k-1] the last segment's slope extends rightward. A single-sample
+// network is constant over all frequencies. At panics on an empty network
+// (NewNetwork never constructs one).
 func (n *Network) At(f float64) Mat2 {
 	k := len(n.Freqs)
+	if k == 0 {
+		panic("twoport: Network.At on empty network")
+	}
 	if k == 1 {
 		return n.S[0]
 	}
@@ -56,6 +63,12 @@ func (n *Network) At(f float64) Mat2 {
 		i = k - 1
 	}
 	f0, f1 := n.Freqs[i-1], n.Freqs[i]
+	if f1 == f0 {
+		// Degenerate segment (a grid that bypassed NewNetwork's strict
+		// monotonicity check): return the left sample instead of dividing by
+		// the zero slope and poisoning the result with NaNs.
+		return n.S[i-1]
+	}
 	t := complex((f-f0)/(f1-f0), 0)
 	var out Mat2
 	for r := 0; r < 2; r++ {

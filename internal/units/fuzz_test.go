@@ -1,0 +1,49 @@
+package units
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzParse drives the engineering-notation parser with arbitrary strings.
+// Properties: Parse never panics; every error is one of the three typed
+// classes; a successful parse returns a finite value; and re-parsing the
+// Format rendering of an in-range value agrees to format precision.
+func FuzzParse(f *testing.F) {
+	f.Add("2.2nH")
+	f.Add("10 pF")
+	f.Add("1.575GHz")
+	f.Add("-5mA")
+	f.Add("50 Ohm")
+	f.Add("1e300GHz")
+	f.Add("")
+	f.Add("µF")
+	f.Add("3 furlongs")
+	f.Add("0x1p-3V")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			if !errors.Is(err, ErrEmpty) && !errors.Is(err, ErrBadNumber) && !errors.Is(err, ErrUnknownSuffix) {
+				t.Fatalf("Parse(%q): untyped error %v", s, err)
+			}
+			return
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Parse(%q) = %g accepted a non-finite value", s, v)
+		}
+		// Format/Parse round trip, restricted to the magnitude range the
+		// 4-digit prefix renderer represents faithfully.
+		av := math.Abs(v)
+		if av != 0 && (av < 1e-17 || av > 1e14) {
+			return
+		}
+		r, err := Parse(Format(v, "H"))
+		if err != nil {
+			t.Fatalf("Parse(Format(%g)) = %q failed: %v", v, Format(v, "H"), err)
+		}
+		if math.Abs(r-v) > 1e-3*math.Max(1e-300, av) {
+			t.Fatalf("round trip %g -> %q -> %g", v, Format(v, "H"), r)
+		}
+	})
+}

@@ -5,10 +5,24 @@
 package units
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
+)
+
+// Typed parse failures, exposed so callers (CLIs, config loaders, the fuzz
+// harness) can distinguish user-fixable input classes with errors.Is.
+var (
+	// ErrEmpty reports an empty (or all-whitespace) value string.
+	ErrEmpty = errors.New("units: empty value")
+	// ErrBadNumber reports a value whose leading numeric part does not
+	// parse; the strconv cause is wrapped alongside it.
+	ErrBadNumber = errors.New("units: malformed number")
+	// ErrUnknownSuffix reports a suffix that is neither a known SI prefix
+	// nor a recognized unit name.
+	ErrUnknownSuffix = errors.New("units: unrecognized suffix")
 )
 
 // siPrefixes maps metric prefixes to their multipliers.
@@ -41,7 +55,7 @@ var prefixLadder = []struct {
 func Parse(s string) (float64, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
-		return 0, fmt.Errorf("units: empty value")
+		return 0, ErrEmpty
 	}
 	// Split the leading numeric part from the suffix.
 	i := 0
@@ -68,7 +82,7 @@ func Parse(s string) (float64, error) {
 	suffix := strings.TrimSpace(s[i:])
 	v, err := strconv.ParseFloat(numPart, 64)
 	if err != nil {
-		return 0, fmt.Errorf("units: parse %q: %w", s, err)
+		return 0, fmt.Errorf("%w: parse %q: %w", ErrBadNumber, s, err)
 	}
 	if suffix == "" {
 		return v, nil
@@ -78,14 +92,20 @@ func Parse(s string) (float64, error) {
 		if p != "" && strings.HasPrefix(suffix, p) {
 			rest := suffix[len(p):]
 			if restIsUnit(rest) {
-				return v * mult, nil
+				r := v * mult
+				// A finite mantissa can still overflow through the
+				// multiplier ("1e300GHz"): reject instead of returning Inf.
+				if math.IsInf(r, 0) {
+					return 0, fmt.Errorf("%w: parse %q: value out of range", ErrBadNumber, s)
+				}
+				return r, nil
 			}
 		}
 	}
 	if restIsUnit(suffix) {
 		return v, nil
 	}
-	return 0, fmt.Errorf("units: parse %q: unrecognized suffix %q", s, suffix)
+	return 0, fmt.Errorf("%w: parse %q: suffix %q", ErrUnknownSuffix, s, suffix)
 }
 
 // restIsUnit accepts an (optional) pure unit name after the prefix.

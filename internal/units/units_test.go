@@ -1,6 +1,7 @@
 package units
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -40,6 +41,58 @@ func TestParseErrors(t *testing.T) {
 	for _, in := range []string{"", "abc", "1.2qZ", "--3"} {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+// TestParseEdgeCases drives the edge classes through a table asserting the
+// typed error (or exact value) each must produce, so callers can rely on
+// errors.Is dispatch.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    float64
+		wantErr error
+	}{
+		// Empty and whitespace-only inputs.
+		{in: "", wantErr: ErrEmpty},
+		{in: "   ", wantErr: ErrEmpty},
+		{in: "\t\n", wantErr: ErrEmpty},
+		// Bare numbers: no suffix means no scaling.
+		{in: "50", want: 50},
+		{in: "0", want: 0},
+		{in: "1e3", want: 1000},
+		{in: "-0.5", want: -0.5},
+		// Negative values with prefixes and units scale normally.
+		{in: "-3.3nH", want: -3.3e-9},
+		{in: "-5mA", want: -5e-3},
+		{in: "-120kHz", want: -120e3},
+		// Malformed numeric parts.
+		{in: "abc", wantErr: ErrBadNumber},
+		{in: "--3", wantErr: ErrBadNumber},
+		{in: "nH", wantErr: ErrBadNumber},
+		{in: "1.2.3pF", wantErr: ErrBadNumber},
+		// Unknown suffixes after a valid number.
+		{in: "1.2qZ", wantErr: ErrUnknownSuffix},
+		{in: "3 furlongs", wantErr: ErrUnknownSuffix},
+		{in: "2.2e", wantErr: ErrUnknownSuffix},
+		// Trailing whitespace between number and suffix is tolerated.
+		{in: " 10 pF ", want: 10e-12},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if tc.wantErr != nil {
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("Parse(%q) error = %v, want errors.Is(%v)", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !close(got, tc.want, 1e-12) {
+			t.Errorf("Parse(%q) = %g, want %g", tc.in, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"gnsslna/internal/mna"
+	"gnsslna/internal/twoport"
+)
+
+// CompareMat2 checks two matrices agree elementwise within tol (absolute on
+// a 1 + max-magnitude scale), reporting the largest deviation.
+func CompareMat2(context string, a, b twoport.Mat2, tol float64) []Violation {
+	d := twoport.MaxAbsDiff(a, b)
+	scale := 1.0
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if m := absC(a[r][c]); m > scale {
+				scale = m
+			}
+		}
+	}
+	if d > tol*scale {
+		return []Violation{violation("differential", context, d-tol*scale,
+			"matrices diverge by %.3g (tol %.3g)", d, tol*scale)}
+	}
+	return nil
+}
+
+// CompareNetworks checks two frequency-sampled networks are the same
+// measurement: same Z0, same grid (within fTol relative), and S-matrices
+// within tol at every sample.
+func CompareNetworks(context string, a, b *twoport.Network, fTol, tol float64) []Violation {
+	var out []Violation
+	if a.Z0 != b.Z0 {
+		out = append(out, violation("differential", context, 0,
+			"Z0 mismatch: %g vs %g", a.Z0, b.Z0))
+	}
+	if a.Len() != b.Len() {
+		return append(out, violation("differential", context, 0,
+			"length mismatch: %d vs %d samples", a.Len(), b.Len()))
+	}
+	for i := range a.Freqs {
+		fa, fb := a.Freqs[i], b.Freqs[i]
+		if d := relDiff(fa, fb); d > fTol {
+			out = append(out, violation("differential", context, d-fTol,
+				"freqs[%d] differ: %g vs %g", i, fa, fb))
+			continue
+		}
+		out = append(out, CompareMat2(pointContext(context, a.Freqs, i), a.S[i], b.S[i], tol)...)
+	}
+	return out
+}
+
+// LadderElem is one rung of an R+L+C ladder network: the three values form
+// a series connection (zero L and C terms are omitted, so {R: 50} is a pure
+// resistor), inserted in series with the signal path or in shunt to ground.
+type LadderElem struct {
+	// Series selects in-path insertion; false puts the branch to ground.
+	Series bool
+	// R, L, C are the branch element values (ohm, henry, farad); zero
+	// values are omitted from the branch.
+	R, L, C float64
+}
+
+// LadderNetworkAnalytic evaluates the ladder by the chain-matrix cascade:
+// the product of SeriesZ/ShuntY factors converted to S at each frequency.
+// This is the composition path the design flow uses everywhere.
+func LadderNetworkAnalytic(elems []LadderElem, freqs []float64, z0 float64) (*twoport.Network, error) {
+	mats := make([]twoport.Mat2, len(freqs))
+	for k, f := range freqs {
+		a := twoport.Identity2()
+		for _, e := range elems {
+			z := branchZ(e, f)
+			if e.Series {
+				a = a.Mul(twoport.SeriesZ(z))
+			} else {
+				a = a.Mul(twoport.ShuntY(1 / z))
+			}
+		}
+		s, err := twoport.ABCDToS(a, z0)
+		if err != nil {
+			return nil, fmt.Errorf("verify: ladder cascade at %g Hz: %w", f, err)
+		}
+		mats[k] = s
+	}
+	return twoport.NewNetwork(z0, freqs, mats)
+}
+
+// LadderNetworkMNA evaluates the same ladder through the Modified Nodal
+// Analysis engine: each R, L and C is stamped individually (series branches
+// through internal nodes) and the dense complex solver computes S directly
+// from terminated port drives. Sharing no composition code with the
+// chain-matrix path makes the two a true differential pair.
+func LadderNetworkMNA(elems []LadderElem, freqs []float64, z0 float64) (*twoport.Network, error) {
+	c := mna.New()
+	node := "in"
+	next := 0
+	fresh := func() string {
+		next++
+		return fmt.Sprintf("n%d", next)
+	}
+	// stampBranch lays R, L, C in series from a to b through fresh
+	// internal nodes, skipping zero-valued parts.
+	stampBranch := func(a, b string, e LadderElem) {
+		type part struct {
+			kind byte
+			val  float64
+		}
+		var parts []part
+		if e.R != 0 {
+			parts = append(parts, part{'R', e.R})
+		}
+		if e.L != 0 {
+			parts = append(parts, part{'L', e.L})
+		}
+		if e.C != 0 {
+			parts = append(parts, part{'C', e.C})
+		}
+		cur := a
+		for i, p := range parts {
+			to := b
+			if i < len(parts)-1 {
+				to = fresh()
+			}
+			switch p.kind {
+			case 'R':
+				c.AddR(cur, to, p.val)
+			case 'L':
+				c.AddL(cur, to, p.val)
+			case 'C':
+				c.AddC(cur, to, p.val)
+			}
+			cur = to
+		}
+	}
+	for _, e := range elems {
+		if e.Series {
+			to := fresh()
+			stampBranch(node, to, e)
+			node = to
+		} else {
+			stampBranch(node, mna.Ground, e)
+		}
+	}
+	// A shunt-only ladder leaves node == "in": both ports land on the same
+	// node, which the terminated-drive SParams2 formulation handles exactly.
+	return c.SParams2(freqs, "in", node, z0)
+}
+
+// branchZ is the series R+L+C branch impedance at f (zero parts omitted).
+func branchZ(e LadderElem, f float64) complex128 {
+	w := 2 * math.Pi * f
+	z := complex(e.R, 0)
+	if e.L != 0 {
+		z += complex(0, w*e.L)
+	}
+	if e.C != 0 {
+		z += 1 / complex(0, w*e.C)
+	}
+	return z
+}
+
+func absC(v complex128) float64 { return cmplx.Abs(v) }
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}

@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"math"
+	"math/cmplx"
+	"strconv"
+
+	"gnsslna/internal/noise"
+	"gnsslna/internal/twoport"
+)
+
+// MaxSingularValue returns the largest singular value of a 2x2 complex
+// matrix, computed from the closed-form eigenvalues of S^H S. For an
+// S-matrix this is the worst-case power gain over all incident waves: a
+// passive network has MaxSingularValue(S) <= 1.
+func MaxSingularValue(s twoport.Mat2) float64 {
+	h := s.ConjTranspose().Mul(s) // Hermitian PSD
+	a := real(h[0][0])
+	d := real(h[1][1])
+	b := h[0][1]
+	tr2 := (a + d) / 2
+	disc := math.Sqrt(((a-d)/2)*((a-d)/2) + real(b)*real(b) + imag(b)*imag(b))
+	lmax := tr2 + disc
+	if lmax < 0 {
+		lmax = 0 // rounding on a near-zero PSD matrix
+	}
+	return math.Sqrt(lmax)
+}
+
+// Passivity checks that the S-matrix has no incident wave with power gain:
+// its largest singular value stays within 1+tol. Only meaningful for
+// networks built from lossy/lossless passives.
+func Passivity(context string, s twoport.Mat2, tol float64) []Violation {
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if !finiteC(s[r][c]) {
+				return []Violation{violation("passivity", context, 0,
+					"S[%d][%d] = %v is not finite", r, c, s[r][c])}
+			}
+		}
+	}
+	if sv := MaxSingularValue(s); sv > 1+tol {
+		return []Violation{violation("passivity", context, sv-1-tol,
+			"max singular value %.12g > 1 (active)", sv)}
+	}
+	return nil
+}
+
+// Reciprocity checks S12 == S21 within tol, the hallmark of any network of
+// reciprocal elements (everything passive in this project: no ferrites, no
+// active devices).
+func Reciprocity(context string, s twoport.Mat2, tol float64) []Violation {
+	d := cmplx.Abs(s[0][1] - s[1][0])
+	scale := 1 + math.Max(cmplx.Abs(s[0][1]), cmplx.Abs(s[1][0]))
+	if d > tol*scale {
+		return []Violation{violation("reciprocity", context, d-tol*scale,
+			"|S12 - S21| = %.3g (S12 %v, S21 %v)", d, s[0][1], s[1][0])}
+	}
+	return nil
+}
+
+// ConversionClosure checks that every parameter-representation round trip
+// supported by twoport returns to the original S-matrix: S->Z->S, S->Y->S,
+// S->ABCD->S, S->T->S and S->h->Z->S. Conversions that are legitimately
+// singular for the given network (ErrSingularNetwork) are skipped; a
+// conversion that succeeds forward but fails or diverges on the way back is
+// a violation.
+func ConversionClosure(context string, s twoport.Mat2, z0, tol float64) []Violation {
+	var out []Violation
+	check := func(name string, back twoport.Mat2, err error) {
+		if err != nil {
+			out = append(out, violation("closure", context, 0,
+				"%s round trip failed: %v", name, err))
+			return
+		}
+		if d := twoport.MaxAbsDiff(s, back); d > tol {
+			out = append(out, violation("closure", context, d-tol,
+				"%s round trip diverges by %.3g", name, d))
+		}
+	}
+
+	if z, err := twoport.SToZ(s, z0); err == nil {
+		back, err := twoport.ZToS(z, z0)
+		check("S->Z->S", back, err)
+
+		// S->Z->h->Z->S exercises the hybrid tables on the same sample.
+		if h, err := twoport.ZToH(z); err == nil {
+			z2, err := twoport.HToZ(h)
+			if err != nil {
+				out = append(out, violation("closure", context, 0,
+					"Z->h->Z round trip failed: %v", err))
+			} else {
+				back, err := twoport.ZToS(z2, z0)
+				check("S->Z->h->Z->S", back, err)
+			}
+		}
+	}
+	if y, err := twoport.SToY(s, z0); err == nil {
+		back, err := twoport.YToS(y, z0)
+		check("S->Y->S", back, err)
+	}
+	if a, err := twoport.SToABCD(s, z0); err == nil {
+		back, err := twoport.ABCDToS(a, z0)
+		check("S->ABCD->S", back, err)
+	}
+	if t, err := twoport.SToT(s); err == nil {
+		back, err := twoport.TToS(t)
+		check("S->T->S", back, err)
+	}
+	return out
+}
+
+// FrequencyGrid checks a sweep grid: non-empty, every sample finite and
+// non-negative, strictly increasing.
+func FrequencyGrid(context string, freqs []float64) []Violation {
+	if len(freqs) == 0 {
+		return []Violation{violation("grid", context, 0, "empty frequency grid")}
+	}
+	var out []Violation
+	for i, f := range freqs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			out = append(out, violation("grid", context, 0, "freqs[%d] = %g is not finite", i, f))
+		}
+		if f < 0 {
+			out = append(out, violation("grid", context, -f, "freqs[%d] = %g is negative", i, f))
+		}
+		if i > 0 && f <= freqs[i-1] {
+			out = append(out, violation("grid", context, freqs[i-1]-f,
+				"freqs[%d] = %g does not increase past %g", i, f, freqs[i-1]))
+		}
+	}
+	return out
+}
+
+// NoisePhysical checks the four noise parameters are physically realizable:
+// Fmin >= 1 (NF >= 0 dB), Rn >= 0, |GammaOpt| <= 1 (the optimum source is
+// realizable), and everything finite.
+func NoisePhysical(context string, p noise.Params, tol float64) []Violation {
+	var out []Violation
+	if math.IsNaN(p.Fmin) || math.IsInf(p.Fmin, 0) || !finiteC(p.GammaOpt) ||
+		math.IsNaN(p.Rn) || math.IsInf(p.Rn, 0) {
+		return []Violation{violation("noise-physical", context, 0,
+			"non-finite noise parameters: Fmin %g, Rn %g, GammaOpt %v", p.Fmin, p.Rn, p.GammaOpt)}
+	}
+	if p.Fmin < 1-tol {
+		out = append(out, violation("noise-physical", context, 1-tol-p.Fmin,
+			"Fmin = %.12g < 1 (negative minimum noise figure)", p.Fmin))
+	}
+	if p.Rn < -tol {
+		out = append(out, violation("noise-physical", context, -tol-p.Rn,
+			"Rn = %.3g ohm is negative", p.Rn))
+	}
+	if g := cmplx.Abs(p.GammaOpt); g > 1+tol {
+		out = append(out, violation("noise-physical", context, g-1-tol,
+			"|GammaOpt| = %.6g > 1 (optimum source outside the Smith chart)", g))
+	}
+	return out
+}
+
+// NoiseFigureDominatesFmin samples source reflection coefficients on a polar
+// grid inside the Smith chart and checks NF(gammaS) >= Fmin - tol for each:
+// the defining property of the four-parameter model. The grid is
+// deterministic so a violation names a reproducible gammaS.
+func NoiseFigureDominatesFmin(context string, p noise.Params, tol float64) []Violation {
+	var out []Violation
+	for _, mag := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		for k := 0; k < 8; k++ {
+			if mag == 0 && k > 0 {
+				break
+			}
+			phase := 2 * math.Pi * float64(k) / 8
+			gs := cmplx.Rect(mag, phase)
+			f := p.Figure(gs)
+			if math.IsInf(f, 1) {
+				continue // source on the chart edge with Re(Ys) <= 0
+			}
+			if math.IsNaN(f) {
+				out = append(out, violation("nf>=nfmin", context, 0,
+					"NF(gammaS=%.3g∠%.0f°) is NaN", mag, phase*180/math.Pi))
+				continue
+			}
+			if f < p.Fmin-tol {
+				out = append(out, violation("nf>=nfmin", context, p.Fmin-tol-f,
+					"NF(gammaS=%.3g∠%.0f°) = %.9g < Fmin = %.9g",
+					mag, phase*180/math.Pi, f, p.Fmin))
+			}
+		}
+	}
+	return out
+}
+
+// Finite checks that every named value is finite (not NaN, not ±Inf) — the
+// blanket guarantee the optimizers rely on over the search boxes.
+func Finite(context string, named map[string]float64) []Violation {
+	var out []Violation
+	for name, v := range named {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out = append(out, violation("finite", context, 0, "%s = %g is not finite", name, v))
+		}
+	}
+	return out
+}
+
+// NetworkPhysical runs the grid, passivity and reciprocity checks across
+// every sample of a frequency-sampled passive network.
+func NetworkPhysical(context string, n *twoport.Network, tol float64) []Violation {
+	out := FrequencyGrid(context, n.Freqs)
+	for i, s := range n.S {
+		ctx := pointContext(context, n.Freqs, i)
+		out = append(out, Passivity(ctx, s, tol)...)
+		out = append(out, Reciprocity(ctx, s, tol)...)
+	}
+	return out
+}
+
+func pointContext(context string, freqs []float64, i int) string {
+	if i < len(freqs) {
+		return context + " @ " + formatHz(freqs[i])
+	}
+	return context
+}
+
+func formatHz(f float64) string {
+	switch {
+	case f >= 1e9:
+		return strconv.FormatFloat(f/1e9, 'g', 6, 64) + " GHz"
+	case f >= 1e6:
+		return strconv.FormatFloat(f/1e6, 'g', 6, 64) + " MHz"
+	case f >= 1e3:
+		return strconv.FormatFloat(f/1e3, 'g', 6, 64) + " kHz"
+	default:
+		return strconv.FormatFloat(f, 'g', 6, 64) + " Hz"
+	}
+}
+
+func finiteC(v complex128) bool {
+	return !cmplx.IsNaN(v) && !cmplx.IsInf(v)
+}

@@ -1,0 +1,105 @@
+// Package verify is the reusable correctness harness of the project: a set
+// of physics-invariant checkers (passivity, reciprocity, representation
+// round-trip closure, noise physicality, grid monotonicity, finiteness) and
+// differential cross-checks (MNA vs analytic cascade, serial vs parallel
+// evaluation, checkpoint-resume vs straight-through, Touchstone write/read)
+// that every numerical layer of the design flow must satisfy.
+//
+// Checkers return []Violation — empty means the invariant holds — and a
+// Report aggregates them with enough context to reproduce each failure.
+// The package deliberately has no testing.T dependency: the same checkers
+// run from `make verify-invariants` (via the tests in this package), from
+// other packages' tests, and can be called ad hoc on freshly measured or
+// synthesized data.
+//
+// Tolerances: every checker takes an explicit absolute tolerance. The
+// conventions used by the seed-corpus sweep are TolStrict for algebraic
+// identities (round-trip closure, reciprocity of symmetric constructions)
+// and TolPhysical for model-level invariants where legitimate floating-point
+// accumulation is larger (passivity of long lossy cascades, Fmin near 1).
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Default tolerances for the two checker classes (see package comment).
+const (
+	// TolStrict bounds pure-algebra identities: conversions, transposes,
+	// analytically equal compositions.
+	TolStrict = 1e-9
+	// TolPhysical bounds model-level physics invariants where rounding
+	// accumulates across many element evaluations.
+	TolPhysical = 1e-6
+)
+
+// Violation is one invariant breach: which check, on what object, and by
+// how much.
+type Violation struct {
+	// Check names the invariant, e.g. "passivity" or "reciprocity".
+	Check string
+	// Context identifies the object and operating point, e.g.
+	// "chip inductor 6.8nH @ 1.575 GHz".
+	Context string
+	// Detail is the human-readable description with the observed values.
+	Detail string
+	// Excess is the magnitude of the breach beyond tolerance (0 when not
+	// meaningful for the check).
+	Excess float64
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s] %s: %s", v.Check, v.Context, v.Detail)
+	if v.Excess > 0 {
+		s += fmt.Sprintf(" (excess %.3g)", v.Excess)
+	}
+	return s
+}
+
+// violation builds a Violation with a formatted detail string.
+func violation(check, context string, excess float64, format string, args ...any) Violation {
+	return Violation{
+		Check:   check,
+		Context: context,
+		Detail:  fmt.Sprintf(format, args...),
+		Excess:  excess,
+	}
+}
+
+// Report aggregates violations from a sweep of checks.
+type Report struct {
+	violations []Violation
+	checks     int
+}
+
+// Add appends violations and counts one executed check.
+func (r *Report) Add(vs []Violation) {
+	r.checks++
+	r.violations = append(r.violations, vs...)
+}
+
+// Violations returns the collected violations.
+func (r *Report) Violations() []Violation { return r.violations }
+
+// Checks returns the number of checks executed (passing or not).
+func (r *Report) Checks() int { return r.checks }
+
+// OK reports whether every executed check passed.
+func (r *Report) OK() bool { return len(r.violations) == 0 }
+
+// String renders the report: a pass line, or every violation one per line.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("verify: %d checks passed", r.checks)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %d violations in %d checks:\n", len(r.violations), r.checks)
+	for _, v := range r.violations {
+		b.WriteString("  ")
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

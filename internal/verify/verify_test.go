@@ -1,0 +1,88 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/twoport"
+)
+
+func TestMaxSingularValueKnown(t *testing.T) {
+	id := twoport.Identity2()
+	if sv := MaxSingularValue(id); math.Abs(sv-1) > 1e-12 {
+		t.Errorf("sigma_max(I) = %g, want 1", sv)
+	}
+	if sv := MaxSingularValue(id.Scale(0.5)); math.Abs(sv-0.5) > 1e-12 {
+		t.Errorf("sigma_max(0.5 I) = %g, want 0.5", sv)
+	}
+	// A matched 2:1 "amplifier": S21 = 2, everything else 0. Singular
+	// values are {2, 0}.
+	amp := twoport.Mat2{{0, 0}, {2, 0}}
+	if sv := MaxSingularValue(amp); math.Abs(sv-2) > 1e-12 {
+		t.Errorf("sigma_max(gain 2) = %g, want 2", sv)
+	}
+	// Non-normal upper-triangular sample: singular values of [[1,1],[0,1]]
+	// are the golden-ratio pair, sigma_max = (1+sqrt(5))/2.
+	tri := twoport.Mat2{{1, 1}, {0, 1}}
+	want := (1 + math.Sqrt(5)) / 2
+	if sv := MaxSingularValue(tri); math.Abs(sv-want) > 1e-12 {
+		t.Errorf("sigma_max(shear) = %g, want %g", sv, want)
+	}
+}
+
+func TestPassivityFlagsActiveNetwork(t *testing.T) {
+	amp := twoport.Mat2{{0, 0}, {2, 0}}
+	if vs := Passivity("gain stage", amp, TolStrict); len(vs) != 1 {
+		t.Fatalf("active network not flagged: %v", vs)
+	}
+	att := twoport.Mat2{{0, 0.5}, {0.5, 0}}
+	if vs := Passivity("attenuator", att, TolStrict); len(vs) != 0 {
+		t.Errorf("passive attenuator flagged: %v", vs)
+	}
+	nan := twoport.Mat2{{complex(math.NaN(), 0), 0}, {0, 0}}
+	if vs := Passivity("NaN", nan, TolStrict); len(vs) != 1 {
+		t.Errorf("non-finite S not flagged: %v", vs)
+	}
+}
+
+func TestReciprocityFlagsAsymmetry(t *testing.T) {
+	sym := twoport.Mat2{{0.1, 0.7}, {0.7, 0.2}}
+	if vs := Reciprocity("sym", sym, TolStrict); len(vs) != 0 {
+		t.Errorf("reciprocal network flagged: %v", vs)
+	}
+	asym := twoport.Mat2{{0.1, 0.7}, {0.9, 0.2}}
+	if vs := Reciprocity("asym", asym, TolStrict); len(vs) != 1 {
+		t.Errorf("non-reciprocal network not flagged: %v", vs)
+	}
+}
+
+func TestFrequencyGridViolations(t *testing.T) {
+	if vs := FrequencyGrid("good", []float64{1e9, 2e9}); len(vs) != 0 {
+		t.Errorf("good grid flagged: %v", vs)
+	}
+	if vs := FrequencyGrid("empty", nil); len(vs) != 1 {
+		t.Errorf("empty grid not flagged: %v", vs)
+	}
+	bad := []float64{1e9, 1e9, math.NaN(), -2}
+	vs := FrequencyGrid("bad", bad)
+	if len(vs) < 3 {
+		t.Errorf("degenerate grid under-reported: %v", vs)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	var r Report
+	r.Add(nil)
+	r.Add(Passivity("gain", twoport.Mat2{{0, 0}, {2, 0}}, TolStrict))
+	if r.OK() {
+		t.Fatal("report with violations claims OK")
+	}
+	if r.Checks() != 2 {
+		t.Errorf("checks = %d, want 2", r.Checks())
+	}
+	s := r.String()
+	if !strings.Contains(s, "passivity") || !strings.Contains(s, "gain") {
+		t.Errorf("report rendering lacks context: %q", s)
+	}
+}
