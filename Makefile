@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 0.2s
 FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos verify-invariants fuzz-smoke
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos verify-invariants fuzz-smoke trace-smoke
 
 # verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build, the full test suite, and a race pass over the concurrently-exercised
@@ -50,6 +50,20 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/touchstone/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/units/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/obs/replay/
+
+# trace-smoke is the end-to-end check of the causal tracing plane: a quick
+# parallel lnaopt run writes a journal, obsreport reconstructs the span tree
+# and exports Chrome trace-event JSON, and the JSON is validated (the
+# exporter errors on a journal without trace spans, so an untraced run
+# fails the target).
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/lnaopt -quick -workers 2 -journal "$$tmp/run.jsonl" >/dev/null && \
+	$(GO) run ./cmd/obsreport trace -tree "$$tmp/run.jsonl" > "$$tmp/tree.txt" && \
+	head -5 "$$tmp/tree.txt" && \
+	$(GO) run ./cmd/obsreport trace -perfetto "$$tmp/run.jsonl" > "$$tmp/trace.json" && \
+	grep -q '"traceEvents"' "$$tmp/trace.json" && \
+	echo "trace-smoke: OK ($$(wc -c < "$$tmp/trace.json") bytes of trace JSON)"
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.

@@ -8,6 +8,9 @@
 // Netlist cards: R/L/C <n1> <n2> <value>, G <o+> <o-> <c+> <c-> <gm>,
 // T <n1> <n2> Z0= LEN= [EPS= LOSS=], .ac lin|log <f1> <f2> <n>,
 // .ports <in> <out>. Values accept engineering suffixes (5.6n, 1.5p, 1G).
+//
+// The shared observability flags (-journal, -metrics, -serve, -pprof, ...)
+// are available as in lnaopt; the MNA solve is journaled as one span.
 package main
 
 import (
@@ -18,23 +21,35 @@ import (
 
 	"gnsslna/internal/mathx"
 	"gnsslna/internal/netlist"
+	"gnsslna/internal/obs"
+	"gnsslna/internal/obscli"
 	"gnsslna/internal/touchstone"
 )
 
 func main() {
 	s2p := flag.String("s2p", "", "optional Touchstone output path")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: acsim [-s2p out.s2p] <netlist file>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *s2p); err != nil {
+	session, err := obsFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "acsim:", err)
+		os.Exit(1)
+	}
+	runErr := run(flag.Arg(0), *s2p, session)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "acsim:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(path, s2p string) error {
+func run(path, s2p string, session *obscli.Session) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -47,10 +62,15 @@ func run(path, s2p string) error {
 	if deck.Title != "" {
 		fmt.Printf("* %s\n", deck.Title)
 	}
+	// One span per solve: the MNA sweep's frequency-point count is the
+	// natural evaluation unit for the journal.
+	_, endSolve := obs.StartSpan(session.Observer(), "acsim.solve")
 	net, err := deck.Run()
 	if err != nil {
+		endSolve(0)
 		return err
 	}
+	endSolve(int64(len(net.Freqs)))
 	fmt.Println("f [GHz]    |S11| [dB]   |S21| [dB]   |S12| [dB]   |S22| [dB]")
 	for i, fr := range net.Freqs {
 		s := net.S[i]

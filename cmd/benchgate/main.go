@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchgate run [-dir .] [-pkg .] [-bench ^Benchmark] [-benchtime 1s]
-//	              [-count 1] [-commit REV] [-date YYYY-MM-DD]
+//	              [-count 1] [-commit REV] [-date YYYY-MM-DD] [-note TEXT]
 //	benchgate compare [-dir .] [-threshold 10] [-old BENCH_0.json] [-new BENCH_1.json]
 //
 // The commit and date stamped into the file come from the flags (defaulting
@@ -69,6 +69,7 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	count := fs.Int("count", 1, "go test -count value")
 	commit := fs.String("commit", "", "commit id to stamp (default: git rev-parse --short HEAD)")
 	date := fs.String("date", "", "date to stamp, YYYY-MM-DD (default: today, UTC)")
+	note := fs.String("note", "", "free-form provenance note to stamp (e.g. machine re-anchor)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +104,7 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	}
 	f := benchjson.File{
 		Schema: benchjson.Schema, Commit: *commit, Date: *date,
-		GoVersion: runtime.Version(), Benchmarks: results,
+		GoVersion: runtime.Version(), Note: *note, Benchmarks: results,
 	}
 	if err := benchjson.WriteFile(path, f); err != nil {
 		return err

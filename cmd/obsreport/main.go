@@ -7,6 +7,13 @@
 //	obsreport summary [-json] run.jsonl
 //	obsreport compare [-json] a.jsonl b.jsonl
 //	obsreport trace   [-json] [-scope design.attain] run.jsonl
+//	obsreport trace   -tree run.jsonl
+//	obsreport trace   -perfetto run.jsonl > trace.json
+//
+// The -tree form reconstructs the causal span tree (run → solver →
+// generations → pool workers) from the trace identity stamped on each
+// record; -perfetto emits the same tree as Chrome trace-event JSON for
+// chrome://tracing or ui.perfetto.dev.
 //
 // A journal truncated by a crash mid-line is reported on stderr and
 // analyzed up to its last complete record.
@@ -58,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	scope := fs.String("scope", "", "restrict the trace to one scope (trace only)")
+	asTree := fs.Bool("tree", false, "render the causal span tree (trace only)")
+	asPerfetto := fs.Bool("perfetto", false, "emit Chrome trace-event JSON (trace only)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -105,7 +114,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *asJSON {
+		switch {
+		case *asPerfetto:
+			return replay.WritePerfettoTrace(stdout, r)
+		case *asTree:
+			return replay.WriteTraceTree(stdout, r)
+		case *asJSON:
 			return emit(r.Trace(*scope))
 		}
 		return replay.WriteTraceText(stdout, *scope, r)

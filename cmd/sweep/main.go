@@ -5,6 +5,9 @@
 // Usage:
 //
 //	sweep [-seed N] [-quick] [-from GHz] [-to GHz] [-points N] [-s2p FILE]
+//
+// The shared observability flags (-journal, -metrics, -serve, -pprof,
+// -timeout, -max-evals, -workers, ...) are available as in lnaopt.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 
 	"gnsslna/internal/experiments"
 	"gnsslna/internal/mathx"
+	"gnsslna/internal/obscli"
 	"gnsslna/internal/touchstone"
 )
 
@@ -24,19 +28,33 @@ func main() {
 	to := flag.Float64("to", 1.8, "sweep stop in GHz")
 	points := flag.Int("points", 17, "number of sweep points")
 	s2p := flag.String("s2p", "", "optional Touchstone output path")
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*seed, *quick, *from*1e9, *to*1e9, *points, *s2p); err != nil {
+	session, err := obsFlags.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	runErr := run(*seed, *quick, *from*1e9, *to*1e9, *points, *s2p, session)
+	if err := session.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, quick bool, from, to float64, points int, s2p string) error {
+func run(seed int64, quick bool, from, to float64, points int, s2p string, session *obscli.Session) error {
 	if points < 2 || to <= from {
 		return fmt.Errorf("invalid sweep range")
 	}
-	suite := experiments.NewSuite(experiments.Config{Seed: seed, Quick: quick})
+	suite := experiments.NewSuite(experiments.Config{
+		Seed: seed, Quick: quick, Observer: session.Observer(),
+		Control: session.Controller(), Checkpoint: session.Checkpoint(),
+		Restarts: session.Restarts(), Workers: session.Workers(),
+	})
 	res, err := suite.Design()
 	if err != nil {
 		return err

@@ -52,6 +52,12 @@ type ProgressEvent struct {
 	// Value carries stage wall time in milliseconds for "span-end" events
 	// and the probed scalar for "sample" events.
 	Value float64
+	// Trace identifies the run and Span/Parent the causal span the event
+	// belongs to, when the pipeline runs traced (all zero otherwise).
+	Trace, Span, Parent uint64
+	// Worker is the 1-based pool-worker ordinal for worker-attributed
+	// spans (zero for driver-side events).
+	Worker int
 }
 
 // Observer receives progress events from the facade workflows. Callbacks
@@ -128,21 +134,31 @@ func Stopped(err error) (reason string, ok bool) {
 }
 
 // observer adapts the public callback to the internal observer interface.
+// The adapter is wrapped in a fresh tracer so facade runs carry causal
+// identity (ProgressEvent.Trace/Span/Parent/Worker) just like CLI sessions;
+// workflows that observe several phases must call this once and share the
+// result, or the phases land on different trace IDs.
 func (o Options) observer() obs.Observer {
 	if o.Observer == nil {
 		return nil
 	}
 	fn := o.Observer
-	return obs.Func(func(e obs.Event) {
+	tr := obs.NewTracer()
+	tr.SetOutliers(obs.NewOutlierDetector())
+	return obs.NewTraced(obs.Func(func(e obs.Event) {
 		fn(ProgressEvent{
-			Event: e.Kind.String(),
-			Scope: e.Scope,
-			Gen:   e.Gen,
-			Evals: e.Evals,
-			Best:  e.Best,
-			Value: e.Value,
+			Event:  e.Kind.String(),
+			Scope:  e.Scope,
+			Gen:    e.Gen,
+			Evals:  e.Evals,
+			Best:   e.Best,
+			Value:  e.Value,
+			Trace:  uint64(e.Trace),
+			Span:   uint64(e.Span),
+			Parent: uint64(e.Parent),
+			Worker: e.Worker,
 		})
-	})
+	}), tr)
 }
 
 // DesignReport flattens the outcome of the complete design flow.
@@ -217,13 +233,14 @@ func ExtractModel(modelName string, opts Options) (ExtractionReport, error) {
 	if dc == nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: unknown model %q", modelName)
 	}
+	obsv := opts.observer()
 	campaign := vna.DefaultCampaign(opts.seed())
-	campaign.Observer = opts.observer()
+	campaign.Observer = obsv
 	ds, err := vna.RunCampaign(device.Golden(), campaign)
 	if err != nil {
 		return ExtractionReport{}, fmt.Errorf("gnsslna: campaign: %w", err)
 	}
-	cfg := extract.Config{Seed: opts.seed(), Observer: opts.observer(), Control: opts.controller(), Workers: opts.Workers}
+	cfg := extract.Config{Seed: opts.seed(), Observer: obsv, Control: opts.controller(), Workers: opts.Workers}
 	if opts.Quick {
 		cfg.DCEvals, cfg.GlobalEvals, cfg.RefineIters = 6000, 2500, 20
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gnsslna/internal/core"
@@ -55,6 +56,8 @@ type Suite struct {
 	cfg    Config
 	golden *device.PHEMT
 	tally  *obs.Tally
+	fwd    obs.Observer
+	cur    obs.Observer
 
 	dataset   *vna.Dataset
 	extracted *extract.Result
@@ -65,20 +68,31 @@ type Suite struct {
 // NewSuite builds a suite around the golden device.
 func NewSuite(cfg Config) *Suite {
 	s := &Suite{cfg: cfg, golden: device.Golden()}
-	if cfg.Observer != nil {
-		s.tally = obs.NewTally(cfg.Observer)
+	switch o := cfg.Observer.(type) {
+	case nil:
+	case *obs.Traced:
+		// Splice the tally between the trace stamping and the sink so the
+		// observer the pipelines see is still a *obs.Traced — hiding it
+		// behind the tally would flatten every span StartSpan opens.
+		s.tally = obs.NewTally(o.Sink())
+		s.fwd = o.WithSink(s.tally)
+	default:
+		s.tally = obs.NewTally(o)
+		s.fwd = s.tally
 	}
 	return s
 }
 
 // obs returns the suite's forwarding observer, or nil when observation is
 // disabled. All inner pipelines receive the tally so per-experiment eval
-// deltas can be accounted.
+// deltas can be accounted; while an experiment is running they additionally
+// emit through its span, so shared lazy stages parent under the first
+// experiment that paid for them.
 func (s *Suite) obs() obs.Observer {
-	if s.tally == nil {
-		return nil
+	if s.cur != nil {
+		return s.cur
 	}
-	return s.tally
+	return s.fwd
 }
 
 // Golden exposes the reference device.
@@ -283,8 +297,14 @@ func (s *Suite) runEntry(e experimentEntry) (Table, error) {
 	if s.tally != nil {
 		before = s.tally.Evals()
 	}
-	end := obs.StartSpan(s.obs(), "experiment."+e.ID)
-	t, err := e.Run()
+	spanObs, end := obs.StartSpan(s.fwd, "experiment."+e.ID)
+	s.cur = spanObs
+	var t Table
+	var err error
+	obs.ProfDo("experiment", e.ID, func(context.Context) {
+		t, err = e.Run()
+	})
+	s.cur = nil
 	if err != nil {
 		return Table{}, err
 	}

@@ -84,7 +84,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	var res Result
 
 	// Step 1: direct parasitic extraction from the cold sweeps.
-	endCold := obs.StartSpan(cfg.Observer, "extract.step1.coldfet")
+	_, endCold := obs.StartSpan(cfg.Observer, "extract.step1.coldfet")
 	cold, err := ColdFET(ds.ColdPinched, ds.ColdOpen)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 1: %w", err)
@@ -92,9 +92,10 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	res.Cold = cold
 	endCold(0)
 
-	// Step 2a: global DC-model fit.
-	endDC := obs.StartSpan(cfg.Observer, "extract.step2.dcfit")
-	dcRes, err := fitDC(dc, ds, cfg.Seed, cfg.DCEvals, cfg.Observer, cfg.Control)
+	// Step 2a: global DC-model fit. The nested optimizers emit through the
+	// step's span observer so their runs parent under the step in a trace.
+	dcObs, endDC := obs.StartSpan(cfg.Observer, "extract.step2.dcfit")
+	dcRes, err := fitDC(dc, ds, cfg.Seed, cfg.DCEvals, dcObs, cfg.Control)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (DC): %w", err)
 	}
@@ -102,7 +103,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	endDC(int64(dcRes.Evals))
 
 	// Step 2b: global RF fit with parasitics frozen.
-	endS := obs.StartSpan(cfg.Observer, "extract.step2.sfit")
+	sObs, endS := obs.StartSpan(cfg.Observer, "extract.step2.sfit")
 	sres, err := NewSResidual(ds, dc, cold.Ext, false)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 2 (RF): %w", err)
@@ -115,7 +116,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	}
 	de, err := optim.DifferentialEvolution(sres.RMSE, lo, hi, &optim.DEOptions{
 		Pop: pop, Generations: gens, Seed: cfg.Seed,
-		Observer: cfg.Observer, Scope: "extract.step2.sfit.de",
+		Observer: sObs, Scope: "extract.step2.sfit.de",
 		Control: cfg.Control, Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -128,7 +129,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 	// the parasitics, warm-started from the DE solution and the step-1
 	// estimates. The step-1 values carry small structural biases (Ri
 	// dilution, pad loading) that the joint refinement absorbs.
-	endLM := obs.StartSpan(cfg.Observer, "extract.step3")
+	lmObs, endLM := obs.StartSpan(cfg.Observer, "extract.step3")
 	sresJoint, err := NewSResidual(ds, dc, cold.Ext, true)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: step 3: %w", err)
@@ -140,7 +141,7 @@ func ThreeStep(ds *vna.Dataset, dc device.DCModel, cfg Config) (Result, error) {
 		cold.Ext.Lg, cold.Ext.Ls, cold.Ext.Ld)
 	lm, err := optim.LevenbergMarquardt(sresJoint.Residuals, x0, &optim.LMOptions{
 		MaxIter: cfg.RefineIters, Lower: loJ, Upper: hiJ,
-		Observer: cfg.Observer, Scope: "extract.step3.lm",
+		Observer: lmObs, Scope: "extract.step3.lm",
 		Control: cfg.Control,
 	})
 	if err != nil {

@@ -47,6 +47,10 @@ type File struct {
 	Date string `json:"date,omitempty"`
 	// GoVersion records the toolchain that produced the numbers.
 	GoVersion string `json:"go_version,omitempty"`
+	// Note is free-form provenance for this point — e.g. marking a
+	// re-anchor measurement after a machine change, since timings are only
+	// comparable between points from the same machine.
+	Note string `json:"note,omitempty"`
 	// Benchmarks holds the measurements, sorted by name.
 	Benchmarks []Result `json:"benchmarks"`
 }

@@ -63,6 +63,7 @@ func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	f := File{
 		Schema: Schema, Commit: "abc1234", Date: "2026-08-05", GoVersion: "go1.24.0",
+		Note:       "re-anchor after machine change",
 		Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 10, NsPerOp: 1.5}},
 	}
 	path := filepath.Join(dir, "BENCH_0.json")

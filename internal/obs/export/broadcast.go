@@ -20,6 +20,7 @@ type Broadcaster struct {
 	subs    map[chan obs.Event]struct{}
 	closed  bool
 	dropped int64
+	dropCtr *obs.Counter
 }
 
 // NewBroadcaster returns an empty broadcaster.
@@ -39,8 +40,20 @@ func (b *Broadcaster) Observe(e obs.Event) {
 		case ch <- e:
 		default:
 			b.dropped++
+			if b.dropCtr != nil {
+				b.dropCtr.Inc()
+			}
 		}
 	}
+}
+
+// CountDrops mirrors every slow-subscriber discard into c (typically the
+// registry counter behind gnsslna_sse_dropped_total), making the loss
+// visible on /metrics instead of silently degrading the SSE stream.
+func (b *Broadcaster) CountDrops(c *obs.Counter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dropCtr = c
 }
 
 // Subscribe registers a new subscriber and returns its event channel plus a

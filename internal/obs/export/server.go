@@ -35,12 +35,16 @@ type Options struct {
 
 // eventJSON is the SSE data payload, mirroring the public ProgressEvent.
 type eventJSON struct {
-	Event string  `json:"event"`
-	Scope string  `json:"scope,omitempty"`
-	Gen   int     `json:"gen"`
-	Evals int64   `json:"evals"`
-	Best  float64 `json:"best"`
-	Value float64 `json:"value"`
+	Event  string  `json:"event"`
+	Scope  string  `json:"scope,omitempty"`
+	Gen    int     `json:"gen"`
+	Evals  int64   `json:"evals"`
+	Best   float64 `json:"best"`
+	Value  float64 `json:"value"`
+	Trace  uint64  `json:"trace,omitempty"`
+	Span   uint64  `json:"span,omitempty"`
+	Parent uint64  `json:"parent,omitempty"`
+	Worker int     `json:"worker,omitempty"`
 }
 
 // RunInfo is one /runs listing entry.
@@ -60,6 +64,7 @@ func NewHandler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteBuildInfoProm(w, o.Namespace, ReadBuildInfo())
 		_ = WritePrometheus(w, o.Registry, o.Namespace)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -73,7 +78,10 @@ func NewHandler(o Options) http.Handler {
 			// surface that to orchestration probes.
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		_ = json.NewEncoder(w).Encode(h)
+		_ = json.NewEncoder(w).Encode(struct {
+			resilience.HealthState
+			Build BuildInfo `json:"build"`
+		}{h, ReadBuildInfo()})
 	})
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
 		runs, err := listRuns(o.RunsDir)
@@ -158,6 +166,8 @@ func serveEvents(w http.ResponseWriter, r *http.Request, b *Broadcaster) {
 			if err := enc.Encode(eventJSON{
 				Event: e.Kind.String(), Scope: e.Scope, Gen: e.Gen,
 				Evals: e.Evals, Best: e.Best, Value: e.Value,
+				Trace: uint64(e.Trace), Span: uint64(e.Span),
+				Parent: uint64(e.Parent), Worker: e.Worker,
 			}); err != nil {
 				return
 			}

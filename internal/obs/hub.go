@@ -1,6 +1,9 @@
 package obs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Hub is the standard Observer behind the -journal/-metrics CLI flags: it
 // folds every event into a Registry and, when a Journal is attached,
@@ -15,8 +18,9 @@ import "sync/atomic"
 //	<scope>.count   counter  completed spans
 //	<scope>.ms      hist     span / run durations, milliseconds
 type Hub struct {
-	reg *Registry
-	j   *Journal
+	reg   *Registry
+	j     *Journal
+	start time.Time
 }
 
 // NewHub wires a registry (nil allocates a fresh one) and an optional
@@ -25,7 +29,7 @@ func NewHub(reg *Registry, j *Journal) *Hub {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	return &Hub{reg: reg, j: j}
+	return &Hub{reg: reg, j: j, start: time.Now()}
 }
 
 // Registry exposes the hub's metric store.
@@ -62,12 +66,17 @@ func (h *Hub) Observe(e Event) {
 	}
 	if h.j != nil && e.Kind != 0 {
 		h.j.Append(Record{
+			TMs:    float64(time.Since(h.start)) / float64(time.Millisecond),
 			Event:  e.Kind.String(),
 			Scope:  e.Scope,
 			Gen:    e.Gen,
 			Evals:  e.Evals,
 			Best:   e.Best,
 			WallMs: e.Value,
+			Trace:  uint64(e.Trace),
+			Span:   uint64(e.Span),
+			Parent: uint64(e.Parent),
+			Worker: e.Worker,
 		})
 	}
 }

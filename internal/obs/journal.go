@@ -31,6 +31,17 @@ type Record struct {
 	Best float64 `json:"best"`
 	// WallMs is the wall time attributed to the record, milliseconds.
 	WallMs float64 `json:"wall_ms"`
+	// Trace identifies the run the record belongs to; Span and Parent carry
+	// the causal span identity stamped by a Traced observer. All three are
+	// omitted for untraced records and tolerated as absent on replay, so
+	// journals written before the trace model still parse.
+	Trace uint64 `json:"trace,omitempty"`
+	// Span is the span this record describes.
+	Span uint64 `json:"span,omitempty"`
+	// Parent is the enclosing span.
+	Parent uint64 `json:"parent,omitempty"`
+	// Worker is the 1-based pool-worker ordinal for worker-attributed spans.
+	Worker int `json:"worker,omitempty"`
 	// Fields carries free-form numeric payloads (the metrics record).
 	Fields map[string]float64 `json:"fields,omitempty"`
 }
@@ -63,8 +74,11 @@ func OpenJournal(path string) (*Journal, error) {
 	return j, nil
 }
 
-// Append stamps rec's Seq and TMs and writes it as one JSON line. The first
-// write error sticks and is returned by every later call and by Close.
+// Append stamps rec's Seq and writes it as one JSON line. TMs is stamped
+// relative to the journal's open time only when the caller left it zero —
+// the Hub stamps emission time itself, which survives journal rotation and
+// keeps t_ms monotonic with the emitting run rather than the file. The
+// first write error sticks and is returned by every later call and by Close.
 func (j *Journal) Append(rec Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -73,7 +87,9 @@ func (j *Journal) Append(rec Record) error {
 	}
 	j.seq++
 	rec.Seq = j.seq
-	rec.TMs = float64(time.Since(j.start)) / float64(time.Millisecond)
+	if rec.TMs == 0 {
+		rec.TMs = float64(time.Since(j.start)) / float64(time.Millisecond)
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		j.err = err

@@ -83,6 +83,19 @@ type Event struct {
 	// Value is the kind-specific payload: wall milliseconds for
 	// generation/span/done events, the sample for KindSample.
 	Value float64
+	// Trace identifies the run this event belongs to (zero when the
+	// emitting pipeline is untraced).
+	Trace TraceID
+	// Span is the span the event describes: span-begin/end pairs share one,
+	// a generation record carries its generation's span, a done record its
+	// run's. Zero when untraced.
+	Span SpanID
+	// Parent is the span that causally encloses Span (zero for a root span
+	// or an untraced event).
+	Parent SpanID
+	// Worker is the 1-based pool-worker ordinal for worker-attributed spans
+	// (zero for driver-side events).
+	Worker int
 }
 
 // Observer receives events from instrumented loops. Implementations must be
@@ -139,18 +152,28 @@ func Multi(os ...Observer) Observer {
 	return kept
 }
 
-// StartSpan emits KindSpanBegin under scope and returns the closer; calling
-// it emits KindSpanEnd with the elapsed milliseconds and the evaluation
-// count the caller attributes to the phase. A nil observer costs one branch
-// and no allocation.
-func StartSpan(o Observer, scope string) func(evals int64) {
+// StartSpan emits KindSpanBegin under scope and returns the observer the
+// phase's work should emit into plus the closer; calling the closer emits
+// KindSpanEnd with the elapsed milliseconds and the evaluation count the
+// caller attributes to the phase.
+//
+// For a *Traced observer the span is a real child span: begin and end carry
+// its identity, and the returned observer parents everything emitted during
+// the phase under it. For any other observer the begin/end records are flat
+// (exactly the pre-trace behavior) and the inner observer is o itself. A nil
+// observer costs one branch and no allocation.
+func StartSpan(o Observer, scope string) (Observer, func(evals int64)) {
 	if o == nil {
-		return endNothing
+		return nil, endNothing
 	}
-	o.Observe(Event{Kind: KindSpanBegin, Scope: scope})
+	inner := o
+	if tr, ok := o.(*Traced); ok {
+		inner = tr.NewChild()
+	}
+	inner.Observe(Event{Kind: KindSpanBegin, Scope: scope})
 	start := time.Now()
-	return func(evals int64) {
-		o.Observe(Event{
+	return inner, func(evals int64) {
+		inner.Observe(Event{
 			Kind:  KindSpanEnd,
 			Scope: scope,
 			Evals: evals,

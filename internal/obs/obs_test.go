@@ -158,7 +158,7 @@ func TestHubRouting(t *testing.T) {
 
 	h.Observe(Event{Kind: KindGeneration, Scope: "optim.de", Gen: 3, Evals: 120, Best: 0.25})
 	h.Observe(Event{Kind: KindDone, Scope: "optim.de", Evals: 400, Best: 0.125, Value: 12})
-	end := StartSpan(h, "extract.step1")
+	_, end := StartSpan(h, "extract.step1")
 	end(42)
 	h.Observe(Event{Kind: KindSample, Scope: "probe", Value: 7})
 
@@ -257,7 +257,7 @@ func TestNopZeroAlloc(t *testing.T) {
 		t.Errorf("Nop observer allocates %.1f/op, want 0", allocs)
 	}
 	allocs = testing.AllocsPerRun(1000, func() {
-		end := StartSpan(nil, "x")
+		_, end := StartSpan(nil, "x")
 		end(1)
 	})
 	if allocs != 0 {

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// OutlierDetector flags individual evaluations whose latency is far beyond
+// the scope's own p99. Each scope keeps a log2 latency histogram (the same
+// base-2 grid the Registry histograms use); once a scope has seen a warmup's
+// worth of samples, an observation slower than Factor times the current p99
+// estimate is reported as an outlier. The EvalPool's traced workers feed it
+// per-candidate latencies and emit a flagged KindSample event (scope
+// "<scope>.outlier", Gen carrying the offending candidate index) for every
+// hit, so one pathological bias point in a ten-thousand-candidate sweep is
+// visible in the journal without logging every evaluation.
+type OutlierDetector struct {
+	// Factor is the p99 multiplier above which a sample is an outlier
+	// (default 4).
+	Factor float64
+	// Warmup is the per-scope sample count before detection arms
+	// (default 64).
+	Warmup int
+
+	mu     sync.Mutex
+	scopes map[string]*latencyDist
+}
+
+type latencyDist struct {
+	count   int64
+	buckets [histBuckets]int64
+}
+
+// NewOutlierDetector returns a detector with the default factor (4x p99)
+// and warmup (64 samples per scope).
+func NewOutlierDetector() *OutlierDetector {
+	return &OutlierDetector{Factor: 4, Warmup: 64}
+}
+
+// Observe records one latency (milliseconds) under scope and reports
+// whether it is an outlier against the distribution seen so far (excluding
+// this sample). Safe for concurrent use from pool workers.
+func (d *OutlierDetector) Observe(scope string, ms float64) bool {
+	if d == nil || math.IsNaN(ms) {
+		return false
+	}
+	d.mu.Lock()
+	if d.scopes == nil {
+		d.scopes = make(map[string]*latencyDist)
+	}
+	dist := d.scopes[scope]
+	if dist == nil {
+		dist = &latencyDist{}
+		d.scopes[scope] = dist
+	}
+	out := false
+	if dist.count >= int64(d.warmup()) {
+		out = ms > d.factor()*dist.p99Locked()
+	}
+	dist.count++
+	dist.buckets[bucketOf(ms)]++
+	d.mu.Unlock()
+	return out
+}
+
+// P99 returns the current p99 latency estimate for scope (0 when the scope
+// has no samples yet).
+func (d *OutlierDetector) P99(scope string) float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dist := d.scopes[scope]
+	if dist == nil || dist.count == 0 {
+		return 0
+	}
+	return dist.p99Locked()
+}
+
+func (d *OutlierDetector) factor() float64 {
+	if d.Factor > 0 {
+		return d.Factor
+	}
+	return 4
+}
+
+func (d *OutlierDetector) warmup() int {
+	if d.Warmup > 0 {
+		return d.Warmup
+	}
+	return 64
+}
+
+// p99Locked estimates the 99th percentile as the upper bound of the bucket
+// holding the target rank — deliberately the bound, not the midpoint, so the
+// outlier threshold is conservative against bucket quantization.
+func (dist *latencyDist) p99Locked() float64 {
+	target := int64(math.Ceil(0.99 * float64(dist.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range dist.buckets {
+		seen += n
+		if seen >= target {
+			return math.Exp2(float64(i - histShift + 1))
+		}
+	}
+	return math.Inf(1)
+}

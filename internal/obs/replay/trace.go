@@ -1,0 +1,401 @@
+package replay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one node of a reconstructed trace tree: a solver run, a pipeline
+// phase, one generation's evaluation batch, or one pool worker's share of a
+// batch. Spans are rebuilt purely from journal records — the write side
+// never journals span lifecycles separately, spans exist through the records
+// emitted into them.
+type Span struct {
+	// ID and Parent are the causal identifiers stamped by obs.Traced.
+	ID     uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Scope names the instrumented loop or phase.
+	Scope string `json:"scope"`
+	// Kind classifies the reconstruction source: "phase" (span-begin/end
+	// pair), "run" (done record), "generation" (per-generation span) or
+	// "worker" (worker-attributed span-end).
+	Kind string `json:"kind"`
+	// Gen is the generation ordinal (generation spans).
+	Gen int `json:"gen,omitempty"`
+	// Worker is the 1-based pool-worker ordinal (worker spans).
+	Worker int `json:"worker,omitempty"`
+	// StartMs and EndMs bound the span, milliseconds on the journal clock.
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+	// Evals is the evaluation count attributed to the span.
+	Evals int64 `json:"evals,omitempty"`
+	// Best is the best objective the span reported (NaN — JSON null — when
+	// it reported none).
+	Best OptFloat `json:"best"`
+	// Points holds flat per-generation convergence points for serial solvers
+	// that report generations on the run span itself rather than allocating
+	// per-generation spans (LM's accepted iterations, SA's strided samples).
+	Points []GenPoint `json:"points,omitempty"`
+	// Outliers holds slow-evaluation flags attributed to the span.
+	Outliers []Outlier `json:"outliers,omitempty"`
+	// Children are the causally enclosed spans, ordered by start time.
+	Children []*Span `json:"children,omitempty"`
+
+	open   bool    // span-begin seen, no close yet
+	firstT float64 // first record referencing the span (fallback bound)
+}
+
+// Dur returns the span duration in milliseconds.
+func (s *Span) Dur() float64 { return s.EndMs - s.StartMs }
+
+// GenPoint is one flat convergence point attached to a run span.
+type GenPoint struct {
+	TMs   float64 `json:"t_ms"`
+	Gen   int     `json:"gen"`
+	Evals int64   `json:"evals"`
+	Best  float64 `json:"best"`
+}
+
+// Outlier is one slow-evaluation flag from the latency outlier detector:
+// candidate Index in its batch took Ms, beyond the scope's p99 gate.
+type Outlier struct {
+	TMs   float64 `json:"t_ms"`
+	Scope string  `json:"scope"`
+	Index int     `json:"index"`
+	Ms    float64 `json:"ms"`
+}
+
+// TraceTree is the reconstructed causal view of one journal.
+type TraceTree struct {
+	// TraceID is the run identity shared by the traced records (zero when
+	// the journal mixes traces; the first seen wins for display).
+	TraceID uint64 `json:"trace"`
+	// Roots are the top-level spans (usually one run.<tool> span).
+	Roots []*Span `json:"roots"`
+	// Count is the total number of reconstructed spans.
+	Count int `json:"count"`
+	// EndMs is the last journal timestamp, the trace's horizon.
+	EndMs float64 `json:"end_ms"`
+}
+
+// BuildTrace reconstructs the span tree from the run's records. Journals
+// written before the trace model (or from untraced runs) yield an empty tree
+// rather than an error: every record without span identity is skipped.
+//
+// Reconstruction rules mirror the write side:
+//
+//   - span-begin/span-end pairs sharing a Span bound a "phase" span;
+//   - a done record is a "run" span covering [t_ms - wall_ms, t_ms];
+//   - a span-end with no begin (the pool's worker spans) is bounded the same
+//     way from its own wall time;
+//   - a generation record with a dedicated span gets its duration from the
+//     delta of successive cumulative wall times under the same parent;
+//   - generation records reusing the run's own span (serial solvers that
+//     never open per-generation spans) become flat Points on the run span;
+//   - ".outlier" samples attach to the span they were attributed to.
+func BuildTrace(r *Run) *TraceTree {
+	// First pass: find span IDs used by exactly one generation record and
+	// nothing else — those become dedicated generation spans. IDs reused
+	// across records (LM iterating on its run span) collect Points instead.
+	genOnly := map[uint64]int{}
+	for _, rec := range r.Records {
+		if rec.Span == 0 {
+			continue
+		}
+		switch rec.Event {
+		case "generation":
+			genOnly[rec.Span]++
+		case "span-begin", "span-end", "done":
+			genOnly[rec.Span] = -1 << 30
+		}
+	}
+
+	t := &TraceTree{}
+	spans := map[uint64]*Span{}
+	var order []*Span
+	get := func(id uint64, tms float64) *Span {
+		s := spans[id]
+		if s == nil {
+			s = &Span{ID: id, Best: OptFloat(math.NaN()), firstT: tms}
+			spans[id] = s
+			order = append(order, s)
+		}
+		return s
+	}
+	setParent := func(s *Span, parent uint64) {
+		if s.Parent == 0 && parent != s.ID {
+			s.Parent = parent
+		}
+	}
+	genPrev := map[uint64]float64{} // run span -> cumulative wall at last gen
+
+	for _, rec := range r.Records {
+		if rec.TMs > t.EndMs {
+			t.EndMs = rec.TMs
+		}
+		if rec.Span == 0 {
+			continue
+		}
+		if t.TraceID == 0 {
+			t.TraceID = rec.Trace
+		}
+		switch rec.Event {
+		case "span-begin":
+			s := get(rec.Span, rec.TMs)
+			s.Scope, s.Kind = rec.Scope, "phase"
+			s.StartMs, s.open = rec.TMs, true
+			setParent(s, rec.Parent)
+		case "span-end":
+			s := get(rec.Span, rec.TMs)
+			if s.Scope == "" {
+				s.Scope = rec.Scope
+			}
+			s.EndMs = rec.TMs
+			s.Evals = rec.Evals
+			if !s.open {
+				s.StartMs = rec.TMs - rec.WallMs
+			}
+			s.open = false
+			if rec.Worker > 0 {
+				s.Kind, s.Worker = "worker", rec.Worker
+			} else if s.Kind == "" {
+				s.Kind = "phase"
+			}
+			setParent(s, rec.Parent)
+		case "done":
+			s := get(rec.Span, rec.TMs)
+			s.Scope, s.Kind = rec.Scope, "run"
+			s.StartMs, s.EndMs = rec.TMs-rec.WallMs, rec.TMs
+			s.Evals, s.Best = rec.Evals, OptFloat(rec.Best)
+			s.open = false
+			setParent(s, rec.Parent)
+		case "generation":
+			if genOnly[rec.Span] == 1 {
+				s := get(rec.Span, rec.TMs)
+				s.Scope, s.Kind = rec.Scope, "generation"
+				s.Gen, s.Evals, s.Best = rec.Gen, rec.Evals, OptFloat(rec.Best)
+				d := rec.WallMs - genPrev[rec.Parent]
+				if d < 0 {
+					d = 0
+				}
+				genPrev[rec.Parent] = rec.WallMs
+				s.StartMs, s.EndMs = rec.TMs-d, rec.TMs
+				setParent(s, rec.Parent)
+			} else {
+				s := get(rec.Span, rec.TMs)
+				if s.Scope == "" {
+					s.Scope = rec.Scope
+				}
+				s.Points = append(s.Points, GenPoint{
+					TMs: rec.TMs, Gen: rec.Gen, Evals: rec.Evals, Best: rec.Best,
+				})
+			}
+		case "sample":
+			if strings.HasSuffix(rec.Scope, ".outlier") {
+				s := get(rec.Span, rec.TMs)
+				s.Outliers = append(s.Outliers, Outlier{
+					TMs: rec.TMs, Scope: rec.Scope, Index: rec.Gen, Ms: rec.WallMs,
+				})
+			}
+		}
+	}
+
+	// Close spans truncated by a crash and bound spans only ever referenced
+	// by membership events at the trace horizon.
+	for _, s := range order {
+		if s.Kind == "" {
+			s.Kind = "phase"
+		}
+		if s.open || s.EndMs < s.StartMs {
+			s.EndMs = t.EndMs
+		}
+		if s.EndMs == 0 && s.StartMs == 0 {
+			s.StartMs, s.EndMs = s.firstT, t.EndMs
+		}
+	}
+
+	for _, s := range order {
+		if p := spans[s.Parent]; p != nil && p != s {
+			p.Children = append(p.Children, s)
+		} else {
+			t.Roots = append(t.Roots, s)
+		}
+	}
+	sortSpans(t.Roots)
+	for _, s := range order {
+		sortSpans(s.Children)
+	}
+	t.Count = len(order)
+	return t
+}
+
+// sortSpans orders siblings by start time, breaking ties on span ID (which
+// is allocation order, i.e. causal order on the driver).
+func sortSpans(ss []*Span) {
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].StartMs != ss[b].StartMs {
+			return ss[a].StartMs < ss[b].StartMs
+		}
+		return ss[a].ID < ss[b].ID
+	})
+}
+
+// label renders a span's display name for the tree and flame views.
+func (s *Span) label() string {
+	switch s.Kind {
+	case "generation":
+		return fmt.Sprintf("%s gen %d", s.Scope, s.Gen)
+	case "worker":
+		return fmt.Sprintf("%s %d", s.Scope, s.Worker)
+	}
+	return s.Scope
+}
+
+// WriteTraceTree renders the reconstructed trace as an indented ASCII tree:
+// one line per span with its interval, duration, evaluation count and best
+// objective, flat convergence points summarized, outlier flags called out.
+func WriteTraceTree(w io.Writer, r *Run) error {
+	t := BuildTrace(r)
+	if t.Count == 0 {
+		_, err := fmt.Fprintln(w, "journal carries no trace spans (untraced run or pre-trace journal)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "trace %d: %d spans over %.1f ms\n", t.TraceID, t.Count, t.EndMs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-52s %10s %10s %10s %10s\n",
+		"span", "start_ms", "dur_ms", "evals", "best"); err != nil {
+		return err
+	}
+	for _, root := range t.Roots {
+		if err := writeSpanTree(w, root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanTree(w io.Writer, s *Span, depth int) error {
+	label := strings.Repeat("  ", depth) + s.label()
+	if n := len(s.Points); n > 0 {
+		label += fmt.Sprintf(" (%d gens)", n)
+	}
+	if n := len(s.Outliers); n > 0 {
+		label += fmt.Sprintf(" !%d outliers", n)
+	}
+	if _, err := fmt.Fprintf(w, "%-52s %10.1f %10.1f %10d %10s\n",
+		label, s.StartMs, s.Dur(), s.Evals, fmtBest(float64(s.Best))); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpanTree(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perfettoEvent is one Chrome trace-event ("X" complete span, "i" instant,
+// "M" metadata) as consumed by chrome://tracing and ui.perfetto.dev.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON object format of the trace-event spec.
+type perfettoFile struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+}
+
+// WritePerfettoTrace renders the reconstructed trace as Chrome trace-event
+// JSON (the Perfetto/chrome://tracing interchange format): every span is a
+// complete "X" event with microsecond timestamps, driver-side spans on tid 1
+// and each pool worker on its own lane, outlier flags as instant events. A
+// journal with no trace spans is an error — this is the smoke check `make
+// trace-smoke` relies on.
+func WritePerfettoTrace(w io.Writer, r *Run) error {
+	t := BuildTrace(r)
+	if t.Count == 0 {
+		return errors.New("replay: journal carries no trace spans (untraced run or pre-trace journal)")
+	}
+	const pid = 1
+	evs := []perfettoEvent{{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+		Args: map[string]any{"name": fmt.Sprintf("gnsslna trace %d", t.TraceID)},
+	}}
+	lanes := map[int]string{1: "driver"}
+
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		tid := 1
+		if s.Worker > 0 {
+			tid = 1 + s.Worker
+			lanes[tid] = fmt.Sprintf("worker %d", s.Worker)
+		}
+		args := map[string]any{"span": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Evals > 0 {
+			args["evals"] = s.Evals
+		}
+		if !s.Best.IsNaN() {
+			args["best"] = float64(s.Best)
+		}
+		if s.Kind == "generation" {
+			args["gen"] = s.Gen
+		}
+		if len(s.Points) > 0 {
+			args["gens"] = len(s.Points)
+		}
+		evs = append(evs, perfettoEvent{
+			Name: s.label(), Cat: s.Kind, Ph: "X",
+			Ts: s.StartMs * 1000, Dur: s.Dur() * 1000,
+			Pid: pid, Tid: tid, Args: args,
+		})
+		for _, o := range s.Outliers {
+			evs = append(evs, perfettoEvent{
+				Name: o.Scope, Cat: "outlier", Ph: "i", S: "t",
+				Ts: o.TMs * 1000, Pid: pid, Tid: tid,
+				Args: map[string]any{"index": o.Index, "ms": o.Ms},
+			})
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, root := range t.Roots {
+		walk(root)
+	}
+
+	tids := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		evs = append(evs, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": lanes[tid]},
+		}, perfettoEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{DisplayTimeUnit: "ms", TraceEvents: evs})
+}

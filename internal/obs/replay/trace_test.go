@@ -1,0 +1,246 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/obs"
+	"gnsslna/internal/optim"
+)
+
+// tracedRun produces a journal from a real traced, parallel DE run bracketed
+// by a root run span — the same shape obscli sessions write.
+func tracedRun(t *testing.T) *Run {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	hub := obs.NewHub(nil, j)
+	tr := obs.NewTracerID(99)
+	tr.SetOutliers(obs.NewOutlierDetector())
+	root := obs.NewTraced(hub, tr)
+
+	root.Observe(obs.Event{Kind: obs.KindSpanBegin, Scope: "run.test"})
+	sphere := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	if _, err := optim.DifferentialEvolution(sphere, []float64{-2, -2}, []float64{2, 2}, &optim.DEOptions{
+		Pop: 20, Generations: 6, Seed: 1, Workers: 2, Observer: root,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "run.test", Value: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestBuildTraceGolden is the structural golden test of the acceptance
+// criteria: the reconstructed tree must be root run span → solver run →
+// per-generation spans → per-worker eval spans.
+func TestBuildTraceGolden(t *testing.T) {
+	run := tracedRun(t)
+	tree := BuildTrace(run)
+
+	if tree.TraceID != 99 {
+		t.Errorf("trace ID = %d, want 99", tree.TraceID)
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("got %d roots, want exactly the run span", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Scope != "run.test" || root.Kind != "phase" {
+		t.Fatalf("root = %s/%s, want run.test/phase", root.Scope, root.Kind)
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d children, want the one solver run", len(root.Children))
+	}
+	solver := root.Children[0]
+	if solver.Scope != "optim.de" || solver.Kind != "run" {
+		t.Fatalf("solver span = %s/%s, want optim.de/run", solver.Scope, solver.Kind)
+	}
+	if solver.Evals <= 0 || solver.Best.IsNaN() {
+		t.Errorf("solver span evals=%d best=%v", solver.Evals, solver.Best)
+	}
+
+	var gens, workers int
+	for _, c := range solver.Children {
+		switch c.Kind {
+		case "generation":
+			gens++
+			if c.Dur() < 0 {
+				t.Errorf("generation %d has negative duration %g", c.Gen, c.Dur())
+			}
+			for _, w := range c.Children {
+				if w.Kind != "worker" {
+					t.Errorf("generation child kind = %s", w.Kind)
+				}
+				workers++
+			}
+		case "worker":
+			// Initial-population batch workers parent under the run itself.
+			workers++
+		default:
+			t.Errorf("unexpected solver child kind %s (%s)", c.Kind, c.Scope)
+		}
+	}
+	if gens != 6 {
+		t.Errorf("reconstructed %d generation spans, want 6", gens)
+	}
+	if workers == 0 {
+		t.Error("no worker spans reconstructed")
+	}
+
+	// Span intervals nest inside the journal horizon.
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.StartMs > s.EndMs {
+			t.Errorf("span %d (%s) inverted: %g..%g", s.ID, s.Scope, s.StartMs, s.EndMs)
+		}
+		if s.EndMs > tree.EndMs+1e-9 {
+			t.Errorf("span %d ends at %g beyond horizon %g", s.ID, s.EndMs, tree.EndMs)
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// TestWriteTraceTreeText smoke-checks the ASCII rendering.
+func TestWriteTraceTreeText(t *testing.T) {
+	run := tracedRun(t)
+	var out bytes.Buffer
+	if err := WriteTraceTree(&out, run); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"run.test", "optim.de", "gen 0", ".worker"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("tree output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWritePerfettoTrace validates the Chrome trace-event export: the JSON
+// must unmarshal, carry one complete event per span on the right lanes, and
+// name the worker threads.
+func TestWritePerfettoTrace(t *testing.T) {
+	run := tracedRun(t)
+	tree := BuildTrace(run)
+	var out bytes.Buffer
+	if err := WritePerfettoTrace(&out, run); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var complete, workerLane int
+	threadNames := map[string]bool{}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.Pid != 1 || e.Tid < 1 {
+				t.Errorf("complete event %q on pid %d tid %d", e.Name, e.Pid, e.Tid)
+			}
+			if e.Dur < 0 {
+				t.Errorf("complete event %q has negative dur %g", e.Name, e.Dur)
+			}
+			if e.Tid > 1 {
+				workerLane++
+			}
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[e.Args["name"].(string)] = true
+			}
+		}
+	}
+	if complete != tree.Count {
+		t.Errorf("%d complete events for %d spans", complete, tree.Count)
+	}
+	if workerLane == 0 {
+		t.Error("no events on worker lanes")
+	}
+	// Which worker ordinals appear depends on claim scheduling (a fast
+	// worker can drain a small batch alone), but at least one worker lane
+	// must be named alongside the driver.
+	anyWorker := false
+	for name := range threadNames {
+		if strings.HasPrefix(name, "worker ") {
+			anyWorker = true
+		}
+	}
+	if !threadNames["driver"] || !anyWorker {
+		t.Errorf("thread names = %v, want driver and at least one worker lane", threadNames)
+	}
+}
+
+// TestPerfettoRejectsUntracedJournal pins the smoke-check contract: a
+// journal without trace identity (a pre-trace journal or an untraced run)
+// is an explicit error, not an empty file.
+func TestPerfettoRejectsUntracedJournal(t *testing.T) {
+	run := &Run{Records: []obs.Record{
+		{Seq: 1, Event: "generation", Scope: "optim.de", Gen: 0, Evals: 10, Best: 1},
+		{Seq: 2, Event: "done", Scope: "optim.de", Evals: 100, Best: 0.5},
+	}}
+	var out bytes.Buffer
+	if err := WritePerfettoTrace(&out, run); err == nil {
+		t.Fatal("untraced journal exported without error")
+	}
+	// The tree writer degrades to a notice instead.
+	out.Reset()
+	if err := WriteTraceTree(&out, run); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no trace spans") {
+		t.Errorf("tree output for untraced journal: %q", out.String())
+	}
+}
+
+// TestBuildTraceSerialGenPoints checks the degradation for solvers that
+// iterate on their run span without per-generation spans (LM): the
+// generation records become flat convergence points, not bogus spans.
+func TestBuildTraceSerialGenPoints(t *testing.T) {
+	run := &Run{Records: []obs.Record{
+		{Seq: 1, TMs: 1, Event: "generation", Scope: "optim.lm", Gen: 1, Trace: 3, Span: 2, Parent: 1, Best: 5},
+		{Seq: 2, TMs: 2, Event: "generation", Scope: "optim.lm", Gen: 2, Trace: 3, Span: 2, Parent: 1, Best: 4},
+		{Seq: 3, TMs: 3, Event: "done", Scope: "optim.lm", Evals: 30, Trace: 3, Span: 2, Parent: 1, Best: 4, WallMs: 3},
+	}}
+	tree := BuildTrace(run)
+	if tree.Count != 1 {
+		t.Fatalf("reconstructed %d spans, want 1 run span", tree.Count)
+	}
+	s := tree.Roots[0]
+	if s.Kind != "run" || len(s.Points) != 2 {
+		t.Fatalf("span kind %s with %d points, want run with 2", s.Kind, len(s.Points))
+	}
+	if s.Points[1].Gen != 2 || s.Points[1].Best != 4 {
+		t.Errorf("second point = %+v", s.Points[1])
+	}
+}

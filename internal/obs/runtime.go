@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples maps the runtime/metrics names the sampler reads to the
+// registry gauges it writes. Histogram-shaped metrics are reduced to a p99
+// estimate; counters and gauges pass through. Missing names (older or newer
+// runtimes) are skipped, never fatal.
+var runtimeSamples = []struct {
+	metric string
+	gauge  string
+	// scale converts the runtime unit into the exported one.
+	scale float64
+}{
+	{"/sched/goroutines:goroutines", "runtime.goroutines", 1},
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_bytes", 1},
+	{"/memory/classes/total:bytes", "runtime.mem_total_bytes", 1},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles", 1},
+	{"/gc/pauses:seconds", "runtime.gc_pause_p99_ms", 1e3},
+	{"/sched/latencies:seconds", "runtime.sched_latency_p99_ms", 1e3},
+}
+
+// RuntimeSampler periodically reads process health from runtime/metrics —
+// goroutine count, heap and total memory, GC cycles, GC pause and scheduler
+// latency p99s — into "runtime.*" registry gauges (exported as the
+// gnsslna_runtime_* Prometheus families) and, when an observer is attached,
+// emits each sample as a KindSample event so the SSE stream carries live
+// process health next to solver progress.
+type RuntimeSampler struct {
+	reg      *Registry
+	o        Observer
+	interval time.Duration
+
+	once sync.Once
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeSampler begins sampling every interval (default 500ms) until
+// Stop. The observer may be nil (gauges only).
+func StartRuntimeSampler(reg *Registry, o Observer, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	s := &RuntimeSampler{
+		reg: reg, o: o, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	s.SampleOnce()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.SampleOnce()
+		}
+	}
+}
+
+// Stop halts the sampler after taking one final sample, so short runs still
+// export a health snapshot. Safe to call more than once.
+func (s *RuntimeSampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+	s.SampleOnce()
+}
+
+// SampleOnce reads every configured runtime metric into its gauge.
+func (s *RuntimeSampler) SampleOnce() {
+	batch := make([]metrics.Sample, len(runtimeSamples))
+	for i := range batch {
+		batch[i].Name = runtimeSamples[i].metric
+	}
+	metrics.Read(batch)
+	for i, sm := range batch {
+		var v float64
+		switch sm.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(sm.Value.Uint64())
+		case metrics.KindFloat64:
+			v = sm.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			v = histP99(sm.Value.Float64Histogram())
+		default:
+			continue
+		}
+		v *= runtimeSamples[i].scale
+		if s.reg != nil {
+			s.reg.Gauge(runtimeSamples[i].gauge).Set(v)
+		}
+		if s.o != nil {
+			s.o.Observe(Event{Kind: KindSample, Scope: runtimeSamples[i].gauge, Value: v})
+		}
+	}
+}
+
+// histP99 estimates the 99th percentile of a runtime/metrics histogram
+// (cumulative over the process lifetime) as the upper bound of the bucket
+// holding the target rank.
+func histP99(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(0.99 * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket may
+			// be +Inf, where the lower bound is the best finite answer.
+			up := h.Buckets[i+1]
+			if math.IsInf(up, 1) {
+				up = h.Buckets[i]
+			}
+			return up
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -86,6 +86,11 @@ type Session struct {
 	hub         *obs.Hub
 	bc          *export.Broadcaster
 	srv         *export.Server
+	tracer      *obs.Tracer
+	traced      *obs.Traced
+	sampler     *obs.RuntimeSampler
+	runScope    string
+	runStart    time.Time
 	ctrl        atomic.Pointer[resilience.RunController]
 	stopSignals context.CancelFunc
 }
@@ -142,6 +147,31 @@ func (f *Flags) Start() (*Session, error) {
 		s.srv = srv
 		fmt.Fprintf(os.Stderr, "obscli: telemetry endpoint on http://%s\n", srv.Addr())
 	}
+
+	// Every observed run is traced: the tracer stamps run/span identity onto
+	// each event, the root "run.<tool>" span brackets the whole command, and
+	// the outlier detector arms the pool's slow-evaluation flagging.
+	sink := obs.Observer(s.hub)
+	if s.bc != nil {
+		sink = obs.Multi(s.hub, s.bc)
+		s.bc.CountDrops(s.reg.Counter("sse.dropped"))
+	}
+	s.tracer = obs.NewTracer()
+	s.tracer.SetOutliers(obs.NewOutlierDetector())
+	s.traced = obs.NewTraced(sink, s.tracer)
+	s.runScope = "run." + filepath.Base(os.Args[0])
+	s.runStart = time.Now()
+	s.traced.Observe(obs.Event{Kind: obs.KindSpanBegin, Scope: s.runScope})
+
+	// Process health: runtime gauges land in the registry (the
+	// gnsslna_runtime_* families on /metrics); the sample events go only to
+	// the SSE stream — routing them through the hub would collide the gauge
+	// names with the hub's sample histograms.
+	var health obs.Observer
+	if s.bc != nil {
+		health = s.bc
+	}
+	s.sampler = obs.StartRuntimeSampler(s.reg, health, 0)
 	return s, nil
 }
 
@@ -153,17 +183,20 @@ func (s *Session) health() resilience.HealthState {
 }
 
 // Observer returns the session's observer, or nil when observation is
-// disabled (callers can pass the result straight into the pipelines). With
-// -serve active the observer fans out to the SSE broadcaster as well.
+// disabled (callers can pass the result straight into the pipelines). The
+// observer is the run's root traced span: every event a pipeline emits
+// through it carries the session's trace identity, and with -serve active
+// the stamped events fan out to the SSE broadcaster as well.
 func (s *Session) Observer() obs.Observer {
-	if s.hub == nil {
+	if s.traced == nil {
 		return nil
 	}
-	if s.bc != nil {
-		return obs.Multi(s.hub, s.bc)
-	}
-	return s.hub
+	return s.traced
 }
+
+// Tracer exposes the session's span allocator (nil when observation is
+// disabled).
+func (s *Session) Tracer() *obs.Tracer { return s.tracer }
 
 // Registry exposes the metrics registry (nil when observation is disabled).
 func (s *Session) Registry() *obs.Registry { return s.reg }
@@ -235,6 +268,18 @@ func (s *Session) Close() error {
 	var firstErr error
 	if s.stopSignals != nil {
 		s.stopSignals()
+	}
+	if s.sampler != nil {
+		// Final health sample before the root span closes, so even a short
+		// run journals and exports one snapshot.
+		s.sampler.Stop()
+	}
+	if s.traced != nil {
+		s.traced.Observe(obs.Event{
+			Kind:  obs.KindSpanEnd,
+			Scope: s.runScope,
+			Value: float64(time.Since(s.runStart)) / float64(time.Millisecond),
+		})
 	}
 	if err := s.shutdownServer(); err != nil {
 		firstErr = err

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -42,6 +43,12 @@ type CMAESOptions struct {
 // simplified to a diagonal-plus-full covariance handled by explicit
 // eigendecomposition via Jacobi rotations).
 func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
+	return profRun("cmaes", func(ctx context.Context) (Result, error) {
+		return cmaes(ctx, f, lo, hi, opts)
+	})
+}
+
+func cmaes(ctx context.Context, f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
 		return Result{}, ErrBadInput
@@ -74,8 +81,9 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 		ctrl = opts.Control
 	}
 	em := newEmitter(observer, scope, scopeCMAES)
+	em.ctx = ctx
 	rng := newRand(seed)
-	c := &counter{f: f, ctrl: ctrl}
+	c := &counter{f: f, ctrl: ctrl, em: &em}
 	pool := NewEvalPool(workers)
 
 	// Work in normalized coordinates u in [0,1]^n. Out-of-box samples are
@@ -169,6 +177,7 @@ func CMAES(f Objective, lo, hi []float64, opts *CMAESOptions) (Result, error) {
 			em.done(c.n, bestF)
 			return Result{X: bestX, F: bestF, Evals: c.n, Converged: false}, err
 		}
+		em.beginGen()
 		// Eigendecomposition of cov: B D^2 B^T via Jacobi.
 		jacobiEigenInto(cov, eigWork, b, d)
 		for k := 0; k < lambda; k++ {

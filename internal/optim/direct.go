@@ -8,6 +8,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -39,10 +40,13 @@ var ErrBadInput = errors.New("optim: invalid input")
 // counter wraps an objective with an evaluation counter. Only these leaf
 // counters (and the few direct obj calls in goal.go) account evaluations
 // against the resilience controller, so composite solvers never double-count.
+// em, when set, supplies the trace context batch evaluations are attributed
+// under (nil: untraced, the historical zero-overhead path).
 type counter struct {
 	f    Objective
 	n    int
 	ctrl *resilience.RunController
+	em   *emitter
 }
 
 func (c *counter) eval(x []float64) float64 {
@@ -92,6 +96,12 @@ func (o *NMOptions) defaults(dim int) NMOptions {
 // NelderMead minimizes f starting from x0 with the downhill-simplex method
 // (adaptive parameters after Gao & Han).
 func NelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
+	return profRun("nm", func(context.Context) (Result, error) {
+		return nelderMead(f, x0, opts)
+	})
+}
+
+func nelderMead(f Objective, x0 []float64, opts *NMOptions) (Result, error) {
 	n := len(x0)
 	if n == 0 {
 		return Result{}, ErrBadInput

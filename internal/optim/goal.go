@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -137,11 +138,21 @@ func gammaOf(f []float64, goals []Goal) float64 {
 // followed by a Nelder-Mead polish. This is the baseline the paper
 // improves upon.
 func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
+	var res AttainResult
+	var err error
+	obs.ProfDo("optim", "attain-std", func(ctx context.Context) {
+		res, err = goalAttainStandard(ctx, obj, goals, lo, hi, opts)
+	})
+	return res, err
+}
+
+func goalAttainStandard(ctx context.Context, obj VectorObjective, goals []Goal, lo, hi []float64, opts *AttainOptions) (AttainResult, error) {
 	if err := validateGoals(obj, goals, lo, hi); err != nil {
 		return AttainResult{}, err
 	}
 	o := opts.defaults()
 	em := newEmitter(o.Observer, o.Scope, scopeAttain)
+	em.ctx = ctx
 	// The scalarized objective is handed to DE, whose workers may call it
 	// concurrently — the tally must be atomic to stay exact.
 	var evals atomic.Int64
@@ -159,7 +170,7 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	}
 	de, err := DifferentialEvolution(scalar, lo, hi, &DEOptions{
 		Pop: pop, Generations: gens, Seed: o.Seed, Workers: o.Workers,
-		Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
+		Observer: em.observer(), Scope: em.scope + ".de", Control: o.Control,
 	})
 	if err != nil {
 		if _, ok := resilience.AsStopped(err); ok && len(de.X) > 0 {
@@ -169,7 +180,7 @@ func GoalAttainStandard(obj VectorObjective, goals []Goal, lo, hi []float64, opt
 	}
 	nm, err := NelderMead(scalar, de.X, &NMOptions{
 		MaxEvals: o.PolishEvals, Scale: 0.02,
-		Observer: o.Observer, Scope: em.scope + ".nm", Control: o.Control,
+		Observer: em.observer(), Scope: em.scope + ".nm", Control: o.Control,
 	})
 	if err != nil {
 		if _, ok := resilience.AsStopped(err); ok && len(nm.X) > 0 {
@@ -261,8 +272,19 @@ func GoalAttainImprovedVariant(obj VectorObjective, goals []Goal, lo, hi []float
 // goalAttainOnce is one attempt of the improved goal-attainment method with
 // the given seed.
 func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o AttainOptions, variant ImprovedVariant, seed int64) (AttainResult, error) {
+	var res AttainResult
+	var err error
+	obs.ProfDo("optim", "attain", func(ctx context.Context) {
+		res, err = attainOnce(ctx, obj, goals, lo, hi, o, variant, seed)
+	})
+	return res, err
+}
+
+// attainOnce is goalAttainOnce's body, running under the attain pprof labels.
+func attainOnce(ctx context.Context, obj VectorObjective, goals []Goal, lo, hi []float64, o AttainOptions, variant ImprovedVariant, seed int64) (AttainResult, error) {
 	o.Seed = seed
 	em := newEmitter(o.Observer, o.Scope, scopeAttain)
+	em.ctx = ctx
 	// The smoothed objectives are handed to DE, whose workers may call them
 	// concurrently — the tally must be atomic to stay exact.
 	var evals atomic.Int64
@@ -302,7 +324,7 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 		// solver's counter), so account them here, on the driver.
 		o.Control.AddEvals(probePop)
 		evals.Add(int64(probePop))
-		pool.MapVector(obj, px, pf)
+		pool.mapVector(obj, px, pf, em.batch())
 		for _, f := range pf {
 			for i, v := range f {
 				if v < rngSpan[i][0] {
@@ -366,7 +388,7 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 		}
 		de, err := DifferentialEvolution(ks(5), lo, hi, &DEOptions{
 			Pop: pop, Generations: gens, Seed: o.Seed, Workers: o.Workers,
-			Observer: o.Observer, Scope: em.scope + ".de", Control: o.Control,
+			Observer: em.observer(), Scope: em.scope + ".de", Control: o.Control,
 		})
 		nested += de.Evals
 		if err != nil {
@@ -387,7 +409,7 @@ func goalAttainOnce(obj VectorObjective, goals []Goal, lo, hi []float64, o Attai
 	for _, rho := range []float64{20, 100, 500} {
 		nm, err := NelderMead(ks(rho), x, &NMOptions{
 			MaxEvals: budget, Scale: 0.02,
-			Observer: o.Observer, Scope: em.scope + ".nm", Control: o.Control,
+			Observer: em.observer(), Scope: em.scope + ".nm", Control: o.Control,
 		})
 		nested += nm.Evals
 		if err != nil {

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"math"
 
 	"gnsslna/internal/mathx"
@@ -52,6 +53,15 @@ type LMResult struct {
 // LevenbergMarquardt minimizes 0.5*||r(x)||^2 with damped Gauss-Newton steps
 // and a numerical Jacobian.
 func LevenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult, error) {
+	var res LMResult
+	var err error
+	obs.ProfDo("optim", "lm", func(context.Context) {
+		res, err = levenbergMarquardt(r, x0, opts)
+	})
+	return res, err
+}
+
+func levenbergMarquardt(r ResidualFunc, x0 []float64, opts *LMOptions) (LMResult, error) {
 	n := len(x0)
 	if n == 0 {
 		return LMResult{}, ErrBadInput

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -80,6 +81,12 @@ func snapshotDE(gen int, xs [][]float64, fs []float64, best int, draws uint64, e
 // across Workers goroutines when configured — and acceptance runs in index
 // order, so the trajectory is bit-identical for any worker count.
 func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Result, error) {
+	return profRun("de", func(ctx context.Context) (Result, error) {
+		return differentialEvolution(ctx, f, lo, hi, opts)
+	})
+}
+
+func differentialEvolution(ctx context.Context, f Objective, lo, hi []float64, opts *DEOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
 		return Result{}, ErrBadInput
@@ -123,9 +130,10 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 		ctrl, checkpoint, resume = opts.Control, opts.Checkpoint, opts.Resume
 	}
 	em := newEmitter(observer, scope, scopeDE)
+	em.ctx = ctx
 	src := resilience.NewCountedSource(seed)
 	rng := rand.New(src)
-	c := &counter{f: f, ctrl: ctrl}
+	c := &counter{f: f, ctrl: ctrl, em: &em}
 	pool := NewEvalPool(workers)
 
 	var xs [][]float64
@@ -176,6 +184,7 @@ func DifferentialEvolution(f Objective, lo, hi []float64, opts *DEOptions) (Resu
 			em.done(c.n, fs[best])
 			return Result{X: append([]float64(nil), xs[best]...), F: fs[best], Evals: c.n, Converged: false}, err
 		}
+		em.beginGen()
 		for i := 0; i < pop; i++ {
 			// Pick three distinct partners != i.
 			var a, b, cc int
@@ -328,6 +337,12 @@ func copyMatInto(dst, src [][]float64) [][]float64 {
 // configured — and bests are updated in index order, so the trajectory is
 // bit-identical for any worker count.
 func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, error) {
+	return profRun("pso", func(ctx context.Context) (Result, error) {
+		return particleSwarm(ctx, f, lo, hi, opts)
+	})
+}
+
+func particleSwarm(ctx context.Context, f Objective, lo, hi []float64, opts *PSOOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
 		return Result{}, ErrBadInput
@@ -357,9 +372,10 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 		ctrl, checkpoint, resume = opts.Control, opts.Checkpoint, opts.Resume
 	}
 	em := newEmitter(observer, scope, scopePSO)
+	em.ctx = ctx
 	src := resilience.NewCountedSource(seed)
 	rng := rand.New(src)
-	c := &counter{f: f, ctrl: ctrl}
+	c := &counter{f: f, ctrl: ctrl, em: &em}
 	pool := NewEvalPool(workers)
 	const (
 		w  = 0.7298 // constriction
@@ -410,6 +426,7 @@ func ParticleSwarm(f Objective, lo, hi []float64, opts *PSOOptions) (Result, err
 			em.done(c.n, gf)
 			return Result{X: append([]float64(nil), gb...), F: gf, Evals: c.n, Converged: false}, err
 		}
+		em.beginGen()
 		for i := 0; i < pop; i++ {
 			for j := 0; j < n; j++ {
 				v[i][j] = w*v[i][j] +
@@ -494,6 +511,12 @@ type SAState struct {
 // SimulatedAnnealing minimizes f over the box [lo, hi] with geometric
 // cooling and coordinate-wise Gaussian proposals.
 func SimulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result, error) {
+	return profRun("sa", func(context.Context) (Result, error) {
+		return simulatedAnnealing(f, lo, hi, opts)
+	})
+}
+
+func simulatedAnnealing(f Objective, lo, hi []float64, opts *SAOptions) (Result, error) {
 	n := len(lo)
 	if n == 0 || len(hi) != n {
 		return Result{}, ErrBadInput

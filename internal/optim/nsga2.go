@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -58,6 +59,15 @@ type nsgaInd struct {
 // NSGA2 runs the elitist non-dominated sorting genetic algorithm, the
 // population-based baseline for the Pareto-front comparison experiment.
 func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Result, error) {
+	var res NSGA2Result
+	var err error
+	obs.ProfDo("optim", "nsga2", func(ctx context.Context) {
+		res, err = nsga2(ctx, obj, lo, hi, opts)
+	})
+	return res, err
+}
+
+func nsga2(ctx context.Context, obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Result, error) {
 	n := len(lo)
 	if obj == nil || n == 0 || len(hi) != n {
 		return NSGA2Result{}, ErrBadInput
@@ -95,6 +105,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 		pop++
 	}
 	em := newEmitter(observer, scope, scopeNSGA2)
+	em.ctx = ctx
 	rng := newRand(seed)
 	pl := NewEvalPool(workers)
 	evals := 0
@@ -103,7 +114,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 	evalBatch := func(xs [][]float64, out [][]float64) {
 		evals += len(xs)
 		ctrl.AddEvals(len(xs))
-		pl.MapVector(obj, xs, out)
+		pl.mapVector(obj, xs, out, em.batch())
 	}
 
 	parents := make([]nsgaInd, pop)
@@ -128,6 +139,7 @@ func NSGA2(obj VectorObjective, lo, hi []float64, opts *NSGA2Options) (NSGA2Resu
 			em.done(evals, minFirstObjective(parents))
 			return frontOf(parents, evals), err
 		}
+		em.beginGen()
 		// Variation first (all RNG draws, in index order), then one batch
 		// evaluation of the offspring.
 		batchX = batchX[:0]

@@ -159,7 +159,7 @@ func RunCampaign(d *device.PHEMT, cfg CampaignConfig) (*Dataset, error) {
 	if len(cfg.Freqs) == 0 || len(cfg.Biases) == 0 {
 		return nil, fmt.Errorf("%w: campaign needs freqs and biases", ErrBadConfig)
 	}
-	endSpan := obs.StartSpan(cfg.Observer, "vna.campaign")
+	_, endSpan := obs.StartSpan(cfg.Observer, "vna.campaign")
 	v := NewVNA(cfg.Seed)
 	if cfg.SigmaS > 0 {
 		v.SigmaAbs = cfg.SigmaS
