@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 0.2s
 FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos verify-invariants fuzz-smoke trace-smoke
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke
 
 # verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build, the full test suite, and a race pass over the concurrently-exercised
@@ -34,7 +34,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments ./internal/verify
+	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments ./internal/serve ./internal/verify
 
 # verify-invariants runs the correctness harness: the physics-invariant
 # sweeps and differential cross-checks of internal/verify, plus the
@@ -65,10 +65,38 @@ trace-smoke:
 	grep -q '"traceEvents"' "$$tmp/trace.json" && \
 	echo "trace-smoke: OK ($$(wc -c < "$$tmp/trace.json") bytes of trace JSON)"
 
+# servd-smoke boots a real lnaservd on a loopback port, drives it with
+# lnaload for a few seconds of multi-tenant traffic, and asserts that jobs
+# were accepted, the queue stayed healthy, and SIGTERM drains cleanly
+# ("restart resumes the queue" is the daemon's last word on success).
+servd-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/lnaservd" ./cmd/lnaservd; \
+	$(GO) build -o "$$tmp/lnaload" ./cmd/lnaload; \
+	"$$tmp/lnaservd" -addr 127.0.0.1:18406 -dir "$$tmp/data" -workers 2 \
+		> /dev/null 2> "$$tmp/servd.log" & pid=$$!; \
+	trap 'kill "$$pid" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18406/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	"$$tmp/lnaload" -url http://127.0.0.1:18406 -duration 3s -tenants smoke:4 > "$$tmp/load.txt"; \
+	cat "$$tmp/load.txt"; \
+	grep -Eq 'smoke +[0-9]+ +[1-9]' "$$tmp/load.txt"; \
+	grep -q '"state":"ready"' "$$tmp/load.txt"; \
+	kill -TERM "$$pid"; wait "$$pid"; \
+	grep -q 'restart resumes the queue' "$$tmp/servd.log"; \
+	echo "servd-smoke: OK"
+
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.
 chaos:
 	$(GO) test -race -count=1 ./internal/resilience/...
+
+# chaos-servd runs the job-server chaos proofs — SIGKILL crash recovery,
+# bit-identical checkpoint resume, journal corruption with bounded loss,
+# poisoned objectives, and clock skew — under the race detector.
+chaos-servd:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/
 
 # bench appends the next BENCH_<n>.json point to the benchmark trajectory;
 # bench-gate compares the two newest points and fails on a >10% ns/op

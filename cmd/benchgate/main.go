@@ -114,6 +114,26 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// readPoint loads one trajectory point, labelling any failure with the
+// point's role in the comparison and what the operator can do about it: a
+// gate that dies with a bare unmarshal error in CI wastes a round trip.
+func readPoint(role, flagName, path string) (benchjson.File, error) {
+	f, err := benchjson.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return f, fmt.Errorf("%s point %s does not exist — run `benchgate run` to record it, or point %s at an existing BENCH_<n>.json: %w",
+			role, path, flagName, err)
+	case err != nil:
+		return f, fmt.Errorf("%s point %s is not a valid BENCH_<n>.json — delete it and re-record with `benchgate run` (or pick another via %s): %w",
+			role, path, flagName, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("%s point %s holds no benchmarks (truncated write or hand edit?) — delete it and re-record with `benchgate run`",
+			role, path)
+	}
+	return f, nil
+}
+
 func compare(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -144,11 +164,11 @@ func compare(args []string, stdout, stderr io.Writer) error {
 			*oldPath = paths[len(paths)-1]
 		}
 	}
-	oldF, err := benchjson.ReadFile(*oldPath)
+	oldF, err := readPoint("baseline", "-old", *oldPath)
 	if err != nil {
 		return err
 	}
-	newF, err := benchjson.ReadFile(*newPath)
+	newF, err := readPoint("candidate", "-new", *newPath)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -84,6 +85,48 @@ func TestCompareEmptyDirErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if err := run([]string{"compare", "-dir", t.TempDir()}, &out, &errb); err == nil {
 		t.Fatal("empty trajectory dir accepted")
+	}
+}
+
+// A missing or unparseable trajectory point must name the offending file
+// and tell the operator how to recover, not surface a bare library error.
+func TestCompareActionableErrors(t *testing.T) {
+	dir := t.TempDir()
+	writePoint(t, dir, "BENCH_0.json", map[string]float64{"BenchmarkA": 1000})
+	missing := filepath.Join(dir, "BENCH_9.json")
+
+	var out, errb strings.Builder
+	err := run([]string{"compare",
+		"-old", filepath.Join(dir, "BENCH_0.json"), "-new", missing}, &out, &errb)
+	if err == nil {
+		t.Fatal("missing candidate accepted")
+	}
+	for _, want := range []string{missing, "candidate", "benchgate run", "-new"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing-file error %q lacks %q", err, want)
+		}
+	}
+
+	corrupt := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(corrupt, []byte(`{"schema":1,"benchmarks":[{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"compare", "-dir", dir}, &out, &errb)
+	if err == nil {
+		t.Fatal("corrupt candidate accepted")
+	}
+	for _, want := range []string{corrupt, "candidate", "benchgate run"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("corrupt-file error %q lacks %q", err, want)
+		}
+	}
+
+	// Parseable but empty counts as damage too: a zero-benchmark baseline
+	// would make every gate vacuously pass.
+	writePoint(t, dir, "BENCH_1.json", nil)
+	err = run([]string{"compare", "-dir", dir}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "no benchmarks") {
+		t.Fatalf("empty point error = %v, want mention of no benchmarks", err)
 	}
 }
 

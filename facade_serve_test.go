@@ -1,0 +1,77 @@
+package gnsslna
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The facade job server runs the full submit → execute → result loop over
+// HTTP: a quick design job submitted to POST /jobs reaches succeeded and its
+// result document is retrievable, and Shutdown drains cleanly.
+func TestStartJobServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real quick design job")
+	}
+	js, err := StartJobServer(JobServerOptions{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := js.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	spec, _ := json.Marshal(map[string]any{
+		"type": "design", "tenant": "facade", "seed": 1, "quick": true,
+	})
+	resp, err := http.Post(js.URL()+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: status %d, job %+v", resp.StatusCode, job)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for job.State != "succeeded" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", job.ID, job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		r, err := http.Get(js.URL() + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(fmt.Sprintf("%s/jobs/%s/result", js.URL(), job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"design"`)) {
+		t.Fatalf("result: status %d body %.200s", r.StatusCode, body)
+	}
+}

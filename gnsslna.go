@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"strings"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"gnsslna/internal/obs"
 	"gnsslna/internal/optim"
 	"gnsslna/internal/resilience"
+	"gnsslna/internal/serve"
 	"gnsslna/internal/vna"
 )
 
@@ -294,3 +297,74 @@ func RunExperiment(id string, opts Options) (string, error) {
 
 // AttainOptions exposes the optimizer budget type for advanced callers.
 type AttainOptions = optim.AttainOptions
+
+// JobServerOptions configures StartJobServer, the embedded
+// design-as-a-service endpoint (the same engine cmd/lnaservd runs).
+type JobServerOptions struct {
+	// Dir is the data root: the durable queue journal and job artifacts
+	// live under it, and a restart over the same directory resumes every
+	// acknowledged job.
+	Dir string
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Workers sizes the job worker fleet (minimum 1).
+	Workers int
+	// Retries is the per-job attempt budget on transient failure
+	// (0: single attempt).
+	Retries int
+}
+
+// JobServer is a running design-as-a-service endpoint: jobs submitted to
+// POST {URL}/jobs survive crashes, pass admission control and execute on a
+// worker fleet. See cmd/lnaservd for the full API and operational story.
+type JobServer struct {
+	srv  *serve.Server
+	http *http.Server
+	addr string
+}
+
+// StartJobServer opens the durable job queue under opts.Dir (recovering any
+// previous state), starts the worker fleet, and listens on opts.Addr.
+// Callers own shutdown: defer Shutdown to drain gracefully.
+func StartJobServer(opts JobServerOptions) (*JobServer, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("gnsslna: JobServerOptions.Dir required")
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	s, err := serve.New(serve.Options{
+		Dir:     opts.Dir,
+		Workers: opts.Workers,
+		Retry:   resilience.RetryPolicy{MaxAttempts: opts.Retries},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gnsslna: job server: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		return nil, fmt.Errorf("gnsslna: job server: %w", err)
+	}
+	s.Start()
+	js := &JobServer{srv: s, http: &http.Server{Handler: s.Handler()}, addr: ln.Addr().String()}
+	go func() { _ = js.http.Serve(ln) }()
+	return js, nil
+}
+
+// URL returns the server's base URL (http://host:port).
+func (js *JobServer) URL() string { return "http://" + js.addr }
+
+// Shutdown drains the server: /healthz degrades to draining, new
+// submissions are refused, in-flight jobs checkpoint and re-queue for the
+// next start, and the queue journal closes cleanly. Bounded by ctx.
+func (js *JobServer) Shutdown(ctx context.Context) error {
+	err := js.srv.Shutdown(ctx)
+	if herr := js.http.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// TruncateTail chops the final n bytes off path, reproducing a crash that
+// tore the last append mid-write. It refuses to truncate past the start.
+func TruncateTail(path string, n int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("chaostest: truncate tail: %w", err)
+	}
+	keep := st.Size() - n
+	if keep < 0 {
+		keep = 0
+	}
+	if err := os.Truncate(path, keep); err != nil {
+		return fmt.Errorf("chaostest: truncate tail: %w", err)
+	}
+	return nil
+}
+
+// CorruptByte XORs the byte at offset with mask (offset counts from the end
+// when negative), reproducing silent bit rot inside a journal segment.
+func CorruptByte(path string, offset int64, mask byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("chaostest: corrupt byte: %w", err)
+	}
+	defer f.Close()
+	if offset < 0 {
+		st, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("chaostest: corrupt byte: %w", err)
+		}
+		offset += st.Size()
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return fmt.Errorf("chaostest: corrupt byte: %w", err)
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return fmt.Errorf("chaostest: corrupt byte: %w", err)
+	}
+	return nil
+}
+
+// SkewClock is a deterministic misbehaving clock: each Now call consumes the
+// next delta from the schedule (negative deltas are backwards jumps — NTP
+// steps, VM migrations) and after the schedule drains it ticks forward by
+// Tick per read. The zero Tick defaults to one millisecond so time never
+// stalls silently.
+type SkewClock struct {
+	mu       sync.Mutex
+	t        time.Time
+	schedule []time.Duration
+	// Tick advances the clock per read once the schedule is consumed.
+	Tick time.Duration
+}
+
+// NewSkewClock starts a skewing clock at base with the given per-read
+// deltas.
+func NewSkewClock(base time.Time, schedule ...time.Duration) *SkewClock {
+	return &SkewClock{t: base, schedule: schedule}
+}
+
+// Now returns the next reading of the skewing clock.
+func (c *SkewClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.schedule) > 0 {
+		c.t = c.t.Add(c.schedule[0])
+		c.schedule = c.schedule[1:]
+	} else {
+		tick := c.Tick
+		if tick <= 0 {
+			tick = time.Millisecond
+		}
+		c.t = c.t.Add(tick)
+	}
+	return c.t
+}

@@ -26,7 +26,12 @@ type CheckpointRecord struct {
 }
 
 // SaveCheckpoint appends one stage record to the JSONL checkpoint at path,
-// creating the file when missing.
+// creating the file when missing. The write is atomic: the existing records
+// plus the new one are written to a temp file in the same directory, synced,
+// and renamed over path, so a crash at any instant leaves either the old
+// complete checkpoint or the new complete checkpoint — never a torn file.
+// An abandoned temp file from a killed write is ignored by readers (they
+// only open path) and overwritten by the next save.
 func SaveCheckpoint(path, stage string, seed int64, quick bool, state any) error {
 	raw, err := json.Marshal(state)
 	if err != nil {
@@ -36,17 +41,41 @@ func SaveCheckpoint(path, stage string, seed int64, quick bool, state any) error
 	if err != nil {
 		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	if len(prev) > 0 && prev[len(prev)-1] != '\n' {
+		// A pre-atomic writer could have left a torn tail; terminating it
+		// keeps the appended record on its own line (readers degrade on the
+		// torn line itself).
+		prev = append(prev, '\n')
+	}
+	buf := append(prev, line...)
+	buf = append(buf, '\n')
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
 	}
-	_, werr := f.Write(append(line, '\n'))
-	cerr := f.Close()
-	if werr != nil {
-		return fmt.Errorf("resilience: checkpoint %s: %w", stage, werr)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
 	}
-	if cerr != nil {
-		return fmt.Errorf("resilience: checkpoint %s: %w", stage, cerr)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: checkpoint %s: %w", stage, err)
 	}
 	return nil
 }

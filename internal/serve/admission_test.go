@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped clock for admission tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time           { return c.t }
+func (c *fakeClock) advance(d time.Duration)  { c.t = c.t.Add(d) }
+func (c *fakeClock) stepBack(d time.Duration) { c.t = c.t.Add(-d) }
+func newFakeClock() *fakeClock                { return &fakeClock{t: time.UnixMilli(1_700_000_000_000)} }
+
+func TestAdmissionRateLimitAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(map[string]TenantPolicy{
+		"a": {RatePerSec: 1, Burst: 2},
+	}, TenantPolicy{}, nil, clk.now)
+
+	spec := quickSpec("a")
+	for i := 0; i < 2; i++ {
+		if err := a.Admit(&spec); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	err := a.Admit(&spec)
+	oq, ok := AsOverQuota(err)
+	if !ok || oq.Quota != "rate" || oq.Tenant != "a" {
+		t.Fatalf("over-burst admit: err=%v, want rate OverQuota for tenant a", err)
+	}
+	if oq.RetryAfter <= 0 || oq.RetryAfter > 2*time.Second {
+		t.Fatalf("RetryAfter = %s, want a positive horizon near 1s", oq.RetryAfter)
+	}
+
+	// One token refills after one second at rate 1/s.
+	clk.advance(time.Second)
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+
+	// A different tenant is untouched by tenant a's exhaustion.
+	other := quickSpec("b")
+	if err := a.Admit(&other); err != nil {
+		t.Fatalf("independent tenant rejected: %v", err)
+	}
+}
+
+func TestAdmissionDeterministicRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(map[string]TenantPolicy{"a": {RatePerSec: 2, Burst: 1}}, TenantPolicy{}, nil, clk.now)
+	spec := quickSpec("a")
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := a.Admit(&spec)
+	oq, ok := AsOverQuota(err)
+	if !ok {
+		t.Fatalf("err = %v, want OverQuota", err)
+	}
+	// Empty bucket at 2 tokens/s: exactly 500ms to the next token. The
+	// horizon is computed, not guessed, so it is exact under a fake clock.
+	if oq.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %s, want 500ms", oq.RetryAfter)
+	}
+}
+
+func TestAdmissionClockSkewFreezesRefill(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(map[string]TenantPolicy{"a": {RatePerSec: 1, Burst: 1}}, TenantPolicy{}, nil, clk.now)
+	spec := quickSpec("a")
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+
+	// The clock steps backwards an hour (NTP slew). A naive bucket would
+	// compute a negative or giant dt; ours must neither panic nor grant.
+	clk.stepBack(time.Hour)
+	if err := a.Admit(&spec); err == nil {
+		t.Fatal("backwards clock granted a token")
+	}
+
+	// Refill resumes from the new (earlier) time base.
+	clk.advance(time.Second)
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("refill after re-anchor: %v", err)
+	}
+}
+
+func TestAdmissionInFlightQuota(t *testing.T) {
+	inflight := 0
+	a := NewAdmission(map[string]TenantPolicy{
+		"a": {RatePerSec: 100, Burst: 1, MaxInFlight: 2},
+	}, TenantPolicy{}, func(string) int { return inflight }, newFakeClock().now)
+
+	spec := quickSpec("a")
+	inflight = 2
+	err := a.Admit(&spec)
+	oq, ok := AsOverQuota(err)
+	if !ok || oq.Quota != "in-flight" {
+		t.Fatalf("at quota: err=%v, want in-flight OverQuota", err)
+	}
+
+	// The in-flight rejection must not have consumed a rate token: the
+	// bucket still holds its single burst token.
+	inflight = 1
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("below quota after rejection: %v", err)
+	}
+}
+
+func TestAdmissionClampsEvalBudget(t *testing.T) {
+	a := NewAdmission(map[string]TenantPolicy{"a": {MaxEvalsPerJob: 1000}}, TenantPolicy{}, nil, nil)
+
+	// Unset budget inherits the tenant cap.
+	spec := quickSpec("a")
+	if err := a.Admit(&spec); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if spec.MaxEvals != 1000 {
+		t.Fatalf("unset MaxEvals = %d, want tenant cap 1000", spec.MaxEvals)
+	}
+
+	// An over-cap request is clamped down.
+	spec = quickSpec("a")
+	spec.MaxEvals = 50_000
+	_ = a.Admit(&spec)
+	if spec.MaxEvals != 1000 {
+		t.Fatalf("over-cap MaxEvals = %d, want clamped 1000", spec.MaxEvals)
+	}
+
+	// An under-cap request is the client's to make.
+	spec = quickSpec("a")
+	spec.MaxEvals = 10
+	_ = a.Admit(&spec)
+	if spec.MaxEvals != 10 {
+		t.Fatalf("under-cap MaxEvals = %d, want 10 preserved", spec.MaxEvals)
+	}
+}
+
+func TestAdmissionDefaultPolicyAdmitsUnknownTenants(t *testing.T) {
+	a := NewAdmission(map[string]TenantPolicy{"a": {RatePerSec: 0.001, Burst: 1}}, TenantPolicy{}, nil, nil)
+	spec := quickSpec("nobody-configured-me")
+	for i := 0; i < 100; i++ {
+		if err := a.Admit(&spec); err != nil {
+			t.Fatalf("zero default policy rejected submit %d: %v", i, err)
+		}
+	}
+}

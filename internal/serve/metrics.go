@@ -1,0 +1,55 @@
+package serve
+
+import "gnsslna/internal/obs"
+
+// Metrics lands the fleet's health in the shared obs registry, where the
+// export server renders it as the per-tenant gnsslna_jobs_* Prometheus
+// families: counters "jobs.<outcome>.<tenant>", the queue gauges
+// "jobs.queue.depth"/"jobs.running", and the per-tenant latency and
+// queue-wait histograms. A nil *Metrics is a no-op, so the queue and fleet
+// never branch on observability being configured.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics wraps a registry (nil registry yields a no-op Metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{reg: reg}
+}
+
+// inc bumps the per-tenant outcome counter plus the all-tenant total.
+func (m *Metrics) inc(name, tenant string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(name + "." + tenant).Inc()
+	m.reg.Counter(name).Inc()
+}
+
+// setGauges refreshes the queue-shape gauges.
+func (m *Metrics) setGauges(q *Queue) {
+	if m == nil || q == nil {
+		return
+	}
+	m.reg.Gauge("jobs.queue.depth").Set(float64(q.Depth()))
+	m.reg.Gauge("jobs.running").Set(float64(q.RunningCount()))
+}
+
+// observeLatency records one job's wall time (milliseconds) for the tenant.
+func (m *Metrics) observeLatency(tenant string, ms float64) {
+	if m == nil {
+		return
+	}
+	m.reg.Histogram("jobs.latency_ms." + tenant).Observe(ms)
+}
+
+// observeQueueWait records how long a job waited before a worker claimed it.
+func (m *Metrics) observeQueueWait(tenant string, ms float64) {
+	if m == nil {
+		return
+	}
+	m.reg.Histogram("jobs.queue_wait_ms." + tenant).Observe(ms)
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testContext(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestQueueLifecycleAndDurability(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueOptions{})
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	ctx := testContext(t)
+
+	j := mustSubmit(t, q, quickSpec("acme"))
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	claimed, err := q.Claim(ctx)
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if claimed.ID != j.ID || claimed.Attempt != 1 {
+		t.Fatalf("claimed = %+v", claimed)
+	}
+	if _, err := q.Complete(j.ID, json.RawMessage(`{"gamma":-0.1}`)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateSucceeded || string(got.Result) != `{"gamma":-0.1}` {
+		t.Fatalf("terminal job = %+v", got)
+	}
+	q.Close()
+
+	// Cold restart: the terminal state survives.
+	q2, err := OpenQueue(dir, QueueOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q2.Close()
+	got, err = q2.Get(j.ID)
+	if err != nil || got.State != StateSucceeded {
+		t.Fatalf("after restart: job=%+v err=%v", got, err)
+	}
+}
+
+func TestQueueRecoveryResumesRunning(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := OpenQueue(dir, QueueOptions{})
+	ctx := testContext(t)
+	j := mustSubmit(t, q, quickSpec("a"))
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// Crash: no Close, no terminal transition. Reopen the journal.
+	q.wal.f.Close()
+
+	q2, err := OpenQueue(dir, QueueOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q2.Close()
+	rep := q2.Recovery()
+	if rep.Resumed != 1 || rep.Queued != 0 {
+		t.Fatalf("recovery = %+v, want 1 resumed", rep)
+	}
+	re, err := q2.Claim(ctx)
+	if err != nil {
+		t.Fatalf("re-Claim: %v", err)
+	}
+	if re.ID != j.ID || !re.Resumed || re.Attempt != 2 {
+		t.Fatalf("resumed job = %+v, want same ID, Resumed, attempt 2", re)
+	}
+}
+
+func TestQueuePriorityOrderAndFIFO(t *testing.T) {
+	q, _ := OpenQueue(t.TempDir(), QueueOptions{})
+	defer q.Close()
+	ctx := testContext(t)
+	low1 := mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 0})
+	low2 := mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 0})
+	high := mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 5})
+	order := []string{}
+	for i := 0; i < 3; i++ {
+		j, err := q.Claim(ctx)
+		if err != nil {
+			t.Fatalf("Claim: %v", err)
+		}
+		order = append(order, j.ID)
+	}
+	want := []string{high.ID, low1.ID, low2.ID}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("claim order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueBoundedDepthShedsLowestPriority(t *testing.T) {
+	q, _ := OpenQueue(t.TempDir(), QueueOptions{MaxDepth: 3})
+	defer q.Close()
+	a := mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 1})
+	mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 2})
+	b := mustSubmit(t, q, JobSpec{Type: TypeDesign, Priority: 0})
+
+	// Same priority as the lowest queued: reject, never shed an equal.
+	if _, err := q.Submit(JobSpec{Type: TypeDesign, Priority: 0}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("equal-priority submit on full queue: err=%v, want ErrQueueFull", err)
+	}
+
+	// Higher priority: the lowest-priority newest job is shed to make room.
+	res, err := q.Submit(JobSpec{Type: TypeDesign, Priority: 3})
+	if err != nil {
+		t.Fatalf("priority submit on full queue: %v", err)
+	}
+	if res.Shed == nil || res.Shed.ID != b.ID {
+		t.Fatalf("shed = %+v, want job %s (lowest priority, newest)", res.Shed, b.ID)
+	}
+	shed, _ := q.Get(b.ID)
+	if shed.State != StateShed {
+		t.Fatalf("victim state = %s, want shed", shed.State)
+	}
+	if q.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3 (still bounded)", q.Depth())
+	}
+	// Un-shed jobs unaffected.
+	if got, _ := q.Get(a.ID); got.State != StateQueued {
+		t.Fatalf("bystander state = %s", got.State)
+	}
+}
+
+func TestQueueDedupeKeyIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := OpenQueue(dir, QueueOptions{})
+	ctx := testContext(t)
+	spec := JobSpec{Type: TypeDesign, DedupeKey: "design-seed-1"}
+	first := mustSubmit(t, q, spec)
+	res, err := q.Submit(spec)
+	if err != nil || !res.Deduped || res.Job.ID != first.ID {
+		t.Fatalf("dup submit: res=%+v err=%v, want dedupe to %s", res, err, first.ID)
+	}
+
+	// Run it to completion, crash, recover: the key still maps to the
+	// terminal job, so a resubmission cannot run it twice.
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if _, err := q.Complete(first.ID, json.RawMessage(`{}`)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	q.wal.f.Close() // crash
+
+	q2, err := OpenQueue(dir, QueueOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q2.Close()
+	res, err = q2.Submit(spec)
+	if err != nil || !res.Deduped || res.Job.ID != first.ID || res.Job.State != StateSucceeded {
+		t.Fatalf("post-crash dup submit = %+v err=%v, want dedupe to terminal %s", res.Job, err, first.ID)
+	}
+	if q2.Depth() != 0 {
+		t.Fatal("deduped submit enqueued a second run")
+	}
+}
+
+func TestQueueCancelQueuedAndRunning(t *testing.T) {
+	q, _ := OpenQueue(t.TempDir(), QueueOptions{})
+	defer q.Close()
+	ctx := testContext(t)
+
+	j1 := mustSubmit(t, q, quickSpec("a"))
+	if _, err := q.Cancel(j1.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if got, _ := q.Get(j1.ID); got.State != StateCanceled {
+		t.Fatalf("state = %s", got.State)
+	}
+	if q.Depth() != 0 {
+		t.Fatal("canceled job still pending")
+	}
+
+	j2 := mustSubmit(t, q, quickSpec("a"))
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if _, err := q.Cancel(j2.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if _, err := q.Cancel(j2.ID); !errors.Is(err, ErrNotCancelable) {
+		t.Fatalf("double cancel err = %v, want ErrNotCancelable", err)
+	}
+	// Terminal states never transition, even via Complete.
+	if got, _ := q.Complete(j2.ID, json.RawMessage(`{}`)); got.State != StateCanceled {
+		t.Fatalf("Complete after cancel flipped state to %s", got.State)
+	}
+}
+
+func TestQueueClaimBlocksUntilSubmit(t *testing.T) {
+	q, _ := OpenQueue(t.TempDir(), QueueOptions{})
+	defer q.Close()
+	ctx := testContext(t)
+	done := make(chan *Job, 1)
+	go func() {
+		j, err := q.Claim(ctx)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- j
+	}()
+	time.Sleep(20 * time.Millisecond)
+	want := mustSubmit(t, q, quickSpec("a"))
+	select {
+	case got := <-done:
+		if got == nil || got.ID != want.ID {
+			t.Fatalf("claimed %+v, want %s", got, want.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Claim never woke up")
+	}
+}
+
+func TestQueueRequeueForResume(t *testing.T) {
+	q, _ := OpenQueue(t.TempDir(), QueueOptions{})
+	defer q.Close()
+	ctx := testContext(t)
+	j := mustSubmit(t, q, quickSpec("a"))
+	if _, err := q.Claim(ctx); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := q.Requeue(j.ID); err != nil {
+		t.Fatalf("Requeue: %v", err)
+	}
+	if q.RunningCount() != 0 || q.Depth() != 1 {
+		t.Fatalf("running=%d depth=%d after requeue", q.RunningCount(), q.Depth())
+	}
+	re, err := q.Claim(ctx)
+	if err != nil || re.ID != j.ID || !re.Resumed {
+		t.Fatalf("re-claim = %+v err=%v", re, err)
+	}
+}

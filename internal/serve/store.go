@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the filesystem artifact store: one directory per job holding its
+// resilience checkpoints, run journal and result document, plus a
+// dead-letter area quarantined jobs are moved into with everything they
+// wrote — the forensic record a poisoned job leaves behind.
+type Store struct {
+	root string
+}
+
+// NewStore roots the artifact store at dir, creating the layout.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{root: dir}
+	for _, d := range []string{s.jobsDir(), s.DeadLetterDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: artifact store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) jobsDir() string { return filepath.Join(s.root, "jobs") }
+
+// DeadLetterDir is where quarantined jobs' artifacts land.
+func (s *Store) DeadLetterDir() string { return filepath.Join(s.root, "deadletter") }
+
+// JobDir returns (creating) the artifact directory of one job. The
+// checkpoint file inside it is what makes a crash-resumed run bit-identical:
+// the rerun restores every completed stage instead of recomputing it.
+func (s *Store) JobDir(id string) (string, error) {
+	d := filepath.Join(s.jobsDir(), id)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return "", fmt.Errorf("serve: job dir: %w", err)
+	}
+	return d, nil
+}
+
+// CheckpointPath names the job's resilience checkpoint file.
+func (s *Store) CheckpointPath(id string) (string, error) {
+	d, err := s.JobDir(id)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(d, "checkpoint.jsonl"), nil
+}
+
+// WriteResult atomically persists the job's result document
+// (temp-file+rename, same discipline as the checkpoints).
+func (s *Store) WriteResult(id string, result []byte) error {
+	d, err := s.JobDir(id)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(d, "result.json")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, result, 0o644); err != nil {
+		return fmt.Errorf("serve: write result: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: write result: %w", err)
+	}
+	return nil
+}
+
+// ReadResult returns the persisted result document.
+func (s *Store) ReadResult(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.jobsDir(), id, "result.json"))
+}
+
+// Quarantine moves the job's artifact directory into the dead-letter area
+// and records the reason alongside, so the poisoned run's checkpoints and
+// journals travel with it.
+func (s *Store) Quarantine(id, reason string) error {
+	src := filepath.Join(s.jobsDir(), id)
+	dst := filepath.Join(s.DeadLetterDir(), id)
+	if _, err := os.Stat(src); os.IsNotExist(err) {
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			return fmt.Errorf("serve: quarantine: %w", err)
+		}
+	} else if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("serve: quarantine: %w", err)
+	}
+	reasonPath := filepath.Join(dst, "reason.txt")
+	if err := os.WriteFile(reasonPath, []byte(reason+"\n"), 0o644); err != nil {
+		return fmt.Errorf("serve: quarantine: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// walRecord is one line of the queue's write-ahead journal. Op "submit"
+// carries the full job at admission, "state" a lifecycle transition, and
+// "snapshot" opens a compacted segment: it resets replay state and carries
+// one live job per following "submit" record.
+type walRecord struct {
+	Op string `json:"op"`
+	// Job is the full job for submit records (and recovery snapshots).
+	Job *Job `json:"job,omitempty"`
+	// ID/State/Attempt/Error/Result/TMS describe a state transition.
+	ID      string          `json:"id,omitempty"`
+	State   JobState        `json:"state,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	TMS     int64           `json:"t_ms,omitempty"`
+}
+
+// TailError reports a journal segment whose tail could not be parsed —
+// typically a crash mid-append or a truncated file. Records before Line
+// were recovered; the loss is bounded to the torn tail. It mirrors the
+// replay.TailError contract so queue recovery degrades exactly the way
+// journal analytics do.
+type TailError struct {
+	// Segment is the base name of the damaged segment file.
+	Segment string
+	// Line is the 1-based line number of the first unparseable line.
+	Line int
+	// Err is the underlying parse error.
+	Err error
+}
+
+// Error implements error.
+func (e *TailError) Error() string {
+	return fmt.Sprintf("serve: queue segment %s tail corrupt at line %d: %v", e.Segment, e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *TailError) Unwrap() error { return e.Err }
+
+// AsTailError unwraps err to a *TailError, if one is in the chain.
+func AsTailError(err error) (*TailError, bool) {
+	var te *TailError
+	if errors.As(err, &te) {
+		return te, true
+	}
+	return nil, false
+}
+
+const (
+	segPrefix = "queue-"
+	segSuffix = ".jsonl"
+	// defaultMaxSegBytes triggers compaction: once the active segment
+	// outgrows this, the live set is snapshotted into a fresh segment.
+	defaultMaxSegBytes = 4 << 20
+)
+
+// segName formats the canonical segment file name for ordinal n.
+func segName(n int) string { return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix) }
+
+// segOrdinal parses a segment file name, reporting ok=false for foreign
+// files.
+func segOrdinal(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// wal is the queue's segmented write-ahead journal. Appends go to the
+// highest-ordinal segment and are flushed (and optionally fsynced) before
+// Submit acknowledges, which is what "acknowledged jobs are never lost"
+// means mechanically. Rotation writes a compacted snapshot segment via
+// temp-file+rename — atomic on POSIX — then deletes the older segments, so
+// a crash during rotation leaves either the old segment chain or the new
+// snapshot plus possibly-stale older segments that replay harmlessly (the
+// snapshot record resets replay state).
+type wal struct {
+	dir     string
+	f       *os.File
+	seg     int
+	size    int64
+	maxSeg  int64
+	noSync  bool
+	tainted error
+}
+
+// openWAL opens (creating if needed) the journal under dir and replays
+// every segment in ordinal order. Torn tails degrade: complete records are
+// returned along with the accumulated []*TailError naming each loss.
+func openWAL(dir string, maxSegBytes int64, noSync bool) (*wal, []walRecord, []*TailError, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: queue dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: queue dir: %w", err)
+	}
+	var ordinals []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := segOrdinal(e.Name()); ok {
+			ordinals = append(ordinals, n)
+		}
+	}
+	sort.Ints(ordinals)
+
+	var recs []walRecord
+	var losses []*TailError
+	var activeGood int64
+	var activeTorn bool
+	for i, n := range ordinals {
+		segRecs, good, terr := readSegment(filepath.Join(dir, segName(n)))
+		if terr != nil {
+			losses = append(losses, terr)
+		}
+		if i == len(ordinals)-1 {
+			activeGood, activeTorn = good, terr != nil
+		}
+		for _, r := range segRecs {
+			if r.Op == "snapshot" {
+				// A compaction point: everything before it is superseded.
+				recs = recs[:0]
+			}
+			recs = append(recs, r)
+		}
+	}
+
+	seg := 1
+	if len(ordinals) > 0 {
+		seg = ordinals[len(ordinals)-1]
+	}
+	path := filepath.Join(dir, segName(seg))
+	if activeTorn {
+		// Cut the torn tail off the active segment so the next append never
+		// fuses with it into one garbage line. The loss is already recorded;
+		// truncation just makes the on-disk bytes match what replay kept.
+		if err := os.Truncate(path, activeGood); err != nil {
+			return nil, nil, nil, fmt.Errorf("serve: queue segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: queue segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("serve: queue segment: %w", err)
+	}
+	if maxSegBytes <= 0 {
+		maxSegBytes = defaultMaxSegBytes
+	}
+	w := &wal{dir: dir, f: f, seg: seg, size: st.Size(), maxSeg: maxSegBytes, noSync: noSync}
+	if st.Size() > 0 && !endsWithNewline(path, st.Size()) {
+		// A complete final record without its newline (write torn exactly at
+		// the boundary): terminate it so the next append starts a fresh line.
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("serve: queue segment: %w", err)
+		}
+		w.size++
+	}
+	return w, recs, losses, nil
+}
+
+// endsWithNewline reads back the final byte of path.
+func endsWithNewline(path string, size int64) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], size-1); err != nil {
+		return false
+	}
+	return b[0] == '\n'
+}
+
+// readSegment parses one JSONL segment, returning every complete record,
+// the byte length of the complete-record prefix, and a *TailError when the
+// tail is torn — never failing the whole recovery for a bounded tail loss.
+func readSegment(path string) ([]walRecord, int64, *TailError) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, &TailError{Segment: filepath.Base(path), Line: 0, Err: err}
+	}
+	var out []walRecord
+	var good int64
+	line := 0
+	for off := 0; off < len(data); {
+		line++
+		raw := data[off:]
+		next := len(data)
+		if nl := bytes.IndexByte(raw, '\n'); nl >= 0 {
+			raw = raw[:nl]
+			next = off + nl + 1
+		}
+		if len(bytes.TrimSpace(raw)) > 0 {
+			var rec walRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return out, good, &TailError{Segment: filepath.Base(path), Line: line, Err: err}
+			}
+			out = append(out, rec)
+		}
+		off, good = next, int64(next)
+	}
+	return out, good, nil
+}
+
+// append writes one record durably. The append is acknowledged only after
+// the OS write (and fsync unless noSync) succeeds; a failed append taints
+// the WAL so the queue stops acknowledging work it cannot make durable.
+func (w *wal) append(rec walRecord) error {
+	if w.tainted != nil {
+		return w.tainted
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		w.tainted = fmt.Errorf("serve: journal append: %w", err)
+		return w.tainted
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			w.tainted = fmt.Errorf("serve: journal sync: %w", err)
+			return w.tainted
+		}
+	}
+	w.size += int64(len(line))
+	return nil
+}
+
+// shouldRotate reports whether the active segment outgrew the cap.
+func (w *wal) shouldRotate() bool { return w.size >= w.maxSeg }
+
+// rotate compacts the journal: the caller passes every job worth keeping
+// (live jobs plus recent terminals for status queries) and rotate writes
+// them as a snapshot segment with ordinal seg+1 via temp-file+rename, then
+// retires the older segments. A crash anywhere in between is safe:
+//   - before the rename: the temp file is ignored by recovery (wrong name);
+//   - after the rename, before the deletes: the old segments replay first
+//     and the snapshot record then resets replay state.
+func (w *wal) rotate(keep []*Job) error {
+	if w.tainted != nil {
+		return w.tainted
+	}
+	next := w.seg + 1
+	final := filepath.Join(w.dir, segName(next))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: rotate: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	write := func(rec walRecord) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		_, err = bw.Write(line)
+		return err
+	}
+	werr := write(walRecord{Op: "snapshot"})
+	for _, j := range keep {
+		if werr != nil {
+			break
+		}
+		werr = write(walRecord{Op: "submit", Job: j})
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: rotate: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: rotate: %w", err)
+	}
+
+	// The snapshot is durable; switch appends over and retire the old chain.
+	old, oldSeg := w.f, w.seg
+	nf, err := os.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: rotate: %w", err)
+	}
+	st, err := nf.Stat()
+	if err != nil {
+		nf.Close()
+		return fmt.Errorf("serve: rotate: %w", err)
+	}
+	w.f, w.seg, w.size = nf, next, st.Size()
+	old.Close()
+	for n := oldSeg; n >= 1; n-- {
+		p := filepath.Join(w.dir, segName(n))
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			break // best effort; stale segments replay harmlessly
+		}
+	}
+	return nil
+}
+
+// close releases the active segment handle.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
