@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 0.2s
 FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke soak-smoke
 
 # verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build, the full test suite, and a race pass over the concurrently-exercised
@@ -86,6 +86,32 @@ servd-smoke:
 	kill -TERM "$$pid"; wait "$$pid"; \
 	grep -q 'restart resumes the queue' "$$tmp/servd.log"; \
 	echo "servd-smoke: OK"
+
+# soak-smoke boots lnaservd and drives two equal-policy tenants through
+# lnaload -soak: every accepted job is tracked to its terminal state, the
+# report must carry per-tenant p50/p95/p99 end-to-end latency, and the Jain
+# fairness index over completions must stay >= 0.95 (equal policy on a
+# healthy server means even service).
+soak-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/lnaservd" ./cmd/lnaservd; \
+	$(GO) build -o "$$tmp/lnaload" ./cmd/lnaload; \
+	"$$tmp/lnaservd" -addr 127.0.0.1:18407 -dir "$$tmp/data" -workers 4 \
+		> /dev/null 2> "$$tmp/servd.log" & pid=$$!; \
+	trap 'kill "$$pid" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18407/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	"$$tmp/lnaload" -url http://127.0.0.1:18407 -duration 4s -drain 60s -soak \
+		-tenants alpha:3,beta:3 > "$$tmp/soak.txt"; \
+	cat "$$tmp/soak.txt"; \
+	grep -q 'p50_ms' "$$tmp/soak.txt"; \
+	grep -Eq 'alpha +[0-9]+ +[1-9]' "$$tmp/soak.txt"; \
+	grep -Eq 'beta +[0-9]+ +[1-9]' "$$tmp/soak.txt"; \
+	fair=$$(awk '/^fairness/ {print $$2}' "$$tmp/soak.txt"); \
+	awk -v f="$$fair" 'BEGIN { exit !(f >= 0.95) }'; \
+	kill -TERM "$$pid"; wait "$$pid"; \
+	echo "soak-smoke: OK (fairness $$fair)"
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.

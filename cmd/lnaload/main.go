@@ -15,6 +15,13 @@
 // exit report includes the server's final /healthz document, so an overload
 // run shows the queue depth stayed bounded while the over-quota tenant —
 // and only that tenant — absorbed the 429s.
+//
+// With -soak, the generator additionally tracks every accepted job to its
+// terminal state after the traffic window closes and reports per tenant the
+// end-to-end (submit→done, server-stamped) latency percentiles p50/p95/p99
+// plus a Jain fairness index over per-tenant completions — 1.0 is perfectly
+// even service; equal-policy tenants on a healthy server should stay ≥ 0.95.
+// This is the sustained-load mode `make soak-smoke` drives.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -73,6 +81,8 @@ func main() {
 	tenantsSpec := flag.String("tenants", "burst:20,steady:5,probe:1", "comma list of tenant:ratePerSec")
 	jobType := flag.String("type", "design", "job type to submit (design, extract, sweep)")
 	quick := flag.Bool("quick", true, "submit quick-budget jobs")
+	soak := flag.Bool("soak", false, "track accepted jobs to terminal and report per-tenant latency percentiles + fairness")
+	drain := flag.Duration("drain", 60*time.Second, "soak mode: bound on waiting for accepted jobs to finish")
 	flag.Parse()
 
 	tenants, err := parseTenants(*tenantsSpec)
@@ -87,6 +97,7 @@ func main() {
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var soakJobs []soakJob
 	client := &http.Client{Timeout: 10 * time.Second}
 	stop := time.Now().Add(*duration)
 
@@ -114,11 +125,19 @@ func main() {
 				if err != nil {
 					st.errors++
 				} else {
-					io.Copy(io.Discard, resp.Body)
+					data, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
 					switch resp.StatusCode {
 					case http.StatusAccepted:
 						st.accepted++
+						if *soak {
+							var j struct {
+								ID string `json:"id"`
+							}
+							if json.Unmarshal(data, &j) == nil && j.ID != "" {
+								soakJobs = append(soakJobs, soakJob{tenant: tl.name, id: j.ID})
+							}
+						}
 					case http.StatusOK:
 						st.deduped++
 					case http.StatusTooManyRequests:
@@ -155,6 +174,10 @@ func main() {
 			n, st.submitted, st.accepted, st.deduped, st.rate429, st.refused503, st.errors, avg.Round(time.Microsecond))
 	}
 
+	if *soak {
+		soakReport(client, *url, soakJobs, *drain)
+	}
+
 	// The server's own view closes the report: depth bounded, still ready.
 	resp, err := client.Get(*url + "/healthz")
 	if err == nil {
@@ -162,4 +185,114 @@ func main() {
 		data, _ := io.ReadAll(resp.Body)
 		fmt.Printf("healthz: %s\n", bytes.TrimSpace(data))
 	}
+}
+
+// soakJob is one accepted submission being tracked to its terminal state.
+type soakJob struct{ tenant, id string }
+
+// terminalStates mirrors the server's JobState.Terminal set.
+var terminalStates = map[string]bool{
+	"succeeded": true, "failed": true, "canceled": true, "quarantined": true,
+}
+
+// soakReport polls every accepted job until terminal (or the drain bound),
+// then prints per-tenant end-to-end latency percentiles from the
+// server-stamped submit/done timestamps and the Jain fairness index over
+// per-tenant completion counts.
+func soakReport(client *http.Client, url string, jobs []soakJob, bound time.Duration) {
+	fmt.Printf("soak: tracking %d accepted jobs to terminal (bound %s)\n", len(jobs), bound)
+	type doneJob struct {
+		State       string `json:"state"`
+		SubmittedMS int64  `json:"submitted_ms"`
+		DoneMS      int64  `json:"done_ms"`
+	}
+	latencies := map[string][]float64{}
+	completed := map[string]int{}
+	tenants := map[string]bool{}
+	for _, j := range jobs {
+		tenants[j.tenant] = true
+	}
+	pending := append([]soakJob(nil), jobs...)
+	deadline := time.Now().Add(bound)
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		var still []soakJob
+		for _, j := range pending {
+			resp, err := client.Get(url + "/jobs/" + j.id)
+			if err != nil {
+				still = append(still, j)
+				continue
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var doc doneJob
+			if json.Unmarshal(data, &doc) != nil || !terminalStates[doc.State] {
+				still = append(still, j)
+				continue
+			}
+			completed[j.tenant]++
+			if doc.DoneMS >= doc.SubmittedMS {
+				latencies[j.tenant] = append(latencies[j.tenant], float64(doc.DoneMS-doc.SubmittedMS))
+			}
+		}
+		pending = still
+		if len(pending) > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if n := len(pending); n > 0 {
+		fmt.Printf("soak: %d jobs still not terminal at the drain bound\n", n)
+	}
+
+	names := make([]string, 0, len(tenants))
+	for n := range tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s %9s %9s %9s %9s %9s\n",
+		"tenant", "accepted", "completed", "p50_ms", "p95_ms", "p99_ms")
+	accepted := map[string]int{}
+	for _, j := range jobs {
+		accepted[j.tenant]++
+	}
+	for _, n := range names {
+		lats := append([]float64(nil), latencies[n]...)
+		sort.Float64s(lats)
+		fmt.Printf("%-10s %9d %9d %9.1f %9.1f %9.1f\n",
+			n, accepted[n], completed[n],
+			rankPercentile(lats, 0.50), rankPercentile(lats, 0.95), rankPercentile(lats, 0.99))
+	}
+	fmt.Printf("fairness %.4f (jain index over completed jobs, %d tenants)\n",
+		jainIndex(names, completed), len(names))
+}
+
+// rankPercentile is the exact nearest-rank percentile of a sorted sample set.
+func rankPercentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// jainIndex is Jain's fairness index (sum x)^2 / (n * sum x^2) over the
+// tenants' completion counts: 1.0 is perfectly even service, 1/n is one
+// tenant taking everything. Zero when nothing completed.
+func jainIndex(names []string, completed map[string]int) float64 {
+	var sum, sumSq float64
+	for _, n := range names {
+		x := float64(completed[n])
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 || len(names) == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(names)) * sumSq)
 }

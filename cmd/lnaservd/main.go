@@ -26,10 +26,14 @@
 //	GET  /events           live SSE event stream
 //	GET  /debug/pprof      profiling
 //
-// The -tenants file maps tenant name to admission policy:
+// The -tenants file maps tenant name to admission policy, optionally with
+// service-level objectives (target p99 end-to-end latency in milliseconds and
+// tolerated error-rate fraction) surfaced as jobs.slo.* burn-rate gauges on
+// /metrics and in the /healthz document:
 //
 //	{"acme": {"rate_per_sec": 2, "burst": 5, "max_in_flight": 8,
-//	          "max_evals_per_job": 200000}}
+//	          "max_evals_per_job": 200000,
+//	          "slo_p99_ms": 30000, "slo_error_rate": 0.01}}
 //
 // Tenants absent from the file get the -rate/-burst/-inflight/-job-max-evals
 // defaults (all zero: unlimited).
@@ -104,8 +108,11 @@ func run(addr, dir string, workers int, tenantsPath string, def serve.TenantPoli
 	}
 
 	// Observability: the shared registry backs /metrics, the broadcaster
-	// feeds /events, and the traced hub parents every solver span under its
-	// job span in the causal record.
+	// feeds /events, and the journal anchors this process on the wall clock
+	// (the epoch record) so replay.Merge can stitch restart journals onto one
+	// timeline. The serve layer stamps every event with the owning job's
+	// durable trace identity, so the sink must stay raw — wrapping it in a
+	// Traced here would overwrite the cross-restart trace IDs.
 	reg := obs.NewRegistry()
 	bc := export.NewBroadcaster()
 	bc.CountDrops(reg.Counter("sse.dropped"))
@@ -115,11 +122,11 @@ func run(addr, dir string, workers int, tenantsPath string, def serve.TenantPoli
 			return err
 		}
 		defer j.Close()
+		if err := j.AppendEpoch(); err != nil {
+			return err
+		}
 	}
 	hub := obs.NewHub(reg, j)
-	tracer := obs.NewTracer()
-	tracer.SetOutliers(obs.NewOutlierDetector())
-	traced := obs.NewTraced(obs.Multi(hub, bc), tracer)
 
 	s, err := serve.New(serve.Options{
 		Dir:            dir,
@@ -130,7 +137,7 @@ func run(addr, dir string, workers int, tenantsPath string, def serve.TenantPoli
 		Retry:          resilience.RetryPolicy{MaxAttempts: retries},
 		DefaultTimeout: jobTimeout,
 		Registry:       reg,
-		Observer:       traced,
+		Observer:       obs.Multi(hub, bc),
 		Broadcast:      bc,
 	})
 	if err != nil {

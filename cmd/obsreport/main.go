@@ -7,13 +7,20 @@
 //	obsreport summary [-json] run.jsonl
 //	obsreport compare [-json] a.jsonl b.jsonl
 //	obsreport trace   [-json] [-scope design.attain] run.jsonl
-//	obsreport trace   -tree run.jsonl
-//	obsreport trace   -perfetto run.jsonl > trace.json
+//	obsreport trace   -tree run.jsonl [more.jsonl...]
+//	obsreport trace   -perfetto run.jsonl [more.jsonl...] > trace.json
+//	obsreport serve   [-json] run.jsonl [more.jsonl...]
 //
 // The -tree form reconstructs the causal span tree (run → solver →
 // generations → pool workers) from the trace identity stamped on each
 // record; -perfetto emits the same tree as Chrome trace-event JSON for
-// chrome://tracing or ui.perfetto.dev.
+// chrome://tracing or ui.perfetto.dev. Both accept several journals — the
+// per-process journals of a crashed-and-restarted lnaservd — and stitch them
+// onto one timeline via their epoch records, one tree per job trace.
+//
+// The serve form summarizes (merged) lnaservd journals: throughput, outcome
+// and retry counts, scheduled backoff, and per-tenant exact queue-wait and
+// end-to-end latency percentiles.
 //
 // A journal truncated by a crash mid-line is reported on stderr and
 // analyzed up to its last complete record.
@@ -38,7 +45,24 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: obsreport summary|compare|trace [flags] <journal.jsonl> [b.jsonl]")
+	return fmt.Errorf("usage: obsreport summary|compare|trace|serve [flags] <journal.jsonl> [more.jsonl...]")
+}
+
+// loadMerged loads one or more journals and, when several are given, merges
+// them onto one timeline anchored on their epoch records.
+func loadMerged(paths []string, stderr io.Writer) (*replay.Run, error) {
+	runs := make([]*replay.Run, 0, len(paths))
+	for _, p := range paths {
+		r, err := load(p, stderr)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	return replay.Merge(runs...), nil
 }
 
 // load parses one journal, degrading gracefully on a corrupt tail: the
@@ -107,10 +131,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return replay.WriteCompareText(stdout,
 			filepath.Base(fs.Arg(0)), filepath.Base(fs.Arg(1)), a, b)
 	case "trace":
-		if fs.NArg() != 1 {
+		if fs.NArg() < 1 {
 			return usage()
 		}
-		r, err := load(fs.Arg(0), stderr)
+		if fs.NArg() > 1 && !*asPerfetto && !*asTree {
+			return fmt.Errorf("multiple journals need -tree or -perfetto (merged trace reconstruction)")
+		}
+		r, err := loadMerged(fs.Args(), stderr)
 		if err != nil {
 			return err
 		}
@@ -123,6 +150,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return emit(r.Trace(*scope))
 		}
 		return replay.WriteTraceText(stdout, *scope, r)
+	case "serve":
+		if fs.NArg() < 1 {
+			return usage()
+		}
+		r, err := loadMerged(fs.Args(), stderr)
+		if err != nil {
+			return err
+		}
+		rep := replay.ServeSummary(r)
+		if *asJSON {
+			return emit(rep)
+		}
+		return replay.WriteServeText(stdout, rep)
 	}
 	return usage()
 }

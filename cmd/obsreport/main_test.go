@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -93,5 +94,62 @@ func TestBadUsage(t *testing.T) {
 	}
 	if err := run([]string{"summary", "does-not-exist.jsonl"}, &out, &errb); err == nil {
 		t.Error("missing journal accepted")
+	}
+}
+
+// The serve subcommand's text report is pinned verbatim: the fixtures are the
+// two journals of a SIGKILLed lnaservd and its restart, and the analytics —
+// merged timeline, attempt/retry attribution across processes, exact
+// per-tenant wait and end-to-end percentiles — must not drift.
+func TestServeSubcommandGolden(t *testing.T) {
+	out, _ := runCLI(t, "serve",
+		filepath.Join(fixtures, "serve_p1.jsonl"), filepath.Join(fixtures, "serve_p2.jsonl"))
+	want := "" +
+		"serve journal: 2 jobs, 2 done (2 succeeded, 0 failed, 0 quarantined, 0 canceled) over 160.0 ms (12.50 done/s)\n" +
+		"attempts: 4 (2 retries, 2.0 ms backoff)\n" +
+		"tenant                 jobs   done  attempts  retries wait_p50_ms wait_p95_ms wait_p99_ms    p50_ms    p95_ms    p99_ms\n" +
+		"alpha                     1      1         3        2         5.0       105.0       105.0     160.0     160.0     160.0\n" +
+		"beta                      1      1         1        0         3.0         3.0         3.0      15.0      15.0      15.0\n"
+	if out != want {
+		t.Fatalf("serve output drifted:\n got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestServeSubcommandJSON(t *testing.T) {
+	out, _ := runCLI(t, "serve", "-json",
+		filepath.Join(fixtures, "serve_p1.jsonl"), filepath.Join(fixtures, "serve_p2.jsonl"))
+	var rep replay.ServeReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("serve JSON: %v\n%s", err, out)
+	}
+	if rep.Jobs != 2 || rep.Attempts != 4 || rep.Retries != 2 {
+		t.Fatalf("serve report = %+v", rep)
+	}
+}
+
+// Multiple journals merge onto one timeline: the trace killed in process 1
+// continues in process 2 as one tree, and each job stays its own tree.
+func TestTraceTreeAcrossJournals(t *testing.T) {
+	out, _ := runCLI(t, "trace", "-tree",
+		filepath.Join(fixtures, "serve_p1.jsonl"), filepath.Join(fixtures, "serve_p2.jsonl"))
+	for _, want := range []string{
+		"trace 7: 6 spans over 160.0 ms",
+		"trace 9: 3 spans over 160.0 ms",
+		"job.design.alpha", "job.design.beta", "job.attempt",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Multiple journals without -tree/-perfetto is an explicit error, not a
+// silent analysis of the first file.
+func TestTraceMultiJournalNeedsTree(t *testing.T) {
+	err := run([]string{"trace",
+		filepath.Join(fixtures, "serve_p1.jsonl"), filepath.Join(fixtures, "serve_p2.jsonl")},
+		io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-tree or -perfetto") {
+		t.Fatalf("err = %v", err)
 	}
 }

@@ -312,15 +312,29 @@ type JobServerOptions struct {
 	// Retries is the per-job attempt budget on transient failure
 	// (0: single attempt).
 	Retries int
+	// JournalPath, when set, writes the JSONL observability journal there:
+	// durable job traces (spanning restarts over the same Dir) and solver
+	// spans, anchored with an epoch record so `obsreport trace -tree` and
+	// `obsreport serve` can stitch the journals of successive processes.
+	JournalPath string
+	// Tenants maps tenant name to admission policy — rate, burst, in-flight
+	// and evaluation quotas, plus optional SLO targets surfaced as burn-rate
+	// gauges on /metrics and /healthz. Nil admits everything.
+	Tenants map[string]TenantPolicy
 }
+
+// TenantPolicy re-exports the job server's per-tenant admission contract and
+// SLO targets for facade callers.
+type TenantPolicy = serve.TenantPolicy
 
 // JobServer is a running design-as-a-service endpoint: jobs submitted to
 // POST {URL}/jobs survive crashes, pass admission control and execute on a
 // worker fleet. See cmd/lnaservd for the full API and operational story.
 type JobServer struct {
-	srv  *serve.Server
-	http *http.Server
-	addr string
+	srv     *serve.Server
+	http    *http.Server
+	addr    string
+	journal *obs.Journal
 }
 
 // StartJobServer opens the durable job queue under opts.Dir (recovering any
@@ -334,12 +348,33 @@ func StartJobServer(opts JobServerOptions) (*JobServer, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
+	var journal *obs.Journal
+	var sink obs.Observer
+	if opts.JournalPath != "" {
+		j, err := obs.OpenJournal(opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("gnsslna: job server: %w", err)
+		}
+		if err := j.AppendEpoch(); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("gnsslna: job server: %w", err)
+		}
+		journal = j
+		// A raw hub, not a Traced: the serve layer stamps each event with
+		// the job's durable trace identity.
+		sink = obs.NewHub(nil, j)
+	}
 	s, err := serve.New(serve.Options{
-		Dir:     opts.Dir,
-		Workers: opts.Workers,
-		Retry:   resilience.RetryPolicy{MaxAttempts: opts.Retries},
+		Dir:      opts.Dir,
+		Workers:  opts.Workers,
+		Retry:    resilience.RetryPolicy{MaxAttempts: opts.Retries},
+		Tenants:  opts.Tenants,
+		Observer: sink,
 	})
 	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, fmt.Errorf("gnsslna: job server: %w", err)
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -347,10 +382,13 @@ func StartJobServer(opts JobServerOptions) (*JobServer, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = s.Shutdown(ctx)
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, fmt.Errorf("gnsslna: job server: %w", err)
 	}
 	s.Start()
-	js := &JobServer{srv: s, http: &http.Server{Handler: s.Handler()}, addr: ln.Addr().String()}
+	js := &JobServer{srv: s, http: &http.Server{Handler: s.Handler()}, addr: ln.Addr().String(), journal: journal}
 	go func() { _ = js.http.Serve(ln) }()
 	return js, nil
 }
@@ -365,6 +403,11 @@ func (js *JobServer) Shutdown(ctx context.Context) error {
 	err := js.srv.Shutdown(ctx)
 	if herr := js.http.Shutdown(ctx); err == nil {
 		err = herr
+	}
+	if js.journal != nil {
+		if jerr := js.journal.Close(); err == nil {
+			err = jerr
+		}
 	}
 	return err
 }

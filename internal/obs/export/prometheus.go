@@ -166,6 +166,33 @@ func WritePrometheus(w io.Writer, reg *obs.Registry, namespace string) error {
 		f.series = append(f.series, se)
 	}
 
+	// Every histogram additionally exposes a gauge-typed _quantile family
+	// with estimated p50/p90/p95/p99 — the SLO dashboards' latency families.
+	// An empty histogram reports NaN (the format's spelling of "no data"),
+	// never a misleading zero. In the rare case the _quantile name lands on a
+	// family of another type (a registry histogram literally named
+	// "*_quantile"), the quantile family yields with a _gauge suffix.
+	for name := range s.Histograms {
+		fam := namespace + "_" + SanitizeName(name)
+		if gaugeFams[fam] {
+			fam += "_hist"
+		}
+		qfam := fam + "_quantile"
+		if f := fams[qfam]; f != nil && f.typ != "gauge" {
+			qfam += "_gauge"
+		}
+		f := get(qfam, "gauge")
+		h := reg.Histogram(name)
+		label := EscapeLabel(name)
+		se := series{key: name}
+		for _, q := range [...]float64{0.5, 0.9, 0.95, 0.99} {
+			se.lines = append(se.lines,
+				fmt.Sprintf(`%s{name="%s",quantile="%s"} %s`,
+					qfam, label, formatValue(q), formatValue(h.Quantile(q))))
+		}
+		f.series = append(f.series, se)
+	}
+
 	names := make([]string, 0, len(fams))
 	for name := range fams {
 		names = append(names, name)

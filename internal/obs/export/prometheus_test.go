@@ -227,3 +227,84 @@ func TestWritePrometheusNilRegistry(t *testing.T) {
 		t.Fatalf("nil registry: err=%v out=%q, want empty success", err, b.String())
 	}
 }
+
+// Every histogram exposes a companion gauge-typed _quantile family carrying
+// the estimated p50/p90/p95/p99, pinned line-for-line here so the exposition
+// shape the SLO dashboards scrape cannot drift silently.
+func TestWritePrometheusQuantileFamily(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("lat.ms").Observe(7)
+	out := render(t, reg)
+
+	// A single observation pins every quantile to the observed value exactly
+	// (the estimator clamps its bucket midpoint into [min, max]).
+	want := "# TYPE gnsslna_lat_ms_quantile gauge\n" +
+		"gnsslna_lat_ms_quantile{name=\"lat.ms\",quantile=\"0.5\"} 7\n" +
+		"gnsslna_lat_ms_quantile{name=\"lat.ms\",quantile=\"0.9\"} 7\n" +
+		"gnsslna_lat_ms_quantile{name=\"lat.ms\",quantile=\"0.95\"} 7\n" +
+		"gnsslna_lat_ms_quantile{name=\"lat.ms\",quantile=\"0.99\"} 7\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing pinned quantile block:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// An empty histogram reports NaN quantiles — the format's "no data" — never
+// a misleading zero.
+func TestWritePrometheusQuantileEmptyHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("empty.ms")
+	out := render(t, reg)
+	for _, q := range []string{"0.5", "0.9", "0.95", "0.99"} {
+		want := `gnsslna_empty_ms_quantile{name="empty.ms",quantile="` + q + `"} NaN`
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Quantile estimates are monotonic in q and bracketed by the observed range.
+func TestWritePrometheusQuantileOrdering(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("spread.ms")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	out := render(t, reg)
+	var got []float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gnsslna_spread_ms_quantile{") {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad quantile line %q: %v", line, err)
+			}
+			got = append(got, v)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d quantile lines, want 4:\n%s", len(got), out)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("quantiles not monotonic: %v", got)
+		}
+	}
+	if got[0] < 1 || got[3] > 1000 {
+		t.Fatalf("quantiles outside observed range [1,1000]: %v", got)
+	}
+}
+
+// A histogram whose family collides with a gauge carries its quantiles under
+// the _hist_quantile name, mirroring the histogram family's own suffix.
+func TestWritePrometheusQuantileCollision(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("mixed").Set(1)
+	reg.Histogram("mixed").Observe(4)
+	out := render(t, reg)
+	if !strings.Contains(out, "# TYPE gnsslna_mixed_hist_quantile gauge\n") {
+		t.Fatalf("collided histogram's quantile family missing:\n%s", out)
+	}
+	if !strings.Contains(out, `gnsslna_mixed_hist_quantile{name="mixed",quantile="0.99"} 4`+"\n") {
+		t.Fatalf("collided quantile series missing:\n%s", out)
+	}
+}

@@ -106,6 +106,22 @@ func (j *Journal) Append(rec Record) error {
 	return nil
 }
 
+// EpochEvent names the record anchoring a journal's relative clock to the
+// wall clock, written by AppendEpoch and consumed by replay.Merge.
+const EpochEvent = "epoch"
+
+// AppendEpoch appends an "epoch" record carrying the current wall-clock time
+// ("unix_ms"). Together with the record's own relative t_ms this anchors the
+// journal's t=0 on the shared wall clock, which is what lets replay.Merge
+// stitch journals from different processes (a crashed lnaservd and its
+// restart) onto one timeline.
+func (j *Journal) AppendEpoch() error {
+	return j.Append(Record{
+		Event:  EpochEvent,
+		Fields: map[string]float64{"unix_ms": float64(time.Now().UnixMilli())},
+	})
+}
+
 // AppendSnapshot appends the registry's flattened metrics as a final
 // "metrics" record.
 func (j *Journal) AppendSnapshot(r *Registry) error {

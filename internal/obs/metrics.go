@@ -149,6 +149,24 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the log buckets, the
+// same estimate the snapshot's P50/P90/P99 use: the geometric midpoint of the
+// bucket holding the target rank, clamped into [min, max] so a histogram with
+// one observation answers that observation exactly. An empty histogram has no
+// quantiles and returns NaN (Prometheus spells it out as a NaN sample). q
+// values outside (0, 1] are clamped.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q > 1 {
+		q = 1
+	}
+	return h.quantileLocked(q)
+}
+
 func (h *Histogram) quantileLocked(q float64) float64 {
 	target := int64(math.Ceil(q * float64(h.count)))
 	if target < 1 {

@@ -1,0 +1,60 @@
+package replay
+
+import (
+	"sort"
+
+	"gnsslna/internal/obs"
+)
+
+// EpochUnixMS returns the wall-clock anchor of the journal: the unix time (in
+// milliseconds) of its t=0, derived from the first epoch record as
+// unix_ms - t_ms. Zero when the journal carries no epoch record (written
+// before the epoch model, or by a process that never called AppendEpoch).
+func EpochUnixMS(r *Run) float64 {
+	for _, rec := range r.Records {
+		if rec.Event == obs.EpochEvent {
+			if u, ok := rec.Fields["unix_ms"]; ok && u > 0 {
+				return u - rec.TMs
+			}
+		}
+	}
+	return 0
+}
+
+// Merge stitches journals from different processes onto one timeline — the
+// serve journals of a crashed lnaservd and its restart become a single run a
+// trace reconstruction can span. Each journal's relative clock is re-anchored
+// on the earliest epoch among the inputs (journals without an epoch keep
+// their own t=0 on the merged timeline), records are ordered by the shifted
+// timestamp with input order breaking ties, and sequence numbers are
+// re-stamped to the merged order. The inputs are not modified.
+func Merge(runs ...*Run) *Run {
+	base := 0.0
+	for _, r := range runs {
+		if t0 := EpochUnixMS(r); t0 > 0 && (base == 0 || t0 < base) {
+			base = t0
+		}
+	}
+	var total int
+	for _, r := range runs {
+		total += len(r.Records)
+	}
+	merged := &Run{Records: make([]obs.Record, 0, total)}
+	for _, r := range runs {
+		offset := 0.0
+		if t0 := EpochUnixMS(r); t0 > 0 && base > 0 {
+			offset = t0 - base
+		}
+		for _, rec := range r.Records {
+			rec.TMs += offset
+			merged.Records = append(merged.Records, rec)
+		}
+	}
+	sort.SliceStable(merged.Records, func(a, b int) bool {
+		return merged.Records[a].TMs < merged.Records[b].TMs
+	})
+	for i := range merged.Records {
+		merged.Records[i].Seq = int64(i + 1)
+	}
+	return merged
+}

@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"gnsslna/internal/obs"
 )
 
 // Span is one node of a reconstructed trace tree: a solver run, a pipeline
@@ -99,11 +101,58 @@ type TraceTree struct {
 //     never open per-generation spans) become flat Points on the run span;
 //   - ".outlier" samples attach to the span they were attributed to.
 func BuildTrace(r *Run) *TraceTree {
+	return buildSpans(r.Records, horizonOf(r.Records))
+}
+
+// BuildTraces reconstructs one span tree per trace identity in the journal,
+// in order of first appearance. Multi-process serve journals carry one trace
+// per job; grouping by trace ID keeps each job's causal tree separate where
+// BuildTrace would lump them into one forest. All trees share the journal's
+// global horizon, so a single-trace journal reconstructs identically through
+// either entry point. Records without span identity belong to no trace and
+// are skipped (they still extend the horizon).
+func BuildTraces(r *Run) []*TraceTree {
+	horizon := horizonOf(r.Records)
+	groups := map[uint64][]int{}
+	var order []uint64
+	for i, rec := range r.Records {
+		if rec.Span == 0 {
+			continue
+		}
+		if _, ok := groups[rec.Trace]; !ok {
+			order = append(order, rec.Trace)
+		}
+		groups[rec.Trace] = append(groups[rec.Trace], i)
+	}
+	trees := make([]*TraceTree, 0, len(order))
+	for _, id := range order {
+		recs := make([]obs.Record, 0, len(groups[id]))
+		for _, i := range groups[id] {
+			recs = append(recs, r.Records[i])
+		}
+		trees = append(trees, buildSpans(recs, horizon))
+	}
+	return trees
+}
+
+// horizonOf is the last timestamp any record carries — the trace horizon
+// truncated spans are closed at.
+func horizonOf(records []obs.Record) float64 {
+	var h float64
+	for _, rec := range records {
+		if rec.TMs > h {
+			h = rec.TMs
+		}
+	}
+	return h
+}
+
+func buildSpans(records []obs.Record, horizon float64) *TraceTree {
 	// First pass: find span IDs used by exactly one generation record and
 	// nothing else — those become dedicated generation spans. IDs reused
 	// across records (LM iterating on its run span) collect Points instead.
 	genOnly := map[uint64]int{}
-	for _, rec := range r.Records {
+	for _, rec := range records {
 		if rec.Span == 0 {
 			continue
 		}
@@ -115,7 +164,7 @@ func BuildTrace(r *Run) *TraceTree {
 		}
 	}
 
-	t := &TraceTree{}
+	t := &TraceTree{EndMs: horizon}
 	spans := map[uint64]*Span{}
 	var order []*Span
 	get := func(id uint64, tms float64) *Span {
@@ -134,7 +183,7 @@ func BuildTrace(r *Run) *TraceTree {
 	}
 	genPrev := map[uint64]float64{} // run span -> cumulative wall at last gen
 
-	for _, rec := range r.Records {
+	for _, rec := range records {
 		if rec.TMs > t.EndMs {
 			t.EndMs = rec.TMs
 		}
@@ -256,25 +305,34 @@ func (s *Span) label() string {
 	return s.Scope
 }
 
-// WriteTraceTree renders the reconstructed trace as an indented ASCII tree:
-// one line per span with its interval, duration, evaluation count and best
-// objective, flat convergence points summarized, outlier flags called out.
+// WriteTraceTree renders the reconstructed traces as indented ASCII trees:
+// one tree per trace identity (a serve journal carries one per job), one line
+// per span with its interval, duration, evaluation count and best objective,
+// flat convergence points summarized, outlier flags called out. Single-trace
+// journals render exactly as they always have.
 func WriteTraceTree(w io.Writer, r *Run) error {
-	t := BuildTrace(r)
-	if t.Count == 0 {
+	trees := BuildTraces(r)
+	if len(trees) == 0 {
 		_, err := fmt.Fprintln(w, "journal carries no trace spans (untraced run or pre-trace journal)")
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "trace %d: %d spans over %.1f ms\n", t.TraceID, t.Count, t.EndMs); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%-52s %10s %10s %10s %10s\n",
-		"span", "start_ms", "dur_ms", "evals", "best"); err != nil {
-		return err
-	}
-	for _, root := range t.Roots {
-		if err := writeSpanTree(w, root, 0); err != nil {
+	for i, t := range trees {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "trace %d: %d spans over %.1f ms\n", t.TraceID, t.Count, t.EndMs); err != nil {
 			return err
+		}
+		if _, err := fmt.Fprintf(w, "%-52s %10s %10s %10s %10s\n",
+			"span", "start_ms", "dur_ms", "evals", "best"); err != nil {
+			return err
+		}
+		for _, root := range t.Roots {
+			if err := writeSpanTree(w, root, 0); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -327,73 +385,76 @@ type perfettoFile struct {
 // journal with no trace spans is an error — this is the smoke check `make
 // trace-smoke` relies on.
 func WritePerfettoTrace(w io.Writer, r *Run) error {
-	t := BuildTrace(r)
-	if t.Count == 0 {
+	trees := BuildTraces(r)
+	if len(trees) == 0 {
 		return errors.New("replay: journal carries no trace spans (untraced run or pre-trace journal)")
 	}
-	const pid = 1
-	evs := []perfettoEvent{{
-		Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
-		Args: map[string]any{"name": fmt.Sprintf("gnsslna trace %d", t.TraceID)},
-	}}
-	lanes := map[int]string{1: "driver"}
-
-	var walk func(s *Span)
-	walk = func(s *Span) {
-		tid := 1
-		if s.Worker > 0 {
-			tid = 1 + s.Worker
-			lanes[tid] = fmt.Sprintf("worker %d", s.Worker)
-		}
-		args := map[string]any{"span": s.ID}
-		if s.Parent != 0 {
-			args["parent"] = s.Parent
-		}
-		if s.Evals > 0 {
-			args["evals"] = s.Evals
-		}
-		if !s.Best.IsNaN() {
-			args["best"] = float64(s.Best)
-		}
-		if s.Kind == "generation" {
-			args["gen"] = s.Gen
-		}
-		if len(s.Points) > 0 {
-			args["gens"] = len(s.Points)
-		}
+	var evs []perfettoEvent
+	for i, t := range trees {
+		pid := 1 + i
 		evs = append(evs, perfettoEvent{
-			Name: s.label(), Cat: s.Kind, Ph: "X",
-			Ts: s.StartMs * 1000, Dur: s.Dur() * 1000,
-			Pid: pid, Tid: tid, Args: args,
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+			Args: map[string]any{"name": fmt.Sprintf("gnsslna trace %d", t.TraceID)},
 		})
-		for _, o := range s.Outliers {
+		lanes := map[int]string{1: "driver"}
+
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			tid := 1
+			if s.Worker > 0 {
+				tid = 1 + s.Worker
+				lanes[tid] = fmt.Sprintf("worker %d", s.Worker)
+			}
+			args := map[string]any{"span": s.ID}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent
+			}
+			if s.Evals > 0 {
+				args["evals"] = s.Evals
+			}
+			if !s.Best.IsNaN() {
+				args["best"] = float64(s.Best)
+			}
+			if s.Kind == "generation" {
+				args["gen"] = s.Gen
+			}
+			if len(s.Points) > 0 {
+				args["gens"] = len(s.Points)
+			}
 			evs = append(evs, perfettoEvent{
-				Name: o.Scope, Cat: "outlier", Ph: "i", S: "t",
-				Ts: o.TMs * 1000, Pid: pid, Tid: tid,
-				Args: map[string]any{"index": o.Index, "ms": o.Ms},
+				Name: s.label(), Cat: s.Kind, Ph: "X",
+				Ts: s.StartMs * 1000, Dur: s.Dur() * 1000,
+				Pid: pid, Tid: tid, Args: args,
+			})
+			for _, o := range s.Outliers {
+				evs = append(evs, perfettoEvent{
+					Name: o.Scope, Cat: "outlier", Ph: "i", S: "t",
+					Ts: o.TMs * 1000, Pid: pid, Tid: tid,
+					Args: map[string]any{"index": o.Index, "ms": o.Ms},
+				})
+			}
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		for _, root := range t.Roots {
+			walk(root)
+		}
+
+		tids := make([]int, 0, len(lanes))
+		for tid := range lanes {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			evs = append(evs, perfettoEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": lanes[tid]},
+			}, perfettoEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"sort_index": tid},
 			})
 		}
-		for _, c := range s.Children {
-			walk(c)
-		}
-	}
-	for _, root := range t.Roots {
-		walk(root)
-	}
-
-	tids := make([]int, 0, len(lanes))
-	for tid := range lanes {
-		tids = append(tids, tid)
-	}
-	sort.Ints(tids)
-	for _, tid := range tids {
-		evs = append(evs, perfettoEvent{
-			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
-			Args: map[string]any{"name": lanes[tid]},
-		}, perfettoEvent{
-			Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
-			Args: map[string]any{"sort_index": tid},
-		})
 	}
 
 	enc := json.NewEncoder(w)

@@ -38,6 +38,17 @@ func NewTracerID(id TraceID) *Tracer {
 	return &Tracer{id: id}
 }
 
+// NewTracerAt returns a tracer with an explicit TraceID whose span counter
+// starts at base: the first NewSpan yields base+1. The serve layer uses this
+// to resume a durable trace in a fresh process without colliding with span
+// IDs the previous process already allocated — each attempt gets a disjoint
+// base derived from journaled counters, so stitched journals never alias.
+func NewTracerAt(id TraceID, base uint64) *Tracer {
+	t := &Tracer{id: id}
+	t.next.Store(base)
+	return t
+}
+
 // ID returns the trace identifier.
 func (t *Tracer) ID() TraceID { return t.id }
 
@@ -77,6 +88,15 @@ type Traced struct {
 // whether or not a journal is attached).
 func NewTraced(sink Observer, tr *Tracer) *Traced {
 	return &Traced{sink: OrNop(sink), tracer: tr, span: tr.NewSpan()}
+}
+
+// AdoptSpan returns a Traced that re-opens an existing span identity: events
+// emitted through it are stamped with tr's trace and the given span/parent
+// instead of a freshly allocated span. This is how a restarted process keeps
+// appending to a span a previous process began — the identity lives in
+// durable state (the job queue's WAL), not in the tracer.
+func AdoptSpan(sink Observer, tr *Tracer, span, parent SpanID) *Traced {
+	return &Traced{sink: OrNop(sink), tracer: tr, span: span, parent: parent}
 }
 
 // Observe implements Observer.

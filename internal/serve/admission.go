@@ -21,6 +21,21 @@ type TenantPolicy struct {
 	// admission clamps the spec's MaxEvals onto it, and the clamped value
 	// becomes the job's RunController budget (0: server default applies).
 	MaxEvalsPerJob int64 `json:"max_evals_per_job"`
+	// SLOTargetP99MS is the tenant's target p99 end-to-end job latency in
+	// milliseconds. When set, the server exposes the observed p99 and the
+	// burn rate observed/target as jobs.slo.* gauges on /metrics and in the
+	// /healthz document (0: no latency SLO for the tenant).
+	SLOTargetP99MS float64 `json:"slo_p99_ms,omitempty"`
+	// SLOErrorRate is the tenant's error-rate budget — the tolerated
+	// fraction of terminal jobs landing failed or quarantined. When set, the
+	// observed rate and its burn rate are exposed alongside the latency SLO
+	// (0: no error-rate SLO).
+	SLOErrorRate float64 `json:"slo_error_rate,omitempty"`
+}
+
+// HasSLO reports whether the policy defines any service-level objective.
+func (p TenantPolicy) HasSLO() bool {
+	return p.SLOTargetP99MS > 0 || p.SLOErrorRate > 0
 }
 
 // OverQuota is the admission rejection: the HTTP layer maps it to

@@ -144,10 +144,20 @@ type Job struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	// Seq is the submit sequence number, the FIFO order within a priority.
 	Seq uint64 `json:"seq"`
+	// Trace is the durable causal-trace identity assigned at submission and
+	// persisted with the job, so the trace survives restarts: every process
+	// that touches the job (submit handler, each worker attempt, even after
+	// a SIGKILL) emits its spans under the same trace ID. Zero for jobs
+	// journaled before the trace model.
+	Trace uint64 `json:"trace,omitempty"`
 	// SubmittedMS/StartedMS/DoneMS are unix-milli lifecycle timestamps.
 	SubmittedMS int64 `json:"submitted_ms,omitempty"`
 	StartedMS   int64 `json:"started_ms,omitempty"`
 	DoneMS      int64 `json:"done_ms,omitempty"`
+	// QueuedMS is when the job last (re)entered the pending queue — the
+	// submission for a fresh job, the requeue for a resumed one — the anchor
+	// the queue-wait measurement and the oldest-age gauge use.
+	QueuedMS int64 `json:"queued_ms,omitempty"`
 	// Resumed marks a run that was recovered from the journal after a
 	// crash and re-queued to resume from its checkpoints.
 	Resumed bool `json:"resumed,omitempty"`

@@ -5,9 +5,10 @@ import "gnsslna/internal/obs"
 // Metrics lands the fleet's health in the shared obs registry, where the
 // export server renders it as the per-tenant gnsslna_jobs_* Prometheus
 // families: counters "jobs.<outcome>.<tenant>", the queue gauges
-// "jobs.queue.depth"/"jobs.running", and the per-tenant latency and
-// queue-wait histograms. A nil *Metrics is a no-op, so the queue and fleet
-// never branch on observability being configured.
+// "jobs.queue.depth"/"jobs.running"/"jobs.queue.oldest_age_ms"/
+// "jobs.deadletter", and the latency and queue-wait histograms (per tenant
+// plus the all-tenant aggregate). A nil *Metrics is a no-op, so the queue
+// and fleet never branch on observability being configured.
 type Metrics struct {
 	reg *obs.Registry
 }
@@ -29,27 +30,45 @@ func (m *Metrics) inc(name, tenant string) {
 	m.reg.Counter(name).Inc()
 }
 
-// setGauges refreshes the queue-shape gauges.
-func (m *Metrics) setGauges(q *Queue) {
+// observeQueue refreshes the queue-shape gauges: depth, running, the age of
+// the oldest queued job (backlog growth is visible here before shedding
+// fires) and the dead-letter count (st may be nil).
+func (m *Metrics) observeQueue(q *Queue, st *Store) {
 	if m == nil || q == nil {
 		return
 	}
 	m.reg.Gauge("jobs.queue.depth").Set(float64(q.Depth()))
 	m.reg.Gauge("jobs.running").Set(float64(q.RunningCount()))
+	age := float64(0)
+	if oldest := q.OldestQueuedMS(); oldest > 0 {
+		if a := float64(nowMS(q.opts.Now) - oldest); a > 0 {
+			age = a
+		}
+	}
+	m.reg.Gauge("jobs.queue.oldest_age_ms").Set(age)
+	if st != nil {
+		m.reg.Gauge("jobs.deadletter").Set(float64(st.DeadLetterCount()))
+	}
 }
 
-// observeLatency records one job's wall time (milliseconds) for the tenant.
+// observeLatency records one job's end-to-end latency (submit to terminal,
+// milliseconds) in the tenant histogram and the all-tenant aggregate — the
+// quantity the per-tenant p99 SLO is defined over.
 func (m *Metrics) observeLatency(tenant string, ms float64) {
 	if m == nil {
 		return
 	}
 	m.reg.Histogram("jobs.latency_ms." + tenant).Observe(ms)
+	m.reg.Histogram("jobs.latency_ms").Observe(ms)
 }
 
-// observeQueueWait records how long a job waited before a worker claimed it.
+// observeQueueWait records how long a job waited before a worker claimed it,
+// per tenant plus the all-tenant aggregate (mirroring the inc pattern, so
+// fleet-wide percentiles never require summing buckets client-side).
 func (m *Metrics) observeQueueWait(tenant string, ms float64) {
 	if m == nil {
 		return
 	}
 	m.reg.Histogram("jobs.queue_wait_ms." + tenant).Observe(ms)
+	m.reg.Histogram("jobs.queue_wait_ms").Observe(ms)
 }

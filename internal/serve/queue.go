@@ -181,6 +181,8 @@ func (q *Queue) replay(rec walRecord) {
 			j.Result = rec.Result
 		}
 		switch rec.State {
+		case StateQueued:
+			j.QueuedMS = rec.TMS
 		case StateRunning:
 			j.StartedMS = rec.TMS
 		case StateSucceeded, StateFailed, StateQuarantined, StateCanceled, StateShed:
@@ -244,13 +246,16 @@ func (q *Queue) Submit(spec JobSpec) (SubmitResult, error) {
 		shed = victim.clone()
 	}
 	q.seq++
+	now := nowMS(q.opts.Now)
 	j := &Job{
 		ID:          fmt.Sprintf("j%08d", q.seq),
 		Spec:        spec,
 		State:       StateQueued,
 		Seq:         q.seq,
-		SubmittedMS: nowMS(q.opts.Now),
+		SubmittedMS: now,
+		QueuedMS:    now,
 	}
+	j.Trace = assignTrace(j)
 	if err := q.wal.append(walRecord{Op: "submit", Job: j}); err != nil {
 		q.seq--
 		return SubmitResult{}, err
@@ -332,6 +337,8 @@ func (q *Queue) transitionLocked(j *Job, to JobState, attempt int, errMsg string
 		j.Result = result
 	}
 	switch to {
+	case StateQueued:
+		j.QueuedMS = rec.TMS
 	case StateRunning:
 		j.StartedMS = rec.TMS
 	case StateSucceeded, StateFailed, StateQuarantined, StateCanceled, StateShed:
@@ -470,6 +477,26 @@ func (q *Queue) RunningCount() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.running
+}
+
+// OldestQueuedMS returns the queue-entry timestamp of the longest-waiting
+// pending job (unix milliseconds), or 0 when nothing is queued. The metrics
+// plane turns it into the jobs.queue.oldest_age_ms gauge — the first signal
+// of backlog growth, visible well before load shedding fires.
+func (q *Queue) OldestQueuedMS() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var oldest int64
+	for _, j := range q.pending {
+		at := j.QueuedMS
+		if at == 0 {
+			at = j.SubmittedMS // jobs journaled before QueuedMS existed
+		}
+		if at != 0 && (oldest == 0 || at < oldest) {
+			oldest = at
+		}
+	}
+	return oldest
 }
 
 // InFlight counts a tenant's non-terminal jobs (queued + running), the

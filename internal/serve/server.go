@@ -42,7 +42,11 @@ type Options struct {
 	// Registry lands the jobs.* metrics and backs /metrics (nil: a fresh
 	// private registry).
 	Registry *obs.Registry
-	// Observer receives job and solver spans (nil: disabled).
+	// Observer receives the durable job-trace events and the solver spans
+	// nested under them (nil: disabled). Pass a raw sink — a Hub, a
+	// Broadcaster, or obs.Multi of both — not a Traced: the serve layer
+	// stamps each event with the owning job's persisted trace identity, and
+	// a Traced wrapper would overwrite it.
 	Observer obs.Observer
 	// Broadcast feeds /events (nil: endpoint disabled).
 	Broadcast *export.Broadcaster
@@ -57,6 +61,8 @@ type Server struct {
 	adm      *Admission
 	reg      *obs.Registry
 	metrics  *Metrics
+	sink     obs.Observer
+	slo      *sloPlane
 	handler  http.Handler
 	draining atomic.Bool
 }
@@ -67,12 +73,21 @@ type healthPayload struct {
 	State      string `json:"state"`
 	QueueDepth int    `json:"queue_depth"`
 	Running    int    `json:"running"`
-	Recovered  struct {
+	// OldestAgeMS is the age of the longest-waiting queued job; DeadLetter
+	// counts quarantined jobs in the dead-letter directory.
+	OldestAgeMS int64 `json:"oldest_age_ms"`
+	DeadLetter  int   `json:"deadletter"`
+	Recovered   struct {
 		Queued     int `json:"queued"`
 		Resumed    int `json:"resumed"`
 		Terminal   int `json:"terminal"`
 		TailLosses int `json:"tail_losses"`
 	} `json:"recovered"`
+	// SLO carries each configured tenant objective's current standing (only
+	// present when the tenants policy defines SLOs). A burning SLO does not
+	// flip OK — readiness is about serving, not about meeting targets — but
+	// orchestration and alerting read the burn rates from here.
+	SLO []TenantSLO `json:"slo,omitempty"`
 }
 
 // New opens the durable queue under the data root (recovering any previous
@@ -105,6 +120,8 @@ func New(o Options) (*Server, error) {
 		adm:     NewAdmission(o.Tenants, o.DefaultPolicy, q.InFlight, o.Queue.Now),
 		reg:     reg,
 		metrics: NewMetrics(reg),
+		sink:    o.Observer,
+		slo:     newSLOPlane(reg, o.Tenants, o.DefaultPolicy),
 	}
 	s.fleet = NewFleet(q, store, runner, FleetOptions{
 		Workers:        o.Workers,
@@ -114,7 +131,7 @@ func New(o Options) (*Server, error) {
 		Observer:       o.Observer,
 		Metrics:        s.metrics,
 	})
-	s.metrics.setGauges(q)
+	s.metrics.observeQueue(q, store)
 	rep := q.Recovery()
 	if reg != nil {
 		reg.Counter("jobs.recovered.queued").Add(int64(rep.Queued))
@@ -167,11 +184,24 @@ func (s *Server) buildMux(telemetry http.Handler) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", telemetry)
+	// /metrics refreshes the derived gauges (queue age, dead-letter, SLO
+	// burn rates) on the way in, so every scrape is self-consistent without
+	// a background refresher.
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.refreshDerived()
+		telemetry.ServeHTTP(w, r)
+	}))
 	mux.Handle("GET /events", telemetry)
 	mux.Handle("GET /runs", telemetry)
 	mux.Handle("/debug/pprof/", telemetry)
 	return mux
+}
+
+// refreshDerived recomputes the scrape-time gauges: queue shape (depth,
+// running, oldest age, dead-letter count) and the SLO plane.
+func (s *Server) refreshDerived() []TenantSLO {
+	s.metrics.observeQueue(s.q, s.store)
+	return s.slo.refresh()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -233,6 +263,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Shed != nil {
 		s.metrics.inc("jobs.shed", res.Shed.Spec.tenant())
+		emitJobDone(s.sink, res.Shed)
 	}
 	if res.Deduped {
 		s.metrics.inc("jobs.deduped", tenant)
@@ -240,7 +271,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.inc("jobs.submitted", tenant)
-	s.metrics.setGauges(s.q)
+	emitJobSubmitted(s.sink, res.Job)
+	s.metrics.observeQueue(s.q, s.store)
 	writeJSON(w, http.StatusAccepted, res.Job)
 }
 
@@ -295,6 +327,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.fleet.CancelJob(id)
 	s.metrics.inc("jobs.canceled", j.Spec.tenant())
+	emitJobDone(s.sink, j)
 	writeJSON(w, http.StatusOK, j)
 }
 
@@ -308,8 +341,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !p.OK {
 		p.State = "draining"
 	}
+	p.SLO = s.refreshDerived()
 	p.QueueDepth = s.q.Depth()
 	p.Running = s.q.RunningCount()
+	if oldest := s.q.OldestQueuedMS(); oldest > 0 {
+		if age := nowMS(s.q.opts.Now) - oldest; age > 0 {
+			p.OldestAgeMS = age
+		}
+	}
+	p.DeadLetter = s.store.DeadLetterCount()
 	rep := s.q.Recovery()
 	p.Recovered.Queued = rep.Queued
 	p.Recovered.Resumed = rep.Resumed

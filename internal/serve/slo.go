@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"gnsslna/internal/obs"
+)
+
+// TenantSLO is one tenant's service-level standing, computed on demand from
+// the metrics registry (refreshed before every /metrics and /healthz
+// response, so scrapes always see current burn rates without a background
+// goroutine). Burn rates read as "fraction of the budget consumed": 1.0 is
+// exactly on target, above 1.0 the SLO is burning.
+type TenantSLO struct {
+	// Tenant names the tenant the objectives belong to.
+	Tenant string `json:"tenant"`
+	// OK is true while every configured objective is within target (an SLO
+	// with no samples yet is vacuously OK).
+	OK bool `json:"ok"`
+	// Samples counts the terminal jobs the latency histogram has seen.
+	Samples int64 `json:"samples"`
+	// P99MS / TargetP99MS / P99Burn describe the latency objective
+	// (all zero when the tenant has no latency SLO or no samples).
+	P99MS       float64 `json:"p99_ms"`
+	TargetP99MS float64 `json:"target_p99_ms,omitempty"`
+	P99Burn     float64 `json:"p99_burn"`
+	// ErrorRate / TargetErrorRate / ErrorBurn describe the error objective:
+	// failed+quarantined over terminal outcomes.
+	ErrorRate       float64 `json:"error_rate"`
+	TargetErrorRate float64 `json:"target_error_rate,omitempty"`
+	ErrorBurn       float64 `json:"error_burn"`
+}
+
+// sloPlane evaluates the configured tenant SLOs against the live registry
+// and lands the results as gauges:
+//
+//	jobs.slo.p99_ms.<tenant>      observed p99 end-to-end latency
+//	jobs.slo.p99_burn.<tenant>    observed p99 / target p99
+//	jobs.slo.error_rate.<tenant>  failed+quarantined / terminal
+//	jobs.slo.error_burn.<tenant>  observed rate / target rate
+//	jobs.slo.ok.<tenant>          1 while every objective holds, else 0
+type sloPlane struct {
+	reg     *obs.Registry
+	targets map[string]TenantPolicy
+}
+
+// newSLOPlane collects the tenants that define SLOs. The default policy,
+// when it defines one, applies to the "default" tenant (the bucket jobs
+// without an explicit tenant land in).
+func newSLOPlane(reg *obs.Registry, tenants map[string]TenantPolicy, def TenantPolicy) *sloPlane {
+	targets := make(map[string]TenantPolicy)
+	for name, p := range tenants {
+		if p.HasSLO() {
+			targets[name] = p
+		}
+	}
+	if def.HasSLO() {
+		if _, ok := targets["default"]; !ok {
+			targets["default"] = def
+		}
+	}
+	if reg == nil || len(targets) == 0 {
+		return nil
+	}
+	return &sloPlane{reg: reg, targets: targets}
+}
+
+// refresh recomputes every tenant's standing and updates the gauges. It
+// returns the standings sorted by tenant name (the /healthz "slo" array).
+// A nil plane returns nil.
+func (s *sloPlane) refresh() []TenantSLO {
+	if s == nil {
+		return nil
+	}
+	out := make([]TenantSLO, 0, len(s.targets))
+	for tenant, p := range s.targets {
+		st := TenantSLO{
+			Tenant:          tenant,
+			OK:              true,
+			TargetP99MS:     p.SLOTargetP99MS,
+			TargetErrorRate: p.SLOErrorRate,
+		}
+		h := s.reg.Histogram("jobs.latency_ms." + tenant)
+		st.Samples = h.Snapshot().Count
+		if st.Samples > 0 {
+			if p99 := h.Quantile(0.99); !math.IsNaN(p99) {
+				st.P99MS = p99
+			}
+		}
+		if p.SLOTargetP99MS > 0 && st.Samples > 0 {
+			st.P99Burn = st.P99MS / p.SLOTargetP99MS
+			if st.P99Burn > 1 {
+				st.OK = false
+			}
+		}
+		errs := s.reg.Counter("jobs.failed."+tenant).Value() +
+			s.reg.Counter("jobs.quarantined."+tenant).Value()
+		total := errs + s.reg.Counter("jobs.succeeded."+tenant).Value() +
+			s.reg.Counter("jobs.canceled."+tenant).Value()
+		if total > 0 {
+			st.ErrorRate = float64(errs) / float64(total)
+		}
+		if p.SLOErrorRate > 0 && total > 0 {
+			st.ErrorBurn = st.ErrorRate / p.SLOErrorRate
+			if st.ErrorBurn > 1 {
+				st.OK = false
+			}
+		}
+		s.reg.Gauge("jobs.slo.p99_ms." + tenant).Set(st.P99MS)
+		s.reg.Gauge("jobs.slo.p99_burn." + tenant).Set(st.P99Burn)
+		s.reg.Gauge("jobs.slo.error_rate." + tenant).Set(st.ErrorRate)
+		s.reg.Gauge("jobs.slo.error_burn." + tenant).Set(st.ErrorBurn)
+		ok := 1.0
+		if !st.OK {
+			ok = 0
+		}
+		s.reg.Gauge("jobs.slo.ok." + tenant).Set(ok)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gnsslna/internal/obs"
+)
+
+func TestSLOPlaneNilWithoutTargets(t *testing.T) {
+	reg := obs.NewRegistry()
+	if p := newSLOPlane(reg, map[string]TenantPolicy{"a": {RatePerSec: 5}}, TenantPolicy{}); p != nil {
+		t.Fatal("plane built with no SLO targets configured")
+	}
+	var p *sloPlane
+	if got := p.refresh(); got != nil {
+		t.Fatalf("nil plane refresh = %v, want nil", got)
+	}
+}
+
+func TestSLOPlaneRefresh(t *testing.T) {
+	reg := obs.NewRegistry()
+	tenants := map[string]TenantPolicy{
+		"alpha": {SLOTargetP99MS: 10, SLOErrorRate: 0.10},
+		"beta":  {SLOTargetP99MS: 1000},
+	}
+	plane := newSLOPlane(reg, tenants, TenantPolicy{})
+	if plane == nil {
+		t.Fatal("plane is nil despite configured targets")
+	}
+
+	// No traffic yet: every objective is vacuously OK with zeroed standings.
+	for _, st := range plane.refresh() {
+		if !st.OK || st.Samples != 0 || st.P99Burn != 0 || st.ErrorBurn != 0 {
+			t.Fatalf("idle standing = %+v, want vacuously OK zeros", st)
+		}
+	}
+
+	// alpha burns both objectives: slow jobs against a 10ms target, and 1
+	// failure out of 4 terminal jobs against a 10%% budget.
+	h := reg.Histogram("jobs.latency_ms.alpha")
+	for i := 0; i < 20; i++ {
+		h.Observe(500)
+	}
+	reg.Counter("jobs.succeeded.alpha").Add(3)
+	reg.Counter("jobs.failed.alpha").Add(1)
+	// beta stays comfortably inside its latency target.
+	reg.Histogram("jobs.latency_ms.beta").Observe(5)
+	reg.Counter("jobs.succeeded.beta").Add(1)
+
+	out := plane.refresh()
+	if len(out) != 2 || out[0].Tenant != "alpha" || out[1].Tenant != "beta" {
+		t.Fatalf("standings = %+v, want [alpha beta]", out)
+	}
+	alpha, beta := out[0], out[1]
+	if alpha.OK {
+		t.Errorf("alpha.OK = true, want burning")
+	}
+	if alpha.Samples != 20 || alpha.P99MS <= 10 || alpha.P99Burn <= 1 {
+		t.Errorf("alpha latency standing = %+v", alpha)
+	}
+	if alpha.ErrorRate != 0.25 || alpha.ErrorBurn != 2.5 {
+		t.Errorf("alpha error standing: rate=%g burn=%g, want 0.25 / 2.5", alpha.ErrorRate, alpha.ErrorBurn)
+	}
+	if !beta.OK || beta.P99Burn >= 1 || beta.ErrorBurn != 0 {
+		t.Errorf("beta standing = %+v, want OK", beta)
+	}
+
+	// The standings land as gauges for /metrics.
+	if v := reg.Gauge("jobs.slo.ok.alpha").Value(); v != 0 {
+		t.Errorf("jobs.slo.ok.alpha = %g, want 0", v)
+	}
+	if v := reg.Gauge("jobs.slo.ok.beta").Value(); v != 1 {
+		t.Errorf("jobs.slo.ok.beta = %g, want 1", v)
+	}
+	if v := reg.Gauge("jobs.slo.error_burn.alpha").Value(); v != 2.5 {
+		t.Errorf("jobs.slo.error_burn.alpha = %g, want 2.5", v)
+	}
+	if v := reg.Gauge("jobs.slo.p99_burn.alpha").Value(); v <= 1 {
+		t.Errorf("jobs.slo.p99_burn.alpha = %g, want > 1", v)
+	}
+}
+
+func TestServerHealthzCarriesSLOAndQueueGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Options{
+		Workers:  1,
+		Registry: reg,
+		Tenants: map[string]TenantPolicy{
+			"acme": {SLOTargetP99MS: 60_000, SLOErrorRate: 0.5},
+		},
+	}, echoRunner(`{}`))
+
+	resp, j := postJob(t, ts.URL, quickSpec("acme"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var cur Job
+	for {
+		getJSON(t, ts.URL+"/jobs/"+j.ID, &cur)
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The latency observation happens right after the terminal transition;
+	// poll /healthz until the SLO plane has seen it.
+	var hp healthPayload
+	for {
+		getJSON(t, ts.URL+"/healthz", &hp)
+		if len(hp.SLO) == 1 && hp.SLO[0].Samples >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never carried the SLO sample: %+v", hp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := hp.SLO[0]
+	if st.Tenant != "acme" || !st.OK {
+		t.Fatalf("SLO standing = %+v, want OK acme", st)
+	}
+	if st.TargetP99MS != 60_000 || st.TargetErrorRate != 0.5 {
+		t.Fatalf("SLO targets = %+v", st)
+	}
+	if st.ErrorRate != 0 || st.ErrorBurn != 0 {
+		t.Fatalf("SLO error standing = %+v, want clean", st)
+	}
+	if hp.OldestAgeMS != 0 || hp.DeadLetter != 0 {
+		t.Fatalf("queue gauges = age %d deadletter %d, want zeros on a drained queue", hp.OldestAgeMS, hp.DeadLetter)
+	}
+
+	// /metrics exposes the SLO gauges, queue-age gauge, dead-letter gauge
+	// and the all-tenant aggregate latency histogram.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"gnsslna_jobs_slo_ok_acme",
+		"gnsslna_jobs_slo_p99_burn_acme",
+		"gnsslna_jobs_queue_oldest_age_ms",
+		"gnsslna_jobs_deadletter",
+		`gnsslna_jobs_latency_ms_count{name="jobs.latency_ms"}`,
+		`gnsslna_jobs_queue_wait_ms_count{name="jobs.queue_wait_ms"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestQueueOldestQueuedMS(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if got := q.OldestQueuedMS(); got != 0 {
+		t.Fatalf("empty queue oldest = %d, want 0", got)
+	}
+	a := mustSubmit(t, q, quickSpec("a"))
+	time.Sleep(2 * time.Millisecond)
+	mustSubmit(t, q, quickSpec("b"))
+	if got := q.OldestQueuedMS(); got != a.QueuedMS {
+		t.Fatalf("oldest = %d, want first submission %d", got, a.QueuedMS)
+	}
+	// Claiming the oldest advances the gauge to the next-in-line.
+	claimed, err := q.Claim(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claimed.ID != a.ID {
+		t.Fatalf("claimed %s, want FIFO head %s", claimed.ID, a.ID)
+	}
+	if got := q.OldestQueuedMS(); got < a.QueuedMS {
+		t.Fatalf("oldest after claim = %d, want the remaining job's stamp", got)
+	}
+}

@@ -74,6 +74,23 @@ func (s *Store) ReadResult(id string) ([]byte, error) {
 	return os.ReadFile(filepath.Join(s.jobsDir(), id, "result.json"))
 }
 
+// DeadLetterCount returns the number of quarantined jobs resting in the
+// dead-letter directory (0 on a read error: the gauge built on this must
+// never make observability a failure mode).
+func (s *Store) DeadLetterCount() int {
+	entries, err := os.ReadDir(s.DeadLetterDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
 // Quarantine moves the job's artifact directory into the dead-letter area
 // and records the reason alongside, so the poisoned run's checkpoints and
 // journals travel with it.

@@ -40,7 +40,10 @@ type FleetOptions struct {
 	// DefaultTimeout bounds a job attempt when the spec carries none
 	// (0: 5 minutes).
 	DefaultTimeout time.Duration
-	// Observer receives job span events (nil: disabled).
+	// Observer receives the durable job-trace events (nil: disabled). It
+	// must be a raw sink (hub, broadcaster, a Multi of both): the fleet
+	// stamps each event with the job's own persisted trace identity, so a
+	// Traced wrapper here would overwrite it.
 	Observer obs.Observer
 	// Metrics receives fleet counters (nil: disabled).
 	Metrics *Metrics
@@ -122,13 +125,26 @@ func (f *Fleet) CancelJob(id string) {
 }
 
 // execute runs one claimed job to a terminal state (or re-queues it on
-// fleet shutdown).
+// fleet shutdown). Every phase lands in the job's durable trace: the queue
+// wait as a child span, each retry attempt as a sibling span the runner's
+// solver spans nest under, the scheduled backoff between attempts as samples,
+// and the root span-end when the job goes terminal.
 func (f *Fleet) execute(fleetCtx context.Context, job *Job, worker int) {
 	m := f.opts.Metrics
 	tenant := job.Spec.tenant()
-	queueWait := float64(nowMS(f.q.opts.Now) - job.SubmittedMS)
+	queuedAt := job.QueuedMS
+	if queuedAt == 0 {
+		queuedAt = job.SubmittedMS
+	}
+	queueWait := float64(nowMS(f.q.opts.Now) - queuedAt)
+	if queueWait < 0 {
+		queueWait = 0
+	}
 	m.observeQueueWait(tenant, queueWait)
-	m.setGauges(f.q)
+	m.observeQueue(f.q, f.store)
+
+	trace := newJobTrace(f.opts.Observer, job)
+	trace.waitSpan(queueWait)
 
 	timeout := f.opts.DefaultTimeout
 	if job.Spec.TimeoutMS > 0 {
@@ -143,38 +159,50 @@ func (f *Fleet) execute(fleetCtx context.Context, job *Job, worker int) {
 		f.mu.Lock()
 		delete(f.running, job.ID)
 		f.mu.Unlock()
-		m.setGauges(f.q)
+		m.observeQueue(f.q, f.store)
 	}()
 
 	dir, err := f.store.JobDir(job.ID)
 	if err != nil {
-		_, _ = f.q.Fail(job.ID, err.Error())
+		done, _ := f.q.Fail(job.ID, err.Error())
+		emitJobDone(f.opts.Observer, done)
 		m.inc("jobs.failed", tenant)
 		return
 	}
-
-	// The job span brackets every attempt; the causal tracer parents the
-	// solver spans the runner emits under it.
-	span, endSpan := obs.StartSpan(f.opts.Observer, "serve.job."+string(job.Spec.Type))
-	start := time.Now()
 
 	var result json.RawMessage
 	panics := 0
 	retry := f.opts.Retry
 	retry.Backoff.Seed = resilience.JitterSeed(job.Spec.Seed, int(job.Seq))
+	// Record the exact (deterministic) backoff the policy is about to sleep,
+	// then delegate to the caller's sleep (or the default timer).
+	innerSleep := retry.Sleep
+	retry.Sleep = func(ctx context.Context, d time.Duration) {
+		trace.backoff(d)
+		if innerSleep != nil {
+			innerSleep(ctx, d)
+			return
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+		case <-t.C:
+		}
+	}
 	runErr := retry.Do(jobCtx, func(attempt int) (err error) {
+		span, endSpan := trace.attempt(attempt)
 		defer func() {
 			if r := recover(); r != nil {
 				panics++
-				if span != nil {
-					span.Observe(obs.Event{Kind: obs.KindFault, Scope: "serve.job." + job.ID})
-				}
+				trace.fault("serve.job." + job.ID)
 				if panics >= f.opts.MaxPanics {
 					err = &poisonError{msg: fmt.Sprintf("panic in attempt %d: %v", attempt, r)}
 				} else {
 					err = resilience.Transient(fmt.Errorf("panic in attempt %d: %v", attempt, r))
 				}
 			}
+			endSpan(0)
 		}()
 		m.inc("jobs.attempts", tenant)
 		if attempt > 1 {
@@ -183,38 +211,45 @@ func (f *Fleet) execute(fleetCtx context.Context, job *Job, worker int) {
 		result, err = f.runner.Run(jobCtx, job, dir, span)
 		return err
 	})
-	endSpan(0)
-	m.observeLatency(tenant, float64(time.Since(start))/float64(time.Millisecond))
 
+	var done *Job
 	switch {
 	case runErr == nil:
 		if result == nil {
 			result = json.RawMessage(`{}`)
 		}
 		if err := f.store.WriteResult(job.ID, result); err != nil {
-			_, _ = f.q.Fail(job.ID, err.Error())
+			done, _ = f.q.Fail(job.ID, err.Error())
+			emitJobDone(f.opts.Observer, done)
 			m.inc("jobs.failed", tenant)
 			return
 		}
-		_, _ = f.q.Complete(job.ID, result)
+		done, _ = f.q.Complete(job.ID, result)
 		m.inc("jobs.succeeded", tenant)
 	case isPoison(runErr):
-		_, _ = f.q.Quarantine(job.ID, runErr.Error())
+		done, _ = f.q.Quarantine(job.ID, runErr.Error())
 		_ = f.store.Quarantine(job.ID, runErr.Error())
 		m.inc("jobs.quarantined", tenant)
 	case fleetCtx.Err() != nil:
 		// Fleet shutdown (not the job's own deadline): park the job for the
-		// next start; its checkpoints carry the completed stages.
+		// next start; its checkpoints carry the completed stages and the open
+		// root span waits for the process that finishes it.
 		_ = f.q.Requeue(job.ID)
 		m.inc("jobs.requeued", tenant)
+		return
 	default:
 		if cur, err := f.q.Get(job.ID); err == nil && cur.State.Terminal() {
 			// A client cancel raced us to a terminal state; the queue's
-			// first-terminal-wins rule already settled it.
+			// first-terminal-wins rule already settled it (and the cancel
+			// handler closed the trace).
 			return
 		}
-		_, _ = f.q.Fail(job.ID, runErr.Error())
+		done, _ = f.q.Fail(job.ID, runErr.Error())
 		m.inc("jobs.failed", tenant)
+	}
+	emitJobDone(f.opts.Observer, done)
+	if done != nil {
+		m.observeLatency(tenant, float64(done.DoneMS-done.SubmittedMS))
 	}
 }
 
