@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 0.2s
 FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke soak-smoke
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-smoke bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke soak-smoke
 
 # verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build, the full test suite, and a race pass over the concurrently-exercised
@@ -132,6 +132,12 @@ bench:
 
 bench-gate:
 	$(GO) run ./cmd/benchgate compare
+
+# bench-smoke executes every benchmark exactly once: no timing is recorded,
+# it only proves the benchmark bodies still run (a broken bench otherwise
+# surfaces first during a trajectory recording).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # bench-workers runs only the Workers benchmark variants (serial pipelines
 # with the evaluation fan-out at NumCPU width) for a quick parallel-path

@@ -163,9 +163,65 @@ func BenchmarkDeviceNoiseParams(b *testing.B) {
 }
 
 func BenchmarkAmplifierBandEvaluation(b *testing.B) {
+	// Repeated evaluation of one design: after the first iteration every
+	// call hits the evaluation memo, which is exactly the serve-worker
+	// repeated-spec pattern this benchmark tracks.
 	des := core.NewDesigner(core.NewBuilder(device.Golden()))
 	des.Spec.NPoints = 11
 	x := core.Design{Vgs: 0.46, Vds: 3, LIn: 5.6e-9, LDegen: 0.5e-9, LOut: 2.2e-9, COut: 0.5e-12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := des.Evaluate(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAmplifierEvaluateUncached(b *testing.B) {
+	// The memo-bypassed full evaluation: the honest cost of the batched
+	// stamp-once/solve-many band path (in-band grid plus stability scan).
+	des := core.NewDesigner(core.NewBuilder(device.Golden()))
+	des.Memo = nil
+	des.Spec.NPoints = 11
+	x := core.Design{Vgs: 0.46, Vds: 3, LIn: 5.6e-9, LDegen: 0.5e-9, LOut: 2.2e-9, COut: 0.5e-12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := des.Evaluate(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAmplifierMetricsBand(b *testing.B) {
+	// The raw grid-batched metrics slab on a prebuilt amplifier: compiled
+	// chains and hoisted device state, no designer aggregation on top.
+	amp, err := core.NewBuilder(device.Golden()).Build(
+		core.Design{Vgs: 0.46, Vds: 3, LIn: 5.6e-9, LDegen: 0.5e-9, LOut: 2.2e-9, COut: 0.5e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := mathx.Linspace(1.1e9, 1.7e9, 11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := amp.MetricsBand(freqs, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAmplifierEvaluateMemoHit(b *testing.B) {
+	// The pure hit path: content hash, LRU lookup, immutable result.
+	des := core.NewDesigner(core.NewBuilder(device.Golden()))
+	des.Memo = core.NewEvalMemo(64)
+	des.Spec.NPoints = 11
+	x := core.Design{Vgs: 0.46, Vds: 3, LIn: 5.6e-9, LDegen: 0.5e-9, LOut: 2.2e-9, COut: 0.5e-12}
+	// Two warm-up evaluations: the doorkeeper admits a key on its second
+	// miss, so the hit path only opens after the second pass.
+	for i := 0; i < 2; i++ {
+		if _, err := des.Evaluate(x); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := des.Evaluate(x); err != nil {

@@ -267,12 +267,20 @@ type PointMetrics struct {
 	K, Mu float64
 }
 
-// MetricsAt evaluates the amplifier at one frequency.
+// MetricsAt evaluates the amplifier at one frequency — the per-point view
+// of the band engine (see band.go): both paths reduce a noisy two-port to
+// PointMetrics with the same pointMetricsOf.
 func (a *Amplifier) MetricsAt(f, z0 float64) (PointMetrics, error) {
 	tp, err := a.NoisyAt(f)
 	if err != nil {
 		return PointMetrics{}, err
 	}
+	return pointMetricsOf(tp, f, z0)
+}
+
+// pointMetricsOf reduces the amplifier's noisy two-port at f to its metric
+// summary; the single definition both the per-point and batch paths share.
+func pointMetricsOf(tp noise.TwoPort, f, z0 float64) (PointMetrics, error) {
 	s, err := tp.S(z0)
 	if err != nil {
 		return PointMetrics{}, err
@@ -292,9 +300,17 @@ func (a *Amplifier) MetricsAt(f, z0 float64) (PointMetrics, error) {
 	return m, nil
 }
 
-// Sweep evaluates the amplifier over a frequency list.
+// Sweep evaluates the amplifier over a frequency list, riding the band
+// engine. On a band-path error it falls back to the per-point loop so the
+// error carries the historic per-frequency wrapping.
 func (a *Amplifier) Sweep(freqs []float64, z0 float64) ([]PointMetrics, error) {
 	out := make([]PointMetrics, len(freqs))
+	ws := getBandWorkspace()
+	err := a.MetricsBandInto(ws, out, freqs, z0)
+	putBandWorkspace(ws)
+	if err == nil {
+		return out, nil
+	}
 	for i, f := range freqs {
 		m, err := a.MetricsAt(f, z0)
 		if err != nil {
@@ -314,14 +330,15 @@ func (a *Amplifier) GroupDelay(f, z0, rel float64) (float64, error) {
 		rel = 1e-4
 	}
 	df := f * rel
-	sLo, err := a.SAt(f-df, z0)
+	freqs := [2]float64{f - df, f + df}
+	var s [2]twoport.Mat2
+	ws := getBandWorkspace()
+	err := a.sBandInto(ws, s[:], freqs[:], z0)
+	putBandWorkspace(ws)
 	if err != nil {
 		return 0, err
 	}
-	sHi, err := a.SAt(f+df, z0)
-	if err != nil {
-		return 0, err
-	}
+	sLo, sHi := s[0], s[1]
 	// Unwrapped phase difference via the quotient avoids 2*pi ambiguities
 	// for small steps.
 	dphi := cmplx.Phase(sHi[1][0] / sLo[1][0])
@@ -332,12 +349,11 @@ func (a *Amplifier) GroupDelay(f, z0, rel float64) (float64, error) {
 // Touchstone export or VNA comparison.
 func (a *Amplifier) Network(freqs []float64, z0 float64) (*twoport.Network, error) {
 	mats := make([]twoport.Mat2, len(freqs))
-	for i, f := range freqs {
-		s, err := a.SAt(f, z0)
-		if err != nil {
-			return nil, err
-		}
-		mats[i] = s
+	ws := getBandWorkspace()
+	err := a.sBandInto(ws, mats, freqs, z0)
+	putBandWorkspace(ws)
+	if err != nil {
+		return nil, err
 	}
 	return twoport.NewNetwork(z0, freqs, mats)
 }

@@ -105,6 +105,15 @@ type Designer struct {
 	// concurrent calls.
 	Workers int
 
+	// Memo, when non-nil, caches successful Evaluate results keyed by the
+	// full evaluation context (spec, substrate, builder, device content) and
+	// the exact design vector. NewDesigner attaches the process-wide
+	// DefaultEvalMemo so all designers in the process — including every
+	// serve worker — share hits. Evaluations are deterministic, so a hit is
+	// bit-identical to recomputation; the eval tally still counts every
+	// call.
+	Memo *EvalMemo
+
 	// evals is atomic: Optimize can evaluate candidates from concurrent
 	// worker goroutines while keeping the reported tally exact.
 	evals atomic.Int64
@@ -112,6 +121,10 @@ type Designer struct {
 	// freqs caches the spec-derived sweep grids so each of the thousands of
 	// candidate evaluations doesn't rebuild them.
 	freqs atomic.Pointer[specFreqs]
+
+	// ctxKey caches the memo context digest against a comparable snapshot
+	// of the evaluation context (see evalmemo.go).
+	ctxKey atomic.Pointer[ctxDigest]
 }
 
 // specFreqs is the memoized frequency grid keyed by the (comparable) spec
@@ -134,10 +147,16 @@ func (d *Designer) sweepGrids() (pts, stab []float64) {
 	return g.pts, g.stab
 }
 
-// NewDesigner wires a designer with the default spec.
+// NewDesigner wires a designer with the default spec and the process-wide
+// shared evaluation memo.
 func NewDesigner(b *Builder) *Designer {
-	return &Designer{Builder: b, Spec: DefaultSpec(), Z0: 50}
+	return &Designer{Builder: b, Spec: DefaultSpec(), Z0: 50, Memo: DefaultEvalMemo()}
 }
+
+// EvalCount reports the number of Evaluate calls charged so far. The tally
+// is charged before the memo lookup, so cached and recomputed evaluations
+// journal identically — a memo hit is indistinguishable in the eval count.
+func (d *Designer) EvalCount() int64 { return d.evals.Load() }
 
 func (d *Designer) z0() float64 {
 	if d.Z0 <= 0 {
@@ -151,12 +170,32 @@ func (d *Designer) z0() float64 {
 // race-free), which is what lets the optimizers and sweeps fan candidate
 // evaluations across workers.
 func (d *Designer) Evaluate(x Design) (Evaluation, error) {
+	// The tally charges every call — before the memo lookup — so eval
+	// counts (and the journal records derived from them) are identical
+	// whether a design hits the memo or is recomputed.
 	d.evals.Add(1)
+	var key memoKey
+	useMemo := false
+	// x == x rejects NaN-bearing designs, which could never hit (NaN keys
+	// compare unequal to themselves) and would only pollute the LRU.
+	if d.Memo != nil && x == x {
+		if h, ok := d.ctxHash(); ok {
+			key = memoKey{ctx: h, design: x}
+			useMemo = true
+			if ev, ok := d.Memo.lookup(key); ok {
+				return ev, nil
+			}
+		}
+	}
 	amp, err := d.Builder.Build(x)
 	if err != nil {
 		return Evaluation{}, err
 	}
-	return d.evaluateAmp(amp, x)
+	ev, err := d.evaluateAmp(amp, x)
+	if err == nil && useMemo {
+		d.Memo.store(key, ev)
+	}
+	return ev, err
 }
 
 // evaluateAmp aggregates the band objectives of an already-built amplifier.
@@ -184,12 +223,28 @@ func (d *Designer) evaluateAmp(amp *Amplifier, x Design) (Evaluation, error) {
 		ev.WorstS22dB = math.Max(ev.WorstS22dB, p.S22dB)
 		ev.StabMargin = math.Min(ev.StabMargin, p.Mu-1)
 	}
-	for _, f := range stabGrid {
-		m, err := amp.MetricsAt(f, d.z0())
-		if err != nil {
-			return Evaluation{}, err
+	if len(stabGrid) > 0 {
+		// The wide stability scan only consumes Mu, which depends on the
+		// chain matrices alone: the A-only band path skips all the
+		// noise-correlation work. Its values equal (==) the per-point Mu;
+		// on error, the per-point loop reproduces the historic behavior.
+		mus := make([]float64, len(stabGrid))
+		ws := getBandWorkspace()
+		err := amp.muBandInto(ws, mus, stabGrid, d.z0())
+		putBandWorkspace(ws)
+		if err == nil {
+			for _, mu := range mus {
+				ev.StabMargin = math.Min(ev.StabMargin, mu-1)
+			}
+		} else {
+			for _, f := range stabGrid {
+				m, err := amp.MetricsAt(f, d.z0())
+				if err != nil {
+					return Evaluation{}, err
+				}
+				ev.StabMargin = math.Min(ev.StabMargin, m.Mu-1)
+			}
 		}
-		ev.StabMargin = math.Min(ev.StabMargin, m.Mu-1)
 	}
 	return ev, nil
 }

@@ -1,0 +1,118 @@
+package mna
+
+import (
+	"testing"
+
+	"gnsslna/internal/mathx"
+	"gnsslna/internal/twoport"
+)
+
+// bandTestCircuit builds a representative amplifier-shaped netlist hitting
+// every plan kind: static resistors, reactive two-nodes, a delay-free VCCS
+// (frozen), a delayed VCCS, and a transmission line (generic fallback).
+func bandTestCircuit() *Circuit {
+	c := New()
+	c.AddR("in", "g", 5)
+	c.AddC("g", "0", 0.4e-12)
+	c.AddC("g", "d", 0.05e-12)
+	c.AddVCCS("g", "0", "d", "0", 0.08, 1.5e-12)
+	c.AddVCCS("d", "0", "0", "d", 1e-4, 0) // static output conductance
+	c.AddR("d", "out", 3)
+	c.AddL("out", "0", 8e-9)
+	zc := func(float64) complex128 { return complex(50, 0) }
+	gamma := func(f float64) complex128 { return complex(0.1, 2*3.141592653589793*f/3e8) }
+	c.AddLine("out", "p2", zc, gamma, 2e-3)
+	return c
+}
+
+func bandGrid() []float64 { return mathx.Logspace(100e6, 10e9, 17) }
+
+// TestSParamsBandMatchesFresh demands that one batched grid pass over a
+// reused circuit — static values frozen, scratch and plan reused across
+// points — equal (==) per-point computes on fresh circuits.
+func TestSParamsBandMatchesFresh(t *testing.T) {
+	grid := bandGrid()
+	c := bandTestCircuit()
+	band := make([]twoport.Mat2, len(grid))
+	if err := c.SParamsBandInto(band, grid, "in", "p2", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range grid {
+		fresh := bandTestCircuit()
+		one := make([]twoport.Mat2, 1)
+		if err := fresh.SParamsBandInto(one, []float64{f}, "in", "p2", 50); err != nil {
+			t.Fatalf("fresh solve at %g Hz: %v", f, err)
+		}
+		if band[i] != one[0] {
+			t.Fatalf("at %g Hz: reused-circuit batch S %v != fresh S %v", f, band[i], one[0])
+		}
+	}
+}
+
+// TestSParamsBandPlanInvalidation adds an element after a grid pass and
+// demands the next pass see it: the compiled plan must recompile, and the
+// result must equal a fresh circuit built with the full netlist.
+func TestSParamsBandPlanInvalidation(t *testing.T) {
+	grid := bandGrid()
+	c := bandTestCircuit()
+	before := make([]twoport.Mat2, len(grid))
+	if err := c.SParamsBandInto(before, grid, "in", "p2", 50); err != nil {
+		t.Fatal(err)
+	}
+	c.AddR("p2", "0", 200)
+	after := make([]twoport.Mat2, len(grid))
+	if err := c.SParamsBandInto(after, grid, "in", "p2", 50); err != nil {
+		t.Fatal(err)
+	}
+	fresh := bandTestCircuit()
+	fresh.AddR("p2", "0", 200)
+	want := make([]twoport.Mat2, len(grid))
+	if err := fresh.SParamsBandInto(want, grid, "in", "p2", 50); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range grid {
+		if after[i] != want[i] {
+			t.Fatalf("point %d: stale plan — incremental circuit %v != fresh %v", i, after[i], want[i])
+		}
+		if after[i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("added shunt resistor left every S-parameter bit-identical; plan not recompiled")
+	}
+}
+
+// TestSParamsBandErrors covers the argument contracts.
+func TestSParamsBandErrors(t *testing.T) {
+	c := bandTestCircuit()
+	if err := c.SParamsBandInto(make([]twoport.Mat2, 2), []float64{1e9}, "in", "p2", 50); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.SParamsBandInto(make([]twoport.Mat2, 1), []float64{1e9}, "nosuch", "p2", 50); err == nil {
+		t.Error("unknown input port accepted")
+	}
+	if err := c.SParamsBandInto(make([]twoport.Mat2, 1), []float64{1e9}, "in", "nosuch", 50); err == nil {
+		t.Error("unknown output port accepted")
+	}
+}
+
+// TestSParams2Delegates pins the legacy per-grid API to the band engine.
+func TestSParams2Delegates(t *testing.T) {
+	grid := bandGrid()
+	c := bandTestCircuit()
+	net, err := c.SParams2(grid, "in", "p2", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]twoport.Mat2, len(grid))
+	if err := bandTestCircuit().SParamsBandInto(want, grid, "in", "p2", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		if net.S[i] != want[i] {
+			t.Fatalf("point %d: SParams2 %v != SParamsBandInto %v", i, net.S[i], want[i])
+		}
+	}
+}

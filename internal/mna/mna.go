@@ -31,6 +31,10 @@ type Circuit struct {
 	nodeNames []string
 	elems     []element
 
+	// plan is the lazily compiled symbolic stamp plan (see band.go): one
+	// scatter recipe per element, recompiled only when elements are added.
+	plan []compiledStamp
+
 	// Per-order solver scratch, sized lazily on first Solve.
 	y   *mathx.CMatrix
 	lu  mathx.CLU
@@ -67,11 +71,13 @@ func (c *Circuit) node(name string) int {
 // NumNodes returns the number of non-ground nodes seen so far.
 func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
 
-// twoNode is a generic branch admittance between two nodes.
+// twoNode is a generic branch admittance between two nodes. static marks a
+// frequency-independent admittance whose value the stamp plan may freeze.
 type twoNode struct {
-	a, b int
-	y    func(w float64) complex128
-	desc string
+	a, b   int
+	y      func(w float64) complex128
+	desc   string
+	static bool
 }
 
 func (e twoNode) describe() string { return e.desc }
@@ -93,39 +99,40 @@ func (e twoNode) stamp(y *mathx.CMatrix, w float64) {
 // AddR places a resistor of r ohms between nodes a and b.
 func (c *Circuit) AddR(a, b string, r float64) {
 	na, nb := c.node(a), c.node(b)
-	c.elems = append(c.elems, twoNode{na, nb,
-		func(float64) complex128 { return complex(1/r, 0) },
-		fmt.Sprintf("R %s-%s %g", a, b, r)})
+	c.elems = append(c.elems, twoNode{a: na, b: nb,
+		y:      func(float64) complex128 { return complex(1/r, 0) },
+		desc:   fmt.Sprintf("R %s-%s %g", a, b, r),
+		static: true})
 }
 
 // AddC places a capacitor of f farads between nodes a and b.
 func (c *Circuit) AddC(a, b string, farads float64) {
 	na, nb := c.node(a), c.node(b)
-	c.elems = append(c.elems, twoNode{na, nb,
-		func(w float64) complex128 { return complex(0, w*farads) },
-		fmt.Sprintf("C %s-%s %g", a, b, farads)})
+	c.elems = append(c.elems, twoNode{a: na, b: nb,
+		y:    func(w float64) complex128 { return complex(0, w*farads) },
+		desc: fmt.Sprintf("C %s-%s %g", a, b, farads)})
 }
 
 // AddL places an inductor of h henries between nodes a and b.
 func (c *Circuit) AddL(a, b string, h float64) {
 	na, nb := c.node(a), c.node(b)
-	c.elems = append(c.elems, twoNode{na, nb,
-		func(w float64) complex128 {
+	c.elems = append(c.elems, twoNode{a: na, b: nb,
+		y: func(w float64) complex128 {
 			if w == 0 {
 				return complex(1e12, 0) // DC short approximated
 			}
 			return 1 / complex(0, w*h)
 		},
-		fmt.Sprintf("L %s-%s %g", a, b, h)})
+		desc: fmt.Sprintf("L %s-%s %g", a, b, h)})
 }
 
 // AddY places an arbitrary frequency-dependent admittance between nodes a
 // and b. The function receives the frequency in Hz.
 func (c *Circuit) AddY(a, b string, y func(fHz float64) complex128, desc string) {
 	na, nb := c.node(a), c.node(b)
-	c.elems = append(c.elems, twoNode{na, nb,
-		func(w float64) complex128 { return y(w / (2 * math.Pi)) },
-		desc})
+	c.elems = append(c.elems, twoNode{a: na, b: nb,
+		y:    func(w float64) complex128 { return y(w / (2 * math.Pi)) },
+		desc: desc})
 }
 
 // vccs is a voltage-controlled current source: current gm*exp(-jw tau) *
@@ -217,20 +224,27 @@ func (c *Circuit) Netlist() []string {
 	return out
 }
 
-// assemble builds the nodal admittance matrix at frequency f (Hz), reusing
-// the circuit's scratch matrix when the order is unchanged.
-func (c *Circuit) assemble(f float64) *mathx.CMatrix {
+// ensureScratch sizes the per-order solver scratch for the current node
+// count (matrix contents are left stale; callers Zero before stamping).
+func (c *Circuit) ensureScratch() {
 	n := len(c.nodeNames)
 	if c.y == nil || c.y.Rows() != n {
 		c.y = mathx.NewCMatrix(n, n)
 		c.rhs = make([]complex128, n)
 		c.sol = make([]complex128, n)
-	} else {
-		c.y.Zero()
 	}
+}
+
+// assemble builds the nodal admittance matrix at frequency f (Hz) via the
+// compiled stamp plan, reusing the circuit's scratch matrix when the order
+// is unchanged.
+func (c *Circuit) assemble(f float64) *mathx.CMatrix {
+	c.ensureScratch()
+	c.ensurePlan()
+	c.y.Zero()
 	w := 2 * math.Pi * f
-	for _, e := range c.elems {
-		e.stamp(c.y, w)
+	for i := range c.plan {
+		c.plan[i].stamp(c.y, w)
 	}
 	return c.y
 }
@@ -298,42 +312,5 @@ func (c *Circuit) ZParams(f float64, ports []string) (*mathx.CMatrix, error) {
 // ports on the same node — and it factorizes once per frequency instead of
 // once per port.
 func (c *Circuit) SParams2(freqs []float64, portIn, portOut string, z0 float64) (*twoport.Network, error) {
-	in, ok := c.nodeIndex[portIn]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, portIn)
-	}
-	out, ok := c.nodeIndex[portOut]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, portOut)
-	}
-	ports := [2]int{in, out}
-	g0 := complex(1/z0, 0)
-	mats := make([]twoport.Mat2, len(freqs))
-	for k, f := range freqs {
-		y := c.assemble(f)
-		for _, p := range ports {
-			y.Add(p, p, g0)
-		}
-		if err := c.lu.Factorize(y); err != nil {
-			return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
-		}
-		var s twoport.Mat2
-		for j := 0; j < 2; j++ {
-			for i := range c.rhs {
-				c.rhs[i] = 0
-			}
-			c.rhs[ports[j]] += g0 // Norton equivalent of 1 V behind z0
-			if err := c.lu.SolveInto(c.sol, c.rhs); err != nil {
-				return nil, fmt.Errorf("mna: solve at %g Hz: %w", f, err)
-			}
-			for i := 0; i < 2; i++ {
-				s[i][j] = 2 * c.sol[ports[i]]
-				if i == j {
-					s[i][j] -= 1
-				}
-			}
-		}
-		mats[k] = s
-	}
-	return twoport.NewNetwork(z0, freqs, mats)
+	return c.SParamsBand(freqs, portIn, portOut, z0)
 }

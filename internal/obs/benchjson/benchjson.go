@@ -70,7 +70,10 @@ func stripProcs(name string) string {
 // ParseBench extracts benchmark results from `go test -bench` output.
 // Non-benchmark lines (test logs, PASS/ok trailers) are ignored, so the
 // stream can be a full verbose test run. A benchmark appearing several
-// times (e.g. -count > 1) keeps its last measurement.
+// times (e.g. -count > 1) keeps its fastest measurement: the minimum over
+// repetitions estimates the quiet-machine floor, which is the quantity a
+// regression gate can actually compare on shared hosts where any single
+// sample may absorb a scheduler-noise spike.
 func ParseBench(r io.Reader) ([]Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -78,6 +81,9 @@ func ParseBench(r io.Reader) ([]Result, error) {
 	for sc.Scan() {
 		res, ok := parseBenchLine(sc.Text())
 		if !ok {
+			continue
+		}
+		if prev, seen := byName[res.Name]; seen && prev.NsPerOp <= res.NsPerOp {
 			continue
 		}
 		byName[res.Name] = res

@@ -37,11 +37,11 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
-func TestParseBenchKeepsLastOfRepeats(t *testing.T) {
-	in := "BenchmarkX-4 100 200 ns/op\nBenchmarkX-4 100 300 ns/op\n"
+func TestParseBenchKeepsFastestOfRepeats(t *testing.T) {
+	in := "BenchmarkX-4 100 300 ns/op\nBenchmarkX-4 100 200 ns/op\nBenchmarkX-4 100 250 ns/op\n"
 	got, err := ParseBench(strings.NewReader(in))
-	if err != nil || len(got) != 1 || got[0].NsPerOp != 300 {
-		t.Fatalf("got %+v err %v, want single BenchmarkX at 300 ns/op", got, err)
+	if err != nil || len(got) != 1 || got[0].NsPerOp != 200 {
+		t.Fatalf("got %+v err %v, want single BenchmarkX at 200 ns/op", got, err)
 	}
 }
 

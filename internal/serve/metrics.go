@@ -1,6 +1,9 @@
 package serve
 
-import "gnsslna/internal/obs"
+import (
+	"gnsslna/internal/core"
+	"gnsslna/internal/obs"
+)
 
 // Metrics lands the fleet's health in the shared obs registry, where the
 // export server renders it as the per-tenant gnsslna_jobs_* Prometheus
@@ -49,6 +52,22 @@ func (m *Metrics) observeQueue(q *Queue, st *Store) {
 	if st != nil {
 		m.reg.Gauge("jobs.deadletter").Set(float64(st.DeadLetterCount()))
 	}
+	m.observeEvalMemo()
+}
+
+// observeEvalMemo lands the shared evaluation-memo counters on the metrics
+// plane: worker attempts for repeated specs resolve as cache hits, and
+// these gauges are how that shows up in gnsslna_jobs_* scrapes
+// ("evalmemo.hits"/"evalmemo.misses"/"evalmemo.evictions"/"evalmemo.size").
+func (m *Metrics) observeEvalMemo() {
+	if m == nil {
+		return
+	}
+	st := core.DefaultEvalMemo().Stats()
+	m.reg.Gauge("evalmemo.hits").Set(float64(st.Hits))
+	m.reg.Gauge("evalmemo.misses").Set(float64(st.Misses))
+	m.reg.Gauge("evalmemo.evictions").Set(float64(st.Evictions))
+	m.reg.Gauge("evalmemo.size").Set(float64(st.Size))
 }
 
 // observeLatency records one job's end-to-end latency (submit to terminal,

@@ -1,0 +1,105 @@
+package twoport
+
+// Grid-batched Mat2 algebra: structure-of-arrays loops over []Mat2 slabs.
+// Every batched function is a pointwise application of the corresponding
+// per-point routine, so results are value-exact (==) against the per-point
+// path and the differential suite in internal/verify can assert as much.
+
+// MulBand writes a[i].Mul(b[i]) into dst (all slices the common length) and
+// returns dst.
+func MulBand(dst, a, b []Mat2) []Mat2 {
+	for i := range dst {
+		dst[i] = a[i].Mul(b[i])
+	}
+	return dst
+}
+
+// CascadeSBand writes the S-parameter cascade of a[i] followed by b[i] at the
+// common reference z0 into dst and returns dst. Each point is the exact
+// per-point CascadeS.
+func CascadeSBand(z0 float64, dst, a, b []Mat2) error {
+	for i := range dst {
+		s, err := CascadeS(z0, a[i], b[i])
+		if err != nil {
+			return err
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// ABCDToSBand converts a slab of chain matrices to scattering matrices at
+// the common reference z0, writing into dst.
+func ABCDToSBand(dst, abcd []Mat2, z0 float64) error {
+	for i := range abcd {
+		s, err := ABCDToS(abcd[i], z0)
+		if err != nil {
+			return err
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// MulSeriesZ returns a.Mul(SeriesZ(z)) specialized for the elementary series
+// chain matrix [[1, z], [0, 1]]: products against the exact ones and zeros
+// drop out, and for finite operands the surviving terms are computed by the
+// same operations the generic Mul performs, so the result compares equal
+// under ==. Callers must fall back to the generic product when a or z is
+// non-finite.
+func MulSeriesZ(a Mat2, z complex128) Mat2 {
+	return Mat2{
+		{a[0][0], a[0][0]*z + a[0][1]},
+		{a[1][0], a[1][0]*z + a[1][1]},
+	}
+}
+
+// MulShuntY returns a.Mul(ShuntY(y)) specialized for the elementary shunt
+// chain matrix [[1, 0], [y, 1]], under the same finite-operand contract as
+// MulSeriesZ.
+func MulShuntY(a Mat2, y complex128) Mat2 {
+	return Mat2{
+		{a[0][0] + a[0][1]*y, a[0][1]},
+		{a[1][0] + a[1][1]*y, a[1][1]},
+	}
+}
+
+// TransducerGainBand writes the 50-ohm-terminated transducer gain of each
+// scattering matrix into dst (gammaS = gammaL = 0) and returns dst.
+func TransducerGainBand(dst []float64, s []Mat2) []float64 {
+	for i := range s {
+		dst[i] = TransducerGain(s[i], 0, 0)
+	}
+	return dst
+}
+
+// RolletKBand writes the Rollet K factor of each scattering matrix into dst.
+func RolletKBand(dst []float64, s []Mat2) []float64 {
+	for i := range s {
+		dst[i] = RolletK(s[i])
+	}
+	return dst
+}
+
+// MuSourceBand writes the mu source-stability factor of each scattering
+// matrix into dst.
+func MuSourceBand(dst []float64, s []Mat2) []float64 {
+	for i := range s {
+		dst[i] = MuSource(s[i])
+	}
+	return dst
+}
+
+// SameGrid reports whether the two networks sample exactly the same
+// frequency grid (same length, identical values).
+func SameGrid(a, b *Network) bool {
+	if len(a.Freqs) != len(b.Freqs) {
+		return false
+	}
+	for i, f := range a.Freqs {
+		if b.Freqs[i] != f {
+			return false
+		}
+	}
+	return true
+}
