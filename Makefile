@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 0.2s
 FUZZTIME ?= 30s
 
-.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-smoke bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke soak-smoke
+.PHONY: verify fmt vet staticcheck build test race bench bench-gate bench-smoke bench-workers chaos chaos-servd verify-invariants fuzz-smoke trace-smoke servd-smoke soak-smoke campaign-smoke
 
 # verify is the tier-1 gate: formatting, vet, staticcheck (when installed),
 # build, the full test suite, and a race pass over the concurrently-exercised
@@ -34,7 +34,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments ./internal/serve ./internal/verify
+	$(GO) test -race -count=1 ./internal/obs ./internal/obs/export ./internal/obs/replay ./internal/optim ./internal/resilience ./internal/resilience/chaostest ./internal/core ./internal/extract ./internal/experiments ./internal/serve ./internal/verify ./internal/campaign
 
 # verify-invariants runs the correctness harness: the physics-invariant
 # sweeps and differential cross-checks of internal/verify, plus the
@@ -112,6 +112,29 @@ soak-smoke:
 	awk -v f="$$fair" 'BEGIN { exit !(f >= 0.95) }'; \
 	kill -TERM "$$pid"; wait "$$pid"; \
 	echo "soak-smoke: OK (fairness $$fair)"
+
+# campaign-smoke drives the committed two-cell smoke campaign end to end
+# through the real CLI: run it, assert both artifacts exist, delete the
+# summary and re-run (every cell must restore from the checkpoint and the
+# regenerated summary must be byte-identical), pass the check publish gate,
+# then run a second copy and prove campaign-diff reports identity.
+campaign-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/campaign" ./cmd/campaign; \
+	$(GO) build -o "$$tmp/obsreport" ./cmd/obsreport; \
+	"$$tmp/campaign" run -spec examples/campaigns/smoke.yaml -out "$$tmp/a" -parallel 2 2> "$$tmp/run1.log"; \
+	test -s "$$tmp/a/campaign.summary.json"; test -s "$$tmp/a/RESULTS.md"; \
+	cp "$$tmp/a/campaign.summary.json" "$$tmp/first.json"; \
+	rm "$$tmp/a/campaign.summary.json"; \
+	"$$tmp/campaign" run -spec examples/campaigns/smoke.yaml -out "$$tmp/a" 2> "$$tmp/run2.log"; \
+	grep -q '2 restored from checkpoint' "$$tmp/run2.log"; \
+	cmp "$$tmp/first.json" "$$tmp/a/campaign.summary.json"; \
+	"$$tmp/campaign" check -out "$$tmp/a"; \
+	"$$tmp/campaign" run -spec examples/campaigns/smoke.yaml -out "$$tmp/b" -parallel 2 2> /dev/null; \
+	"$$tmp/obsreport" campaign-diff "$$tmp/a/campaign.summary.json" "$$tmp/b/campaign.summary.json" > "$$tmp/diff.txt"; \
+	cat "$$tmp/diff.txt"; \
+	grep -q 'identical: 2 cells' "$$tmp/diff.txt"; \
+	echo "campaign-smoke: OK (resume byte-identical, diff identical)"
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector; -count=1 defeats the test cache so faults are re-injected.

@@ -10,6 +10,7 @@
 //	obsreport trace   -tree run.jsonl [more.jsonl...]
 //	obsreport trace   -perfetto run.jsonl [more.jsonl...] > trace.json
 //	obsreport serve   [-json] run.jsonl [more.jsonl...]
+//	obsreport campaign-diff [-json] a/campaign.summary.json b/campaign.summary.json
 //
 // The -tree form reconstructs the causal span tree (run → solver →
 // generations → pool workers) from the trace identity stamped on each
@@ -21,6 +22,10 @@
 // The serve form summarizes (merged) lnaservd journals: throughput, outcome
 // and retry counts, scheduled backoff, and per-tenant exact queue-wait and
 // end-to-end latency percentiles.
+//
+// The campaign-diff form compares two campaign summaries cell by cell:
+// changed metrics (NaN-safe — two absent values are equal), plus explicit
+// added/removed listings for cells present in only one campaign.
 //
 // A journal truncated by a crash mid-line is reported on stderr and
 // analyzed up to its last complete record.
@@ -34,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gnsslna/internal/campaign"
 	"gnsslna/internal/obs/replay"
 )
 
@@ -45,7 +51,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: obsreport summary|compare|trace|serve [flags] <journal.jsonl> [more.jsonl...]")
+	return fmt.Errorf("usage: obsreport summary|compare|trace|serve|campaign-diff [flags] <journal.jsonl> [more.jsonl...]")
 }
 
 // loadMerged loads one or more journals and, when several are given, merges
@@ -163,6 +169,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return emit(rep)
 		}
 		return replay.WriteServeText(stdout, rep)
+	case "campaign-diff":
+		if fs.NArg() != 2 {
+			return usage()
+		}
+		a, err := campaign.LoadSummary(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := campaign.LoadSummary(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(campaign.Diff(a, b))
+		}
+		return campaign.WriteDiffText(stdout, fs.Arg(0), fs.Arg(1), a, b)
 	}
 	return usage()
 }

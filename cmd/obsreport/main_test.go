@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gnsslna/internal/campaign"
 	"gnsslna/internal/obs/replay"
 )
 
@@ -151,5 +153,65 @@ func TestTraceMultiJournalNeedsTree(t *testing.T) {
 		io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-tree or -perfetto") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// writeCampaignSummary writes a minimal campaign summary fixture.
+func writeCampaignSummary(t *testing.T, dir, name string, s *campaign.Summary) string {
+	t.Helper()
+	raw, err := s.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func campaignCell(id string, nf float64) campaign.CellResult {
+	return campaign.CellResult{
+		ID: id, Band: "l1", Spec: "gnss", Substrate: "ro4350",
+		Device: "golden", Algorithm: "attain", Seed: 1,
+		Status: "ok", MeetsSpec: true, Evals: 10,
+		WorstNFdB: replay.OptFloat(nf), MinGTdB: replay.OptFloat(15),
+		WorstS11dB: replay.OptFloat(-12), WorstS22dB: replay.OptFloat(-11),
+		StabMargin: replay.OptFloat(0.05), PdcW: replay.OptFloat(0.1),
+		Gamma: replay.OptFloat(-0.1),
+	}
+}
+
+func TestCampaignDiffSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCampaignSummary(t, dir, "a.json", &campaign.Summary{
+		Version: 1, Name: "x", SpecDigest: "d1", BaseSeed: 1, CellCount: 2, OKCount: 2,
+		Cells: []campaign.CellResult{campaignCell("c1", 0.8), campaignCell("c2", 0.85)},
+	})
+	b := writeCampaignSummary(t, dir, "b.json", &campaign.Summary{
+		Version: 1, Name: "x", SpecDigest: "d1", BaseSeed: 1, CellCount: 2, OKCount: 2,
+		Cells: []campaign.CellResult{campaignCell("c1", 0.8), campaignCell("c3", 0.9)},
+	})
+	out, _ := runCLI(t, "campaign-diff", a, b)
+	for _, want := range []string{
+		"removed in B (only in A): c2",
+		"added in B (only in B): c3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign-diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Identical inputs report identity, and -json parses back.
+	out, _ = runCLI(t, "campaign-diff", a, a)
+	if !strings.Contains(out, "identical: 2 cells") {
+		t.Errorf("self-diff not identical:\n%s", out)
+	}
+	jout, _ := runCLI(t, "campaign-diff", "-json", a, b)
+	var res campaign.DiffResult
+	if err := json.Unmarshal([]byte(jout), &res); err != nil {
+		t.Fatalf("campaign-diff JSON: %v\n%s", err, jout)
+	}
+	if res.Identical || len(res.Cells) != 3 {
+		t.Fatalf("diff = %+v", res)
 	}
 }

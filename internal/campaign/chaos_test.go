@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosSpec is the 4-cell campaign the SIGKILL proof runs: budgets big
+// enough that the kill lands mid-campaign, small enough to keep the test
+// quick.
+func chaosSpec() *Spec {
+	s := &Spec{
+		Version: 1, Name: "chaos", Seed: 1, Quick: true, Workers: 1,
+		Budget: Budget{GlobalEvals: 1500, PolishEvals: 600},
+		Axes: Axes{
+			Bands: []BandAxis{{Name: "l1", FLowHz: 1.559e9, FHighHz: 1.61e9, Points: 3}},
+			Specs: []SpecAxis{{Name: "gnss", NFMaxDB: 0.9, GTMinDB: 14, S11MaxDB: -10, S22MaxDB: -10, PdcMaxW: 0.25}},
+			Seeds: []int64{1, 2, 3, 4},
+		},
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestCampaignChaosChild is not a test: it is the campaign process the
+// SIGKILL proof below re-executes and murders. It runs the chaos campaign
+// serially into CAMPAIGN_CHAOS_DIR, printing one CELL line per durably
+// checkpointed cell (Logf fires after SaveCheckpoint returns).
+func TestCampaignChaosChild(t *testing.T) {
+	if os.Getenv("CAMPAIGN_CHAOS_CHILD") != "1" {
+		t.Skip("helper process for TestCampaignChaosSIGKILLResumesBitIdentical")
+	}
+	_, err := Run(chaosSpec(), RunOptions{
+		OutDir: os.Getenv("CAMPAIGN_CHAOS_DIR"), Parallel: 1,
+		Logf: func(format string, args ...any) {
+			line := fmt.Sprintf(format, args...)
+			if strings.HasPrefix(line, "cell ") {
+				fmt.Printf("CELL %s\n", line)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Printf("CHILD-ERROR %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("CHILD-DONE")
+}
+
+// TestCampaignChaosSIGKILLResumesBitIdentical is the resume proof the
+// campaign engine is built around: a campaign process SIGKILLed mid-run
+// (at least one cell checkpointed, at least one not) is resumed over the
+// same directory, and the merged summary must be byte-identical to an
+// uninterrupted reference run — same JSON, same RESULTS.md.
+func TestCampaignChaosSIGKILLResumesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec chaos proof skipped in -short")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCampaignChaosChild$", "-test.v")
+	cmd.Env = append(os.Environ(), "CAMPAIGN_CHAOS_CHILD=1", "CAMPAIGN_CHAOS_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// Kill as soon as the first cell is durably checkpointed: the CELL
+	// line is printed only after SaveCheckpoint's atomic rename returned.
+	sc := bufio.NewScanner(stdout)
+	killed := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "CHILD-ERROR"):
+			t.Fatalf("child failed: %s", line)
+		case line == "CHILD-DONE":
+		case strings.HasPrefix(line, "CELL "):
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+			killed = true
+		}
+		if killed {
+			break
+		}
+	}
+	_ = cmd.Wait()
+	if !killed {
+		t.Fatal("child finished before a single cell checkpoint appeared")
+	}
+
+	recs := bytes.Count(readFile(t, filepath.Join(dir, CheckpointFile)), []byte("\n"))
+	if recs == 0 {
+		t.Fatal("no checkpoint record survived the kill")
+	}
+	if recs >= 4 {
+		t.Skipf("kill landed after all %d cells finished; nothing left to resume", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SummaryFile)); !os.IsNotExist(err) {
+		t.Fatalf("summary exists after mid-run kill (stat err %v); the kill landed too late", err)
+	}
+
+	// Uninterrupted reference.
+	refDir := t.TempDir()
+	if _, err := Run(chaosSpec(), RunOptions{OutDir: refDir, Parallel: 1}); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Resume over the killed directory: the checkpointed cells restore,
+	// the rest recompute, and the merged artifacts must match the
+	// reference byte for byte.
+	var logged strings.Builder
+	start := time.Now()
+	if _, err := Run(chaosSpec(), RunOptions{OutDir: dir, Parallel: 1,
+		Logf: func(f string, a ...any) { fmt.Fprintf(&logged, f+"\n", a...) }}); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	t.Logf("resumed %d-cell campaign with %d checkpointed in %v", 4, recs, time.Since(start))
+	if !strings.Contains(logged.String(), fmt.Sprintf("%d restored from checkpoint", recs)) {
+		t.Fatalf("resume restored fewer cells than were checkpointed:\n%s", logged.String())
+	}
+	for _, name := range []string{SummaryFile, ResultsFile} {
+		got := readFile(t, filepath.Join(dir, name))
+		want := readFile(t, filepath.Join(refDir, name))
+		if !bytes.Equal(got, want) {
+			t.Errorf("resumed %s differs from uninterrupted reference:\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+		}
+	}
+}

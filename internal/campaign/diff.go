@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"gnsslna/internal/obs/replay"
+)
+
+// FieldDelta is one changed metric of a cell present in both summaries.
+// Values are replay.OptFloat, so an absent metric (NaN) survives JSON and
+// two absent values compare equal rather than forever-unequal.
+type FieldDelta struct {
+	Name string          `json:"name"`
+	A    replay.OptFloat `json:"a"`
+	B    replay.OptFloat `json:"b"`
+}
+
+// CellDelta is one row of a campaign-to-campaign diff: a cell added,
+// removed, identical, or changed field by field.
+type CellDelta struct {
+	ID string `json:"id"`
+	// OnlyIn is "a" or "b" for cells present in one summary, "" otherwise.
+	OnlyIn string `json:"only_in,omitempty"`
+	// Equal reports a cell present in both summaries with no changes.
+	Equal bool `json:"equal,omitempty"`
+	// Fields lists the changed numeric metrics; Notes the changed
+	// non-numeric facts (status, meets_spec, algorithm, evals).
+	Fields []FieldDelta `json:"fields,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+// DiffResult is the machine-readable campaign comparison.
+type DiffResult struct {
+	// DigestMatch reports whether the two summaries came from the same
+	// spec definition.
+	DigestMatch bool `json:"digest_match"`
+	// Identical reports a fully equal comparison: same digest, same
+	// cells, no deltas.
+	Identical bool `json:"identical"`
+	// Cells holds one delta per cell of the union, in A's order with B's
+	// extra cells appended in B's order.
+	Cells []CellDelta `json:"cells"`
+}
+
+// eqOpt is NaN-safe equality: two NaNs (absent metrics) are equal.
+func eqOpt(a, b replay.OptFloat) bool {
+	if a.IsNaN() && b.IsNaN() {
+		return true
+	}
+	return float64(a) == float64(b)
+}
+
+// metricFields enumerates the compared numeric metrics of a cell.
+func metricFields(c CellResult) []FieldDelta {
+	return []FieldDelta{
+		{Name: "gamma", A: c.Gamma},
+		{Name: "worst_nf_db", A: c.WorstNFdB},
+		{Name: "min_gt_db", A: c.MinGTdB},
+		{Name: "worst_s11_db", A: c.WorstS11dB},
+		{Name: "worst_s22_db", A: c.WorstS22dB},
+		{Name: "stab_margin", A: c.StabMargin},
+		{Name: "pdc_w", A: c.PdcW},
+	}
+}
+
+// diffCell compares one cell present in both summaries.
+func diffCell(a, b CellResult) CellDelta {
+	d := CellDelta{ID: a.ID}
+	if a.Status != b.Status {
+		d.Notes = append(d.Notes, fmt.Sprintf("status %s -> %s", a.Status, b.Status))
+	}
+	if a.Error != b.Error {
+		d.Notes = append(d.Notes, "error text changed")
+	}
+	if a.MeetsSpec != b.MeetsSpec {
+		d.Notes = append(d.Notes, fmt.Sprintf("meets_spec %v -> %v", a.MeetsSpec, b.MeetsSpec))
+	}
+	if a.Evals != b.Evals {
+		d.Notes = append(d.Notes, fmt.Sprintf("evals %d -> %d", a.Evals, b.Evals))
+	}
+	if a.FrontSize != b.FrontSize {
+		d.Notes = append(d.Notes, fmt.Sprintf("front_size %d -> %d", a.FrontSize, b.FrontSize))
+	}
+	fa, fb := metricFields(a), metricFields(b)
+	for i := range fa {
+		if !eqOpt(fa[i].A, fb[i].A) {
+			d.Fields = append(d.Fields, FieldDelta{Name: fa[i].Name, A: fa[i].A, B: fb[i].A})
+		}
+	}
+	designChanged := len(a.Design) != len(b.Design)
+	for i := 0; !designChanged && i < len(a.Design); i++ {
+		av, bv := a.Design[i], b.Design[i]
+		designChanged = av != bv && !(math.IsNaN(av) && math.IsNaN(bv))
+	}
+	if designChanged {
+		d.Notes = append(d.Notes, "design vector changed")
+	}
+	d.Equal = len(d.Fields) == 0 && len(d.Notes) == 0
+	return d
+}
+
+// Diff compares two campaign summaries cell by cell. Cells are matched by
+// ID; cells present in only one summary are reported explicitly, like the
+// disjoint-run handling of the journal compare.
+func Diff(a, b *Summary) DiffResult {
+	res := DiffResult{DigestMatch: a.SpecDigest == b.SpecDigest}
+	inB := map[string]CellResult{}
+	for _, c := range b.Cells {
+		inB[c.ID] = c
+	}
+	inA := map[string]bool{}
+	allEqual := true
+	for _, ca := range a.Cells {
+		inA[ca.ID] = true
+		cb, ok := inB[ca.ID]
+		if !ok {
+			res.Cells = append(res.Cells, CellDelta{ID: ca.ID, OnlyIn: "a"})
+			allEqual = false
+			continue
+		}
+		d := diffCell(ca, cb)
+		if !d.Equal {
+			allEqual = false
+		}
+		res.Cells = append(res.Cells, d)
+	}
+	for _, cb := range b.Cells {
+		if !inA[cb.ID] {
+			res.Cells = append(res.Cells, CellDelta{ID: cb.ID, OnlyIn: "b"})
+			allEqual = false
+		}
+	}
+	res.Identical = allEqual && res.DigestMatch
+	return res
+}
+
+// fmtOpt renders a metric value, "-" for NaN (absent).
+func fmtOpt(v replay.OptFloat) string {
+	if v.IsNaN() {
+		return "-"
+	}
+	return fmt.Sprintf("%.6g", float64(v))
+}
+
+// WriteDiffText renders a campaign diff as aligned text, mirroring the
+// journal compare: a per-cell table, then explicit added/removed listings
+// so disjoint campaigns never diff to a silently empty report.
+func WriteDiffText(w io.Writer, labelA, labelB string, a, b *Summary) error {
+	res := Diff(a, b)
+	if _, err := fmt.Fprintf(w, "comparing A=%s (%s) vs B=%s (%s)\n",
+		labelA, a.Name, labelB, b.Name); err != nil {
+		return err
+	}
+	if !res.DigestMatch {
+		if _, err := fmt.Fprintf(w, "note: spec digests differ (%s vs %s) — the campaigns ran different definitions\n",
+			a.SpecDigest, b.SpecDigest); err != nil {
+			return err
+		}
+	}
+	changed := 0
+	for _, d := range res.Cells {
+		if d.OnlyIn != "" || d.Equal {
+			continue
+		}
+		changed++
+		if _, err := fmt.Fprintf(w, "cell %s:\n", d.ID); err != nil {
+			return err
+		}
+		for _, n := range d.Notes {
+			if _, err := fmt.Fprintf(w, "  %s\n", n); err != nil {
+				return err
+			}
+		}
+		for _, f := range d.Fields {
+			if _, err := fmt.Fprintf(w, "  %-14s %12s -> %-12s\n", f.Name, fmtOpt(f.A), fmtOpt(f.B)); err != nil {
+				return err
+			}
+		}
+	}
+	var onlyA, onlyB []string
+	for _, d := range res.Cells {
+		switch d.OnlyIn {
+		case "a":
+			onlyA = append(onlyA, d.ID)
+		case "b":
+			onlyB = append(onlyB, d.ID)
+		}
+	}
+	if len(onlyA) > 0 {
+		if _, err := fmt.Fprintf(w, "removed in B (only in A): %s\n", strings.Join(onlyA, ", ")); err != nil {
+			return err
+		}
+	}
+	if len(onlyB) > 0 {
+		if _, err := fmt.Fprintf(w, "added in B (only in B): %s\n", strings.Join(onlyB, ", ")); err != nil {
+			return err
+		}
+	}
+	if len(res.Cells) > 0 && len(onlyA)+len(onlyB) == len(res.Cells) {
+		if _, err := fmt.Fprintln(w, "note: the campaigns share no cells — every row is an addition or removal"); err != nil {
+			return err
+		}
+	}
+	if res.Identical {
+		_, err := fmt.Fprintf(w, "identical: %d cells, no differences\n", len(res.Cells))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d cells compared: %d changed, %d removed, %d added\n",
+		len(res.Cells), changed, len(onlyA), len(onlyB))
+	return err
+}

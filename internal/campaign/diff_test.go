@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gnsslna/internal/obs/replay"
+)
+
+// fixtureSummary builds a deterministic summary without running solvers.
+func fixtureSummary(digest string, cells ...CellResult) *Summary {
+	s := &Summary{Version: 1, Name: "fix", SpecDigest: digest, BaseSeed: 1,
+		CellCount: len(cells), Cells: cells}
+	for _, c := range cells {
+		if c.Status == "ok" {
+			s.OKCount++
+		}
+		if c.MeetsSpec {
+			s.MeetsSpecCount++
+		}
+	}
+	return s
+}
+
+func okCell(id string, nf float64) CellResult {
+	return CellResult{
+		ID: id, Band: "l1", Spec: "gnss", Substrate: "ro4350",
+		Device: "golden", Algorithm: "attain", Seed: 1,
+		Status: "ok", MeetsSpec: true, Evals: 100,
+		Gamma:      replay.OptFloat(-0.05),
+		Design:     []float64{0.4, 2, 5e-9, 0.5e-9, 3e-9, 1e-12},
+		WorstNFdB:  replay.OptFloat(nf),
+		MinGTdB:    replay.OptFloat(15.2),
+		WorstS11dB: replay.OptFloat(-12),
+		WorstS22dB: replay.OptFloat(-11),
+		StabMargin: replay.OptFloat(0.04),
+		PdcW:       replay.OptFloat(0.12),
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := fixtureSummary("d1", okCell("c1", 0.8), okCell("c2", 0.85))
+	b := fixtureSummary("d1", okCell("c1", 0.8), okCell("c2", 0.85))
+	res := Diff(a, b)
+	if !res.Identical || !res.DigestMatch {
+		t.Fatalf("identical summaries diff: %+v", res)
+	}
+	for _, d := range res.Cells {
+		if !d.Equal {
+			t.Fatalf("cell %s not equal: %+v", d.ID, d)
+		}
+	}
+}
+
+func TestDiffNaNSafe(t *testing.T) {
+	a := fixtureSummary("d1", okCell("c1", 0.8))
+	b := fixtureSummary("d1", okCell("c1", 0.8))
+	// Both absent (NaN, JSON null): equal, not forever-different.
+	a.Cells[0].Gamma = replay.OptFloat(math.NaN())
+	b.Cells[0].Gamma = replay.OptFloat(math.NaN())
+	if res := Diff(a, b); !res.Identical {
+		t.Fatalf("NaN metrics compare unequal: %+v", res.Cells)
+	}
+	// One absent: a real difference.
+	b.Cells[0].Gamma = replay.OptFloat(-0.1)
+	res := Diff(a, b)
+	if res.Identical || len(res.Cells[0].Fields) != 1 || res.Cells[0].Fields[0].Name != "gamma" {
+		t.Fatalf("NaN-vs-value not reported: %+v", res.Cells)
+	}
+}
+
+func TestDiffDisjointCells(t *testing.T) {
+	a := fixtureSummary("d1", okCell("c1", 0.8))
+	b := fixtureSummary("d1", okCell("c2", 0.9))
+	res := Diff(a, b)
+	if res.Identical || len(res.Cells) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Cells[0].OnlyIn != "a" || res.Cells[1].OnlyIn != "b" {
+		t.Fatalf("only-in markers wrong: %+v", res.Cells)
+	}
+	var out strings.Builder
+	if err := WriteDiffText(&out, "A", "B", a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"removed in B (only in A): c1",
+		"added in B (only in B): c2",
+		"share no cells",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff text misses %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDiffGolden pins the campaign-diff report byte for byte: obsreport
+// campaign-diff must keep emitting exactly this shape.
+func TestDiffGolden(t *testing.T) {
+	a := fixtureSummary("d1",
+		okCell("l1.gnss.ro4350.golden.attain.s1", 0.82),
+		okCell("l1.gnss.ro4350.golden.attain.s2", 0.85),
+		okCell("l5.gnss.ro4350.golden.attain.s1", 0.88))
+	bCell := okCell("l1.gnss.ro4350.golden.attain.s2", 0.79)
+	bCell.MeetsSpec = false
+	bCell.Evals = 140
+	bCell.Gamma = replay.OptFloat(math.NaN())
+	bAdded := okCell("l5.gnss.fr4.golden.attain.s1", 1.1)
+	b := fixtureSummary("d2",
+		okCell("l1.gnss.ro4350.golden.attain.s1", 0.82),
+		bCell, bAdded)
+	var out strings.Builder
+	if err := WriteDiffText(&out, "run-a/campaign.summary.json", "run-b/campaign.summary.json", a, b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff_golden.txt", []byte(out.String()))
+}
+
+func TestWriteDiffTextIdenticalFooter(t *testing.T) {
+	a := fixtureSummary("d1", okCell("c1", 0.8))
+	b := fixtureSummary("d1", okCell("c1", 0.8))
+	var out strings.Builder
+	if err := WriteDiffText(&out, "A", "B", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "identical: 1 cells, no differences") {
+		t.Fatalf("identical footer missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gnsslna/internal/core"
+	"gnsslna/internal/device"
+	"gnsslna/internal/obs"
+	"gnsslna/internal/obs/replay"
+	"gnsslna/internal/optim"
+	"gnsslna/internal/resilience"
+	"gnsslna/internal/rfpassive"
+)
+
+// RunOptions configure a campaign run.
+type RunOptions struct {
+	// OutDir receives campaign.summary.json, RESULTS.md and the resumable
+	// cell checkpoint (created when missing).
+	OutDir string
+	// Parallel bounds the cells optimized concurrently (<= 1: serial).
+	// Cell results are independent and deterministic, so parallelism never
+	// changes the summary bytes.
+	Parallel int
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+	// Observer receives solver convergence events, journaled per cell
+	// under scope "campaign.<cell id>" (nil: disabled).
+	Observer obs.Observer
+}
+
+func (o *RunOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Run executes (or resumes) a campaign: the spec's cell grid is expanded,
+// cells already recorded in the checkpoint under this exact spec are
+// restored, the rest are optimized across the EvalPool, each finished cell
+// is checkpointed, and the summary pair is written to OutDir. Because
+// every cell is deterministic and checkpointed whole, a run killed at any
+// instant resumes to a summary byte-identical to an uninterrupted one.
+func Run(spec *Spec, opts RunOptions) (*Summary, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("campaign: nil spec")
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	cells := spec.Expand()
+	digest := spec.Digest()
+	ckpt := filepath.Join(opts.OutDir, CheckpointFile)
+
+	// Restore pass: serial, before any work is scheduled. The stage key
+	// carries the spec digest, so checkpoints written under an edited spec
+	// (different grid, budgets or goals) can never leak into this run.
+	results := make([]CellResult, len(cells))
+	done := make([]bool, len(cells))
+	restored := 0
+	for i, c := range cells {
+		ok, err := resilience.RestoreCheckpoint(ckpt, cellStage(digest, c.ID), c.Seed, spec.Quick, &results[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			done[i] = true
+			restored++
+		}
+	}
+	opts.logf("campaign %s: %d cells, %d restored from checkpoint", spec.Name, len(cells), restored)
+
+	// Fan the remaining cells across the pool. SaveCheckpoint is a
+	// read-modify-write of the whole file, so a mutex serializes appends.
+	var pending []int
+	for i := range cells {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+	var mu sync.Mutex
+	var saveErr error
+	optim.NewEvalPool(opts.Parallel).Each(len(pending), func(k int) {
+		i := pending[k]
+		res := runCell(spec, cells[i], opts.Observer)
+		results[i] = res
+		mu.Lock()
+		defer mu.Unlock()
+		if err := resilience.SaveCheckpoint(ckpt, cellStage(digest, res.ID), res.Seed, spec.Quick, res); err != nil && saveErr == nil {
+			saveErr = err
+		}
+		opts.logf("cell %s: %s (evals %d)", res.ID, res.Status, res.Evals)
+	})
+	if saveErr != nil {
+		return nil, saveErr
+	}
+
+	s := newSummary(spec, results)
+	if err := s.Write(opts.OutDir); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// cellStage is the checkpoint stage key of one cell: campaign-scoped,
+// digest-guarded, cell-addressed.
+func cellStage(digest, cellID string) string {
+	return "campaign." + digest + ".cell." + cellID
+}
+
+// substrateFor maps a substrate axis value to its material model.
+func substrateFor(name string) (rfpassive.Substrate, error) {
+	switch name {
+	case "ro4350":
+		return rfpassive.RogersRO4350(), nil
+	case "fr4":
+		return rfpassive.FR4(), nil
+	}
+	return rfpassive.Substrate{}, fmt.Errorf("substrate %q: want ro4350 or fr4", name)
+}
+
+// cellDesigner wires the designer for one cell: device variant, substrate,
+// band and requirement axes mapped onto the core spec.
+func cellDesigner(spec *Spec, c Cell) (*core.Designer, error) {
+	variantSeed, err := deviceSeedFor(c.Device)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.Golden()
+	if variantSeed > 0 {
+		dev, err = device.GoldenVariant(variantSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sub, err := substrateFor(c.Substrate)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewBuilder(dev)
+	b.Sub = sub
+	d := core.NewDesigner(b)
+	d.Spec = core.Spec{
+		FLow: c.Band.FLowHz, FHigh: c.Band.FHighHz,
+		NPoints: spec.bandPoints(c.Band),
+		NFMaxDB: c.Spec.NFMaxDB, GTMinDB: c.Spec.GTMinDB,
+		S11MaxDB: c.Spec.S11MaxDB, S22MaxDB: c.Spec.S22MaxDB,
+		StabLow: 0.2e9, StabHigh: 6e9,
+		PdcMaxW: c.Spec.PdcMaxW,
+	}
+	if c.Band.StabHighHz > c.Band.StabLowHz {
+		d.Spec.StabLow, d.Spec.StabHigh = c.Band.StabLowHz, c.Band.StabHighHz
+	}
+	d.Workers = spec.Workers
+	return d, nil
+}
+
+// runCell optimizes one grid cell. Errors never abort the campaign; they
+// become the cell's recorded outcome.
+func runCell(spec *Spec, c Cell, observer obs.Observer) CellResult {
+	res := CellResult{
+		ID: c.ID, Band: c.Band.Name, Spec: c.Spec.Name,
+		Substrate: c.Substrate, Device: c.Device,
+		Algorithm: c.Algorithm, Seed: c.Seed,
+		Status: "ok",
+		Gamma:  replay.OptFloat(math.NaN()),
+	}
+	setMetrics(&res, core.Evaluation{
+		WorstNFdB: math.NaN(), MinGTdB: math.NaN(),
+		WorstS11dB: math.NaN(), WorstS22dB: math.NaN(),
+		StabMargin: math.NaN(), PdcW: math.NaN(),
+	})
+	d, err := cellDesigner(spec, c)
+	if err != nil {
+		res.Status, res.Error = "error", err.Error()
+		return res
+	}
+	switch c.Algorithm {
+	case "attain":
+		runAttainCell(spec, c, d, observer, &res)
+	case "nsga2":
+		runNSGACell(spec, c, d, observer, &res)
+	default:
+		// Normalize rejects unknown algorithms; this only guards direct
+		// callers that skipped it.
+		res.Status, res.Error = "error", fmt.Sprintf("unknown algorithm %q", c.Algorithm)
+	}
+	return res
+}
+
+func runAttainCell(spec *Spec, c Cell, d *core.Designer, observer obs.Observer, res *CellResult) {
+	global, polish := spec.attainBudget()
+	dr, err := d.Optimize(&optim.AttainOptions{
+		Seed: c.Seed, GlobalEvals: global, PolishEvals: polish,
+		Workers: spec.Workers, Observer: observer, Scope: "campaign." + c.ID,
+	})
+	if err != nil {
+		res.Status, res.Error = "error", err.Error()
+		return
+	}
+	res.Gamma = replay.OptFloat(dr.Gamma)
+	res.Evals = dr.Evals
+	res.Design = dr.Snapped.Vector()
+	setMetrics(res, dr.SnappedEval)
+	res.MeetsSpec = meetsSpec(d.Spec, dr.SnappedEval)
+}
+
+func runNSGACell(spec *Spec, c Cell, d *core.Designer, observer obs.Observer, res *CellResult) {
+	lo, hi := core.DesignBounds()
+	obj := func(x []float64) []float64 {
+		ev, err := d.Evaluate(core.DesignFromVector(x))
+		if err != nil {
+			return []float64{99, 99, 99, 99, 99, 99}
+		}
+		obj := ev.Objectives()
+		if ev.StabMargin <= 0 {
+			for i := range obj {
+				obj[i] += 10
+			}
+		}
+		return obj
+	}
+	pop, gens := spec.nsgaBudget()
+	nr, err := optim.NSGA2(obj, lo, hi, &optim.NSGA2Options{
+		Pop: pop, Generations: gens, Seed: c.Seed,
+		Workers: spec.Workers, Observer: observer, Scope: "campaign." + c.ID,
+	})
+	if err != nil {
+		res.Status, res.Error = "error", err.Error()
+		return
+	}
+	res.FrontSize = len(nr.X)
+	res.Evals = nr.Evals
+	// Representative point: the front member with the lowest noise figure
+	// (objective 0, penalties included). Ties break on the first index, so
+	// the choice is deterministic.
+	best := 0
+	for i := 1; i < len(nr.F); i++ {
+		if nr.F[i][0] < nr.F[best][0] {
+			best = i
+		}
+	}
+	if len(nr.X) == 0 {
+		res.Status, res.Error = "error", "empty pareto front"
+		return
+	}
+	x := core.DesignFromVector(nr.X[best])
+	ev, err := d.Evaluate(x)
+	if err != nil {
+		res.Status, res.Error = "error", err.Error()
+		return
+	}
+	res.Design = x.Vector()
+	setMetrics(res, ev)
+	res.MeetsSpec = meetsSpec(d.Spec, ev)
+}
+
+func setMetrics(res *CellResult, ev core.Evaluation) {
+	res.WorstNFdB = replay.OptFloat(ev.WorstNFdB)
+	res.MinGTdB = replay.OptFloat(ev.MinGTdB)
+	res.WorstS11dB = replay.OptFloat(ev.WorstS11dB)
+	res.WorstS22dB = replay.OptFloat(ev.WorstS22dB)
+	res.StabMargin = replay.OptFloat(ev.StabMargin)
+	res.PdcW = replay.OptFloat(ev.PdcW)
+}
+
+// meetsSpec grades an evaluation against the cell's requirement axis:
+// every goal satisfied and strictly positive stability margin.
+func meetsSpec(s core.Spec, ev core.Evaluation) bool {
+	if !(ev.WorstNFdB <= s.NFMaxDB && ev.MinGTdB >= s.GTMinDB) {
+		return false
+	}
+	if !(ev.WorstS11dB <= s.S11MaxDB && ev.WorstS22dB <= s.S22MaxDB) {
+		return false
+	}
+	if !(ev.StabMargin > 0) {
+		return false
+	}
+	if s.PdcMaxW > 0 && !(ev.PdcW <= s.PdcMaxW) {
+		return false
+	}
+	return true
+}

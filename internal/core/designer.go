@@ -136,8 +136,11 @@ type specFreqs struct {
 }
 
 // sweepGrids returns the in-band and stability frequency lists for the
-// current spec, memoized until the spec changes. Callers must not mutate the
-// returned slices.
+// current spec, memoized until the spec changes. The returned slices alias
+// the memoized arrays shared by every concurrent Evaluate call: this
+// internal path is zero-copy and strictly read-only. Code outside the
+// evaluation hot path — anything that hands grids to goroutines it does not
+// control, like the campaign engine — must use SweepGrids, which copies.
 func (d *Designer) sweepGrids() (pts, stab []float64) {
 	if g := d.freqs.Load(); g != nil && g.spec == d.Spec {
 		return g.pts, g.stab
@@ -145,6 +148,17 @@ func (d *Designer) sweepGrids() (pts, stab []float64) {
 	g := &specFreqs{spec: d.Spec, pts: d.Spec.points(), stab: d.Spec.stabPoints()}
 	d.freqs.Store(g)
 	return g.pts, g.stab
+}
+
+// SweepGrids returns defensive copies of the in-band and stability
+// frequency grids derived from the current spec. Unlike the internal
+// sweepGrids, the returned slices are owned by the caller: mutating them
+// cannot corrupt the memoized grids that concurrent evaluations read.
+func (d *Designer) SweepGrids() (pts, stab []float64) {
+	p, s := d.sweepGrids()
+	pts = append([]float64(nil), p...)
+	stab = append([]float64(nil), s...)
+	return pts, stab
 }
 
 // NewDesigner wires a designer with the default spec and the process-wide

@@ -95,18 +95,35 @@ func NewEvalMemo(capacity int) *EvalMemo {
 	return m
 }
 
+// canonBits returns the hashing bit pattern of v with the two IEEE-754
+// zeros collapsed onto +0.0. The shard maps and the memoKey comparison use
+// Go's ==, which treats -0.0 and +0.0 as equal; the hash must agree, or a
+// design touching an optimizer bound at zero would hash (and shard, and
+// doorkeep) differently from its +0.0-equal twin — duplicate entries in two
+// shards and permanently missed hits. NaN needs no canonicalization here:
+// NaN-bearing designs never reach the memo (Evaluate's x == x gate rejects
+// them, because NaN keys could never hit) and NaN context fields hash by
+// whatever bit pattern the deterministic pipelines propagate, which is
+// stable run to run.
+func canonBits(v float64) uint64 {
+	if v == 0 {
+		v = 0 // -0.0 == 0 is true; the assignment rewrites it to +0.0
+	}
+	return math.Float64bits(v)
+}
+
 // keyHash remixes the context digest with the design vector's bits
-// (word-granularity FNV-1a). The top bits select the shard; the full value
-// feeds the shard's doorkeeper.
+// (word-granularity FNV-1a, zero-canonicalized). The top bits select the
+// shard; the full value feeds the shard's doorkeeper.
 func keyHash(key memoKey) uint64 {
 	h := key.ctx
 	d := key.design
-	h = (h ^ math.Float64bits(d.Vgs)) * fnvPrime64
-	h = (h ^ math.Float64bits(d.Vds)) * fnvPrime64
-	h = (h ^ math.Float64bits(d.LIn)) * fnvPrime64
-	h = (h ^ math.Float64bits(d.LDegen)) * fnvPrime64
-	h = (h ^ math.Float64bits(d.LOut)) * fnvPrime64
-	h = (h ^ math.Float64bits(d.COut)) * fnvPrime64
+	h = (h ^ canonBits(d.Vgs)) * fnvPrime64
+	h = (h ^ canonBits(d.Vds)) * fnvPrime64
+	h = (h ^ canonBits(d.LIn)) * fnvPrime64
+	h = (h ^ canonBits(d.LDegen)) * fnvPrime64
+	h = (h ^ canonBits(d.LOut)) * fnvPrime64
+	h = (h ^ canonBits(d.COut)) * fnvPrime64
 	return h
 }
 
@@ -292,7 +309,10 @@ func fnvU64(h, v uint64) uint64 {
 	return h
 }
 
-func fnvF64(h uint64, v float64) uint64 { return fnvU64(h, math.Float64bits(v)) }
+// fnvF64 folds a float64 into the digest with the same zero
+// canonicalization as keyHash (see canonBits): context snapshots are
+// compared with ==, so -0.0 and +0.0 contexts must share one digest.
+func fnvF64(h uint64, v float64) uint64 { return fnvU64(h, canonBits(v)) }
 
 func fnvStr(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gnsslna/internal/device"
+)
+
+// negZero is -0.0 spelled so the compiler cannot fold it to +0.0.
+var negZero = math.Copysign(0, -1)
+
+// TestKeyHashNegativeZeroCanonical pins the hashing contract the shard maps
+// rely on: memoKey comparison uses Go's ==, which treats -0.0 and +0.0 as
+// equal, so keyHash must agree for every design field. Before the
+// canonicalization this failed — math.Float64bits(-0.0) differs from
+// math.Float64bits(0) — splitting equal keys across shards.
+func TestKeyHashNegativeZeroCanonical(t *testing.T) {
+	fields := []func(*Design, float64){
+		func(d *Design, v float64) { d.Vgs = v },
+		func(d *Design, v float64) { d.Vds = v },
+		func(d *Design, v float64) { d.LIn = v },
+		func(d *Design, v float64) { d.LDegen = v },
+		func(d *Design, v float64) { d.LOut = v },
+		func(d *Design, v float64) { d.COut = v },
+	}
+	base := Design{Vgs: 0.4, Vds: 2, LIn: 5e-9, LDegen: 0.5e-9, LOut: 3e-9, COut: 1e-12}
+	for i, set := range fields {
+		pos, neg := base, base
+		set(&pos, 0)
+		set(&neg, negZero)
+		if pos != neg {
+			t.Fatalf("field %d: fixture broken, designs compare unequal", i)
+		}
+		kp := memoKey{ctx: 0x9e3779b97f4a7c15, design: pos}
+		kn := memoKey{ctx: 0x9e3779b97f4a7c15, design: neg}
+		if keyHash(kp) != keyHash(kn) {
+			t.Errorf("field %d: keyHash splits +0.0/-0.0 twins: %#x vs %#x",
+				i, keyHash(kp), keyHash(kn))
+		}
+	}
+}
+
+// TestEvalMemoNegativeZeroSharesEntry is the behavioral regression: a
+// design with a -0.0 field (reachable when an optimizer bound touches zero)
+// must share one shard entry with its +0.0-equal twin — stored once, hit by
+// both spellings.
+func TestEvalMemoNegativeZeroSharesEntry(t *testing.T) {
+	m := NewEvalMemo(64)
+	pos := Design{Vgs: 0.4, Vds: 2, LIn: 0, LDegen: 0.5e-9, LOut: 3e-9, COut: 1e-12}
+	neg := pos
+	neg.LIn = negZero
+	ctx := uint64(12345)
+	kp := memoKey{ctx: ctx, design: pos}
+	kn := memoKey{ctx: ctx, design: neg}
+
+	// Two stores pass the doorkeeper (admitted on the second sighting).
+	ev := Evaluation{Design: pos, WorstNFdB: 0.5}
+	m.store(kp, ev)
+	m.store(kp, ev)
+	if got, ok := m.lookup(kp); !ok || got.WorstNFdB != 0.5 {
+		t.Fatalf("+0.0 key not admitted: ok=%v", ok)
+	}
+	if _, ok := m.lookup(kn); !ok {
+		t.Fatalf("-0.0 twin misses the entry its +0.0 spelling stored")
+	}
+	// Storing the -0.0 spelling must not duplicate the entry.
+	m.store(kn, ev)
+	m.store(kn, ev)
+	if st := m.Stats(); st.Size != 1 {
+		t.Fatalf("memo holds %d entries for one logical key, want 1", st.Size)
+	}
+}
+
+// TestSweepGridsPublicCopyDoesNotAlias pins the Designer grid contract: the
+// exported SweepGrids returns caller-owned copies, so mutating them (as a
+// campaign cell goroutine legitimately might) cannot corrupt the memoized
+// grids that concurrent Evaluate calls read. Run under -race this also
+// proves the internal path stays read-only while copies are scribbled on.
+func TestSweepGridsPublicCopyDoesNotAlias(t *testing.T) {
+	d := NewDesigner(NewBuilder(device.Golden()))
+	d.Spec.NPoints = 5
+	d.Memo = nil // exercise the full evaluation path every time
+
+	ref, err := d.Evaluate(referenceDesign)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				pts, stab := d.SweepGrids()
+				for j := range pts {
+					pts[j] = -1 // scribble on the copy
+				}
+				for j := range stab {
+					stab[j] = -1
+				}
+				ev, err := d.Evaluate(referenceDesign)
+				if err != nil {
+					t.Errorf("Evaluate: %v", err)
+					return
+				}
+				if ev.WorstNFdB != ref.WorstNFdB || ev.MinGTdB != ref.MinGTdB ||
+					ev.StabMargin != ref.StabMargin {
+					t.Errorf("evaluation drifted after SweepGrids mutation: %+v vs %+v", ev, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	pts, stab := d.SweepGrids()
+	if len(pts) != 5 || pts[0] != d.Spec.FLow || pts[len(pts)-1] != d.Spec.FHigh {
+		t.Fatalf("band grid corrupted: %v", pts)
+	}
+	for _, f := range stab {
+		if f <= 0 {
+			t.Fatalf("stability grid corrupted: %v", stab)
+		}
+	}
+}

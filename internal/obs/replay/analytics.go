@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // OptFloat is a float64 that marshals NaN (and infinities) as JSON null, so
@@ -343,8 +344,28 @@ func WriteTraceText(w io.Writer, scope string, r *Run) error {
 	return nil
 }
 
+// OnlyScopes splits a diff into the scopes present in exactly one run: the
+// scopes removed going A→B (only in A) and the scopes added (only in B).
+// Campaign and run diffs use it to report disjoint run sets explicitly
+// instead of leaving additions and removals implicit in per-row markers.
+func OnlyScopes(deltas []ScopeDelta) (onlyA, onlyB []string) {
+	for _, d := range deltas {
+		switch d.OnlyIn {
+		case "a":
+			onlyA = append(onlyA, d.Scope)
+		case "b":
+			onlyB = append(onlyB, d.Scope)
+		}
+	}
+	return onlyA, onlyB
+}
+
 // WriteCompareText renders a run-to-run diff as an aligned text table with
 // per-scope wall-time and evaluation deltas (percentages relative to A).
+// Scopes present in only one run are additionally listed explicitly after
+// the table — a pair of journals with no overlap at all (say, two different
+// tools' runs) diffs to pure added/removed listings instead of silently
+// empty percentages.
 func WriteCompareText(w io.Writer, labelA, labelB string, a, b *Run) error {
 	deltas := Compare(a, b)
 	if _, err := fmt.Fprintf(w, "comparing A=%s vs B=%s\n", labelA, labelB); err != nil {
@@ -358,6 +379,22 @@ func WriteCompareText(w io.Writer, labelA, labelB string, a, b *Run) error {
 		if _, err := fmt.Fprintf(w, "%-34s %12.1f %12.1f %8s %10d %10d %8s %6s\n",
 			d.Scope, d.WallAMs, d.WallBMs, fmtPct(d.WallPct),
 			d.EvalsA, d.EvalsB, fmtPct(d.EvalsPct), d.OnlyIn); err != nil {
+			return err
+		}
+	}
+	onlyA, onlyB := OnlyScopes(deltas)
+	if len(onlyA) > 0 {
+		if _, err := fmt.Fprintf(w, "removed in B (only in A): %s\n", strings.Join(onlyA, ", ")); err != nil {
+			return err
+		}
+	}
+	if len(onlyB) > 0 {
+		if _, err := fmt.Fprintf(w, "added in B (only in B): %s\n", strings.Join(onlyB, ", ")); err != nil {
+			return err
+		}
+	}
+	if len(deltas) > 0 && len(onlyA)+len(onlyB) == len(deltas) {
+		if _, err := fmt.Fprintln(w, "note: the runs share no scopes — every row is an addition or removal"); err != nil {
 			return err
 		}
 	}

@@ -255,3 +255,57 @@ func TestParseMatchesObsJournal(t *testing.T) {
 		t.Fatalf("summary = %+v", s)
 	}
 }
+
+// Two journals with completely disjoint scope sets must diff cleanly: no
+// panic, every row marked only_in, and the text report listing the added
+// and removed scopes explicitly (the campaign-diff reuse contract).
+func TestCompareDisjointRunSets(t *testing.T) {
+	mk := func(scopes ...string) *Run {
+		r := &Run{}
+		for i, s := range scopes {
+			r.Records = append(r.Records, obs.Record{
+				Seq: int64(i + 1), TMs: float64(i), Event: "done",
+				Scope: s, Evals: int64(10 * (i + 1)), Best: 1,
+			})
+		}
+		return r
+	}
+	cases := []struct {
+		name                     string
+		a, b                     *Run
+		wantADeltas, wantBDeltas int
+	}{
+		{"zero overlap", mk("alpha.x", "alpha.y"), mk("beta.z"), 2, 1},
+		{"empty A", mk(), mk("beta.z"), 0, 1},
+		{"empty B", mk("alpha.x"), mk(), 1, 0},
+		{"both empty", mk(), mk(), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deltas := Compare(tc.a, tc.b)
+			onlyA, onlyB := OnlyScopes(deltas)
+			if len(onlyA) != tc.wantADeltas || len(onlyB) != tc.wantBDeltas {
+				t.Fatalf("only_a=%v only_b=%v, want %d/%d", onlyA, onlyB, tc.wantADeltas, tc.wantBDeltas)
+			}
+			for _, d := range deltas {
+				if d.OnlyIn == "" {
+					t.Errorf("disjoint scope %q lacks only_in marker", d.Scope)
+				}
+			}
+			var out strings.Builder
+			if err := WriteCompareText(&out, "a", "b", tc.a, tc.b); err != nil {
+				t.Fatalf("WriteCompareText: %v", err)
+			}
+			text := out.String()
+			if len(onlyA) > 0 && !strings.Contains(text, "removed in B (only in A): "+strings.Join(onlyA, ", ")) {
+				t.Errorf("removed scopes not listed:\n%s", text)
+			}
+			if len(onlyB) > 0 && !strings.Contains(text, "added in B (only in B): "+strings.Join(onlyB, ", ")) {
+				t.Errorf("added scopes not listed:\n%s", text)
+			}
+			if len(deltas) > 0 && !strings.Contains(text, "share no scopes") {
+				t.Errorf("disjoint note missing:\n%s", text)
+			}
+		})
+	}
+}
